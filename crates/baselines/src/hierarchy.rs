@@ -1,0 +1,429 @@
+//! Shared machinery for hierarchical (tree-structured) strategies: HB,
+//! GreedyH, Privelet and QuadTree all measure aggregations over aligned
+//! blocks of an ordered domain.
+//!
+//! On a domain of size `n = b^h`, every level-`l` aggregation Gram `B_lᵀB_l`
+//! (block-diagonal all-ones blocks of size `b^l`) is diagonalized by the same
+//! generalized (b-ary) Haar basis: the constant vector plus, for every tree
+//! node with block size `m`, a `(b−1)`-dimensional space of vectors constant
+//! on the node's children and summing to zero. This gives **exact** expected
+//! error for any level-weighted tree strategy in O(n²) time and O(n) space,
+//! without materializing a single strategy matrix — validated against the
+//! dense path in tests.
+
+use hdmm_linalg::Matrix;
+
+/// Per-node-level workload energy: `q_levels[j]` is `Σ_v ‖W·v‖²` over the
+/// orthonormal Haar vectors `v` attached to nodes at tree level `j`, and
+/// `q_const` is the energy of the normalized constant vector.
+///
+/// The tree may use a different branching factor per level (mixed radix),
+/// which lets HB's "ragged" trees fit domains like `128 = 16·8` exactly.
+#[derive(Debug, Clone)]
+pub struct NodeLevelStats {
+    /// Per-level branching factors, leaf-adjacent first; `Π bᵢ = n`.
+    pub branchings: Vec<usize>,
+    /// Domain size.
+    pub n: usize,
+    /// Energy of the constant vector `1/√n`.
+    pub q_const: f64,
+    /// Energy per node level, index `j` ⇔ node block size `Π_{l≤j} b_l`.
+    pub q_levels: Vec<f64>,
+}
+
+impl NodeLevelStats {
+    /// True when every level branches binarily.
+    pub fn is_binary(&self) -> bool {
+        self.branchings.iter().all(|&b| b == 2)
+    }
+
+    /// Aggregation block sizes per strategy level (leaf..root):
+    /// `1, b₁, b₁b₂, …, n`.
+    pub fn level_block_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![1usize];
+        for &b in &self.branchings {
+            sizes.push(sizes.last().unwrap() * b);
+        }
+        sizes
+    }
+}
+
+/// Decomposes `n` into HB-style branchings with factor `b`: as many full
+/// `b`-way levels as divide `n`, then one remainder level. Returns `None`
+/// when the remainder is not an exact factor.
+pub fn hb_branchings(n: usize, b: usize) -> Option<Vec<usize>> {
+    if b < 2 || n < 2 || (n % b != 0 && b != n) {
+        return None;
+    }
+    let mut rest = n;
+    let mut out = Vec::new();
+    while rest % b == 0 && rest > 1 {
+        out.push(b);
+        rest /= b;
+    }
+    match rest {
+        1 => Some(out),
+        r if r >= 2 => {
+            out.push(r);
+            Some(out)
+        }
+        _ => None,
+    }
+}
+
+/// Checks `n = b^h` and returns `h`.
+pub fn tree_height(n: usize, b: usize) -> Option<usize> {
+    if b < 2 {
+        return None;
+    }
+    let mut h = 0;
+    let mut m = 1usize;
+    while m < n {
+        m = m.checked_mul(b)?;
+        h += 1;
+    }
+    (m == n).then_some(h)
+}
+
+/// Computes the per-node-level workload energies for a *uniform* branching
+/// factor `b` (requires `n = b^h`).
+pub fn node_level_stats(n: usize, b: usize, wv_sq: &dyn Fn(&[f64]) -> f64) -> NodeLevelStats {
+    let h = tree_height(n, b).expect("n must be a power of b");
+    node_level_stats_mixed(n, &vec![b; h], wv_sq)
+}
+
+/// Computes the per-node-level workload energies for a mixed-radix tree with
+/// the given leaf-adjacent-first `branchings` (`Π bᵢ = n`), for workload
+/// energy functional `wv_sq(v) = ‖W·v‖²` (evaluated on full-length vectors).
+///
+/// Cost: `O(n²)` evaluations-worth of work for typical O(n) `wv_sq`.
+pub fn node_level_stats_mixed(
+    n: usize,
+    branchings: &[usize],
+    wv_sq: &dyn Fn(&[f64]) -> f64,
+) -> NodeLevelStats {
+    let product: usize = branchings.iter().product();
+    assert_eq!(product, n, "branchings must multiply to n");
+    let mut v = vec![0.0; n];
+
+    // Constant vector.
+    let c = 1.0 / (n as f64).sqrt();
+    for e in &mut v {
+        *e = c;
+    }
+    let q_const = wv_sq(&v);
+
+    let mut q_levels = vec![0.0; branchings.len()];
+    let mut child = 1usize;
+    for (j, &b) in branchings.iter().enumerate() {
+        let m = child * b; // node block size at this level
+        for node_start in (0..n).step_by(m) {
+            // Helmert basis: for t = 1..b, children 0..t get ±values.
+            for t in 1..b {
+                for e in &mut v {
+                    *e = 0.0;
+                }
+                let norm = ((child * t * (t + 1)) as f64).sqrt();
+                let pos = 1.0 / norm;
+                let neg = -(t as f64) / norm;
+                for ch in 0..t {
+                    let s = node_start + ch * child;
+                    for e in &mut v[s..s + child] {
+                        *e = pos;
+                    }
+                }
+                let s = node_start + t * child;
+                for e in &mut v[s..s + child] {
+                    *e = neg;
+                }
+                q_levels[j] += wv_sq(&v);
+            }
+        }
+        child = m;
+    }
+    NodeLevelStats { branchings: branchings.to_vec(), n, q_const, q_levels }
+}
+
+/// Eigenvalue of `Σ_l λ_l²·B_lᵀB_l` on a Haar vector at node level `j`:
+/// aggregation levels with blocks no larger than the node's child size
+/// contribute `λ_l²·m_l`, larger ones annihilate the vector.
+fn tree_eigenvalue(level_weights: &[f64], block_sizes: &[usize], max_level_incl: usize) -> f64 {
+    level_weights
+        .iter()
+        .zip(block_sizes)
+        .take(max_level_incl + 1)
+        .map(|(&w, &m)| w * w * m as f64)
+        .sum()
+}
+
+/// Exact squared error `‖A‖₁²·tr[(AᵀA)⁻¹·WᵀW]` of the level-weighted tree
+/// strategy with levels `l = 0..=L` (leaf to root), weights `λ_l ≥ 0`.
+///
+/// Requires `λ_0 > 0` (leaf level) so the strategy has full rank.
+pub fn tree_strategy_error(stats: &NodeLevelStats, level_weights: &[f64]) -> f64 {
+    let levels = stats.q_levels.len();
+    assert_eq!(level_weights.len(), levels + 1, "one weight per level (leaf..root)");
+    assert!(level_weights[0] > 0.0, "leaf level must have positive weight");
+    let sens: f64 = level_weights.iter().sum();
+    let sizes = stats.level_block_sizes();
+
+    // Constant vector: all levels contribute.
+    let mut residual = stats.q_const / tree_eigenvalue(level_weights, &sizes, levels);
+    // Node level j (block size sizes[j+1], child size sizes[j]): levels 0..=j.
+    for (j, &q) in stats.q_levels.iter().enumerate() {
+        residual += q / tree_eigenvalue(level_weights, &sizes, j);
+    }
+    sens * sens * residual
+}
+
+/// Exact squared error of the Privelet (Haar wavelet) strategy with one weight
+/// per wavelet level. The wavelet rows are the (unnormalized) Haar vectors
+/// themselves, so `AᵀA` is diagonal in the same basis with eigenvalue
+/// `w²·m` for a difference row over `m` cells and `w_const²·n` for the base
+/// row; the sensitivity is the sum of the per-level weights (binary trees
+/// touch each column once per level).
+pub fn wavelet_strategy_error(stats: &NodeLevelStats, level_weights: &[f64], const_weight: f64) -> f64 {
+    assert!(stats.is_binary(), "the Haar wavelet is a binary construction");
+    let h = stats.q_levels.len();
+    assert_eq!(level_weights.len(), h, "one weight per wavelet level");
+    let sens: f64 = const_weight + level_weights.iter().sum::<f64>();
+
+    let mut residual = stats.q_const / (const_weight * const_weight * stats.n as f64);
+    for (j, &q) in stats.q_levels.iter().enumerate() {
+        let m = 2usize.pow(j as u32 + 1) as f64;
+        let w = level_weights[j];
+        residual += q / (w * w * m);
+    }
+    sens * sens * residual
+}
+
+/// Materializes the full tree strategy matrix (tests / small domains): one
+/// weighted aggregation row per node per level.
+pub fn tree_strategy_matrix(n: usize, b: usize, level_weights: &[f64]) -> Matrix {
+    let h = tree_height(n, b).expect("n must be a power of b");
+    tree_strategy_matrix_mixed(n, &vec![b; h], level_weights)
+}
+
+/// Mixed-radix variant of [`tree_strategy_matrix`].
+pub fn tree_strategy_matrix_mixed(n: usize, branchings: &[usize], level_weights: &[f64]) -> Matrix {
+    assert_eq!(level_weights.len(), branchings.len() + 1);
+    let mut sizes = vec![1usize];
+    for &b in branchings {
+        sizes.push(sizes.last().unwrap() * b);
+    }
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for (&m, &w) in sizes.iter().zip(level_weights) {
+        if w == 0.0 {
+            continue;
+        }
+        for start in (0..n).step_by(m) {
+            let mut r = vec![0.0; n];
+            for e in &mut r[start..start + m] {
+                *e = w;
+            }
+            rows.push(r);
+        }
+    }
+    let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+    Matrix::from_rows(&refs)
+}
+
+/// Materializes the weighted Haar wavelet matrix (tests / small domains).
+pub fn wavelet_matrix(n: usize, level_weights: &[f64], const_weight: f64) -> Matrix {
+    let h = tree_height(n, 2).expect("n must be a power of 2");
+    assert_eq!(level_weights.len(), h);
+    let mut rows: Vec<Vec<f64>> = vec![vec![const_weight; n]];
+    for (j, &w) in level_weights.iter().enumerate() {
+        let m = 2usize.pow(j as u32 + 1);
+        let child = m / 2;
+        for start in (0..n).step_by(m) {
+            let mut r = vec![0.0; n];
+            for e in &mut r[start..start + child] {
+                *e = w;
+            }
+            for e in &mut r[start + child..start + m] {
+                *e = -w;
+            }
+            rows.push(r);
+        }
+    }
+    let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+    Matrix::from_rows(&refs)
+}
+
+/// Binary hierarchy matrix over an arbitrary (non-power-of-two) domain via
+/// recursive splitting, sensitivity-normalized. Used by the DAWA second stage
+/// on reduced domains.
+pub fn binary_hierarchy_matrix(n: usize) -> Matrix {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut stack = vec![(0usize, n)];
+    while let Some((start, len)) = stack.pop() {
+        let mut r = vec![0.0; n];
+        for e in &mut r[start..start + len] {
+            *e = 1.0;
+        }
+        rows.push(r);
+        if len > 1 {
+            let half = len / 2;
+            stack.push((start, half));
+            stack.push((start + half, len - half));
+        }
+    }
+    let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+    let m = Matrix::from_rows(&refs);
+    let s = m.norm_l1_operator();
+    m.scaled(1.0 / s)
+}
+
+// ---------------------------------------------------------------------------
+// Workload energy functionals ‖W·v‖² for the structured 1D workloads.
+// ---------------------------------------------------------------------------
+
+/// `‖W·v‖²` for the all-range workload, in O(n) via prefix sums:
+/// `Σ_{i≤j} (S_j − S_{i−1})²`.
+pub fn range_energy(v: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    let mut s = 0.0; // running prefix sum S_j
+    let mut cnt = 1.0; // number of admissible left endpoints (S_{-1} = 0)
+    let mut sum_s = 0.0; // Σ over previous prefix values (incl. S_{-1})
+    let mut sum_s2 = 0.0;
+    for &x in v {
+        s += x;
+        acc += cnt * s * s - 2.0 * s * sum_s + sum_s2;
+        sum_s += s;
+        sum_s2 += s * s;
+        cnt += 1.0;
+    }
+    acc
+}
+
+/// `‖W·v‖²` for the prefix workload: `Σ_j S_j²`.
+pub fn prefix_energy(v: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    let mut s = 0.0;
+    for &x in v {
+        s += x;
+        acc += s * s;
+    }
+    acc
+}
+
+/// `‖W·v‖²` for the width-`w` range workload: `Σ_i (S_{i+w−1} − S_{i−1})²`.
+pub fn width_energy(w: usize) -> impl Fn(&[f64]) -> f64 {
+    move |v: &[f64]| {
+        let n = v.len();
+        let mut prefix = Vec::with_capacity(n + 1);
+        prefix.push(0.0);
+        let mut s = 0.0;
+        for &x in v {
+            s += x;
+            prefix.push(s);
+        }
+        let mut acc = 0.0;
+        for i in 0..=(n - w) {
+            let d = prefix[i + w] - prefix[i];
+            acc += d * d;
+        }
+        acc
+    }
+}
+
+/// Generic `‖W·v‖²` through an explicit Gram: `vᵀ(WᵀW)v` (small domains).
+pub fn gram_energy(gram: &Matrix) -> impl Fn(&[f64]) -> f64 + '_ {
+    move |v: &[f64]| {
+        let gv = gram.matvec(v);
+        v.iter().zip(&gv).map(|(a, b)| a * b).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdmm_mechanism::error::residual_explicit;
+    use hdmm_workload::blocks;
+
+    #[test]
+    fn tree_height_detection() {
+        assert_eq!(tree_height(16, 2), Some(4));
+        assert_eq!(tree_height(64, 4), Some(3));
+        assert_eq!(tree_height(12, 2), None);
+        assert_eq!(tree_height(1, 2), Some(0));
+    }
+
+    #[test]
+    fn energy_functionals_match_explicit() {
+        let n = 16;
+        let v: Vec<f64> = (0..n).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let r = blocks::all_range(n).matvec(&v);
+        assert!((range_energy(&v) - r.iter().map(|x| x * x).sum::<f64>()).abs() < 1e-9);
+        let p = blocks::prefix(n).matvec(&v);
+        assert!((prefix_energy(&v) - p.iter().map(|x| x * x).sum::<f64>()).abs() < 1e-9);
+        let w = blocks::width_range(n, 5).matvec(&v);
+        assert!((width_energy(5)(&v) - w.iter().map(|x| x * x).sum::<f64>()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tree_error_matches_dense_binary() {
+        let n = 16;
+        let weights = vec![1.0, 0.7, 0.5, 0.4, 0.3];
+        let stats = node_level_stats(n, 2, &range_energy);
+        let fast = tree_strategy_error(&stats, &weights);
+        let a = tree_strategy_matrix(n, 2, &weights);
+        let sens = a.norm_l1_operator();
+        let dense = sens * sens * residual_explicit(&blocks::gram_all_range(n), &a);
+        assert!((fast - dense).abs() < 1e-6 * dense, "{fast} vs {dense}");
+    }
+
+    #[test]
+    fn tree_error_matches_dense_quaternary() {
+        let n = 64;
+        let weights = vec![1.0, 0.8, 0.6, 0.2];
+        let stats = node_level_stats(n, 4, &prefix_energy);
+        let fast = tree_strategy_error(&stats, &weights);
+        let a = tree_strategy_matrix(n, 4, &weights);
+        let sens = a.norm_l1_operator();
+        let dense = sens * sens * residual_explicit(&blocks::gram_prefix(n), &a);
+        assert!((fast - dense).abs() < 1e-6 * dense, "{fast} vs {dense}");
+    }
+
+    #[test]
+    fn wavelet_error_matches_dense() {
+        let n = 16;
+        let lw = vec![1.0, 0.9, 0.8, 0.7];
+        let cw = 1.1;
+        let stats = node_level_stats(n, 2, &range_energy);
+        let fast = wavelet_strategy_error(&stats, &lw, cw);
+        let a = wavelet_matrix(n, &lw, cw);
+        let sens = a.norm_l1_operator();
+        let dense = sens * sens * residual_explicit(&blocks::gram_all_range(n), &a);
+        assert!((fast - dense).abs() < 1e-6 * dense, "{fast} vs {dense}");
+    }
+
+    #[test]
+    fn wavelet_sensitivity_is_levels_plus_one() {
+        let n = 32;
+        let a = wavelet_matrix(n, &vec![1.0; 5], 1.0);
+        assert!((a.norm_l1_operator() - 6.0).abs() < 1e-12); // 1 + log₂(32)
+    }
+
+    #[test]
+    fn binary_hierarchy_arbitrary_n() {
+        for n in [5usize, 7, 12, 16] {
+            let h = binary_hierarchy_matrix(n);
+            assert_eq!(h.cols(), n);
+            assert!((h.norm_l1_operator() - 1.0).abs() < 1e-12);
+            // Root row present: some row proportional to all-ones.
+            let has_root = (0..h.rows()).any(|r| h.row(r).iter().all(|&v| v > 0.0));
+            assert!(has_root);
+        }
+    }
+
+    #[test]
+    fn gram_energy_matches_range_energy() {
+        let n = 12;
+        let g = blocks::gram_all_range(n);
+        let f = gram_energy(&g);
+        let v: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        assert!((f(&v) - range_energy(&v)).abs() < 1e-9);
+    }
+}

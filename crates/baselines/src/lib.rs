@@ -1,0 +1,43 @@
+//! Competing mechanisms from the paper's evaluation (§8.1, Appendix B).
+//!
+//! | Module | Algorithm | Paper role |
+//! |---|---|---|
+//! | [`simple`] | Identity, Laplace Mechanism | universal baselines |
+//! | [`hierarchy`] | shared b-ary tree machinery | substrate |
+//! | [`hb`] | HB (Qardaji et al.) | 1D/2D range queries |
+//! | [`greedy_h`] | GreedyH (from DAWA) | 1D workload-adapted hierarchies |
+//! | [`wavelet`] | Privelet (Haar wavelet) | 1D/2D range queries |
+//! | [`quadtree`] | QuadTree | 2D spatial hierarchies |
+//! | [`datacube`] | DataCube (Ding et al.) | marginals workloads |
+//! | [`general`] | full-space gradient search | MM/LRM stand-in |
+//! | [`dawa`] | DAWA two-stage | data-dependent 1D/2D |
+//! | [`privbayes`] | PrivBayes | data-dependent high-D |
+//!
+//! Error conventions match `hdmm-mechanism`: functions return the ε-free
+//! squared-error coefficient (`Err = (2/ε²)·coefficient`), except the
+//! data-dependent mechanisms (DAWA, PrivBayes), which report empirical
+//! expected total squared error at a concrete ε.
+
+pub mod datacube;
+pub mod dawa;
+pub mod general;
+pub mod greedy_h;
+pub mod hb;
+pub mod hierarchy;
+pub mod privbayes;
+pub mod quadtree;
+pub mod simple;
+pub mod wavelet;
+
+pub use datacube::{datacube, DataCubeResult};
+pub use dawa::{dawa_expected_error, dawa_run, DawaOptions, Stage2};
+pub use general::{general_mechanism, GeneralResult};
+pub use greedy_h::{
+    decomposition_counts, greedy_h_1d, greedy_h_energy, greedy_h_explicit, greedy_h_original,
+    GreedyHResult, RangeFamily,
+};
+pub use hb::{hb_1d, hb_matrix, HbResult};
+pub use privbayes::{privbayes_expected_error, PrivBayesOptions};
+pub use quadtree::{quadtree_error, quadtree_matrix};
+pub use simple::{identity_squared_error, lm_squared_error, lm_squared_error_from};
+pub use wavelet::{privelet_error_1d, privelet_error_nd, privelet_matrix};

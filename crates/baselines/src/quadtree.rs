@@ -1,0 +1,147 @@
+//! QuadTree: the 2D hierarchical baseline (Cormode et al. \[8\]).
+//!
+//! The strategy measures, for every level `l = 0..=h`, all `2^l × 2^l`
+//! aligned squares of the `n×n` grid — i.e. the union of Kronecker products
+//! `B_l ⊗ B_l`. This is *not* a single Kronecker product, but all its Gram
+//! terms share the tensor Haar eigenbasis, so the exact error is a double sum
+//! over per-axis node levels (see `hierarchy` for the 1D machinery).
+
+use crate::hierarchy::NodeLevelStats;
+use hdmm_linalg::Matrix;
+
+/// `‖I·v‖² = ‖v‖²` — the Identity factor energy.
+pub fn identity_energy(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum()
+}
+
+/// `‖T·v‖² = (Σv)²` — the Total factor energy.
+pub fn total_energy(v: &[f64]) -> f64 {
+    let s: f64 = v.iter().sum();
+    s * s
+}
+
+/// Eigenvalue of `Σ_l B_lᵀB_l ⊗ B_lᵀB_l` on a tensor Haar vector whose axis
+/// caps (largest acting aggregation level) are `cx`, `cy`: levels up to
+/// `min(cx, cy)` contribute `4^l` each.
+fn quad_eigenvalue(cx: usize, cy: usize) -> f64 {
+    (0..=cx.min(cy)).map(|l| 4f64.powi(l as i32)).sum()
+}
+
+/// Exact squared error of the uniform quadtree strategy on a union of 2D
+/// products, given per-term per-axis node-level statistics (both axes on the
+/// same `n = 2^h`).
+pub fn quadtree_error(n: usize, terms: &[(f64, NodeLevelStats, NodeLevelStats)]) -> f64 {
+    assert!(!terms.is_empty(), "need at least one workload term");
+    let h = terms[0].1.q_levels.len();
+    assert_eq!(n, 1usize << h, "stats must match the grid side");
+    let sens = (h + 1) as f64; // one unit per level in every column
+
+    let mut residual = 0.0;
+    for (w, sx, sy) in terms {
+        assert_eq!(sx.q_levels.len(), h, "axis stats mismatch");
+        assert_eq!(sy.q_levels.len(), h, "axis stats mismatch");
+        let w2 = w * w;
+        // Caps: constant vector ⇒ h; node level j ⇒ j.
+        let cap = |j: Option<usize>| j.unwrap_or(h);
+        let q = |s: &NodeLevelStats, j: Option<usize>| match j {
+            None => s.q_const,
+            Some(j) => s.q_levels[j],
+        };
+        let axis_levels: Vec<Option<usize>> =
+            std::iter::once(None).chain((0..h).map(Some)).collect();
+        for &jx in &axis_levels {
+            for &jy in &axis_levels {
+                let energy = q(sx, jx) * q(sy, jy);
+                if energy != 0.0 {
+                    residual += w2 * energy / quad_eigenvalue(cap(jx), cap(jy));
+                }
+            }
+        }
+    }
+    sens * sens * residual
+}
+
+/// Materializes the quadtree strategy matrix over the flattened `n×n` grid
+/// (tests / small grids only).
+pub fn quadtree_matrix(n: usize) -> Matrix {
+    let h = crate::hierarchy::tree_height(n, 2).expect("grid side must be a power of 2");
+    let cells = n * n;
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for l in 0..=h {
+        let m = 1usize << l;
+        for rx in (0..n).step_by(m) {
+            for ry in (0..n).step_by(m) {
+                let mut row = vec![0.0; cells];
+                for x in rx..rx + m {
+                    for y in ry..ry + m {
+                        row[x * n + y] = 1.0;
+                    }
+                }
+                rows.push(row);
+            }
+        }
+    }
+    let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+    Matrix::from_rows(&refs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::{node_level_stats, prefix_energy, range_energy};
+    use hdmm_mechanism::error::residual_explicit;
+    use hdmm_workload::{builders, WorkloadGrams};
+
+    fn dense_error(n: usize, grams: &WorkloadGrams) -> f64 {
+        let a = quadtree_matrix(n);
+        let sens = a.norm_l1_operator();
+        sens * sens * residual_explicit(&grams.explicit(), &a)
+    }
+
+    #[test]
+    fn matches_dense_on_prefix_2d() {
+        let n = 8;
+        let grams = WorkloadGrams::from_workload(&builders::prefix_2d(n, n));
+        let sx = node_level_stats(n, 2, &prefix_energy);
+        let fast = quadtree_error(n, &[(1.0, sx.clone(), sx)]);
+        let dense = dense_error(n, &grams);
+        assert!((fast - dense).abs() < 1e-6 * dense, "{fast} vs {dense}");
+    }
+
+    #[test]
+    fn matches_dense_on_range_total_union() {
+        let n = 8;
+        let grams = WorkloadGrams::from_workload(&builders::range_total_union_2d(n, n));
+        let sr = node_level_stats(n, 2, &range_energy);
+        let st = node_level_stats(n, 2, &total_energy);
+        let fast = quadtree_error(n, &[(1.0, sr.clone(), st.clone()), (1.0, st, sr)]);
+        let dense = dense_error(n, &grams);
+        assert!((fast - dense).abs() < 1e-6 * dense, "{fast} vs {dense}");
+    }
+
+    #[test]
+    fn matches_dense_on_prefix_identity_union() {
+        let n = 8;
+        let grams = WorkloadGrams::from_workload(&builders::prefix_identity_2d(n, n));
+        let sp = node_level_stats(n, 2, &prefix_energy);
+        let si = node_level_stats(n, 2, &identity_energy);
+        let fast = quadtree_error(n, &[(1.0, sp.clone(), si.clone()), (1.0, si, sp)]);
+        let dense = dense_error(n, &grams);
+        assert!((fast - dense).abs() < 1e-6 * dense, "{fast} vs {dense}");
+    }
+
+    #[test]
+    fn sensitivity_counts_levels() {
+        let a = quadtree_matrix(8);
+        assert!((a.norm_l1_operator() - 4.0).abs() < 1e-12); // h+1 = 4
+    }
+
+    #[test]
+    fn scales_to_large_grids() {
+        // 256×256 (the Taxi grid) in well under a second.
+        let n = 256;
+        let sp = node_level_stats(n, 2, &prefix_energy);
+        let err = quadtree_error(n, &[(1.0, sp.clone(), sp)]);
+        assert!(err.is_finite() && err > 0.0);
+    }
+}

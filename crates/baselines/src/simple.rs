@@ -1,0 +1,70 @@
+//! The two baseline mechanisms every comparison includes (§8.1):
+//! **Identity** (noise the data vector, answer from it) and the **Laplace
+//! Mechanism** (noise every workload query directly).
+
+use hdmm_workload::{Workload, WorkloadGrams};
+
+/// Identity-strategy squared error: `‖W‖²_F` (sensitivity 1).
+pub fn identity_squared_error(grams: &WorkloadGrams) -> f64 {
+    grams.frobenius_norm_sq()
+}
+
+/// Laplace-mechanism squared error from a known workload sensitivity and
+/// query count: every query gets iid noise of scale `ΔW/ε`, so
+/// `Err = (2/ε²)·m·ΔW²` and the ε-free coefficient is `m·ΔW²`.
+pub fn lm_squared_error_from(sensitivity: f64, query_count: usize) -> f64 {
+    query_count as f64 * sensitivity * sensitivity
+}
+
+/// Laplace-mechanism squared error for a workload; uses the exact sensitivity
+/// when the domain is materializable (`≤ max_cells`), else the per-product
+/// upper bound (flagged by the second tuple element = `false`).
+pub fn lm_squared_error(w: &Workload, max_cells: usize) -> (f64, bool) {
+    match w.sensitivity_exact(max_cells) {
+        Some(s) => (lm_squared_error_from(s, w.query_count()), true),
+        None => (lm_squared_error_from(w.sensitivity_upper_bound(), w.query_count()), false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdmm_workload::builders;
+
+    #[test]
+    fn identity_equals_frobenius() {
+        let w = builders::all_range_1d(10);
+        let grams = WorkloadGrams::from_workload(&w);
+        let direct = w.explicit().frobenius_norm_sq();
+        assert!((identity_squared_error(&grams) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lm_error_prefix() {
+        // Prefix workload: m = n queries, sensitivity n (first column is in
+        // every prefix).
+        let n = 16;
+        let w = builders::prefix_1d(n);
+        let (err, exact) = lm_squared_error(&w, 1 << 20);
+        assert!(exact);
+        assert!((err - (n * n * n) as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lm_much_worse_than_identity_on_prefix() {
+        // The headline gap LM suffers on overlapping workloads (Table 3).
+        let w = builders::prefix_1d(64);
+        let grams = WorkloadGrams::from_workload(&w);
+        let (lm, _) = lm_squared_error(&w, 1 << 20);
+        assert!(lm > 10.0 * identity_squared_error(&grams));
+    }
+
+    #[test]
+    fn lm_optimal_for_single_total_query() {
+        // One query, sensitivity 1: LM error = 1, identity error = n.
+        let w = hdmm_workload::Workload::one_dim(hdmm_workload::blocks::total(8));
+        let (err, exact) = lm_squared_error(&w, 1 << 20);
+        assert!(exact);
+        assert!((err - 1.0).abs() < 1e-12);
+    }
+}

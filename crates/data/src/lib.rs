@@ -1,0 +1,265 @@
+//! Synthetic datasets with the paper's schemas and realistic shapes (§8.1).
+//!
+//! The accuracy experiments are data independent (Definition 7); datasets
+//! matter only for the data-dependent mechanisms (DAWA, PrivBayes), the
+//! end-to-end examples, and the measure/reconstruct scalability runs. Each
+//! generator is seeded and matches the corresponding paper dataset's domain:
+//!
+//! * `patent_1d` — Patent citation histogram (DPBench), n = 1024, power law;
+//! * `taxi_2d` — BeijingTaxiE pickups, 256×256, spatial clusters;
+//! * `cph_records` — Census of Population and Housing person records;
+//! * `adult_records` — UCI Adult (75×16×5×2×20);
+//! * `cps_records` — March-2000 CPS (100×50×7×4×2);
+//! * `dawa_shapes` — the five 1D distributions of the Appendix B.3 study.
+
+use hdmm_workload::Domain;
+use rand::distributions::Distribution;
+use rand::Rng;
+
+/// The Adult schema domain: age, education, race, sex, hours-per-week.
+pub fn adult_domain() -> Domain {
+    Domain::new(&[75, 16, 5, 2, 20])
+}
+
+/// The CPS schema domain: income, age, marital, race, sex.
+pub fn cps_domain() -> Domain {
+    Domain::new(&[100, 50, 7, 4, 2])
+}
+
+/// Zipf-like 1D histogram: heavy head, long tail (Patent-style).
+pub fn patent_1d(n: usize, total: usize, rng: &mut impl Rng) -> Vec<f64> {
+    let mut x = vec![0.0; n];
+    for _ in 0..total {
+        // Inverse-CDF sample from a power law with exponent ~1.3.
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        let idx = ((u.powf(-1.0 / 1.3) - 1.0) as usize).min(n - 1);
+        x[idx] += 1.0;
+    }
+    x
+}
+
+/// Spatially clustered 2D histogram (Taxi-style), flattened row-major.
+pub fn taxi_2d(n: usize, total: usize, rng: &mut impl Rng) -> Vec<f64> {
+    let clusters = 8;
+    let centers: Vec<(f64, f64, f64)> = (0..clusters)
+        .map(|_| (rng.gen::<f64>() * n as f64, rng.gen::<f64>() * n as f64, 2.0 + rng.gen::<f64>() * (n as f64 / 12.0)))
+        .collect();
+    let mut x = vec![0.0; n * n];
+    let normal = Normal;
+    for _ in 0..total {
+        let (cx, cy, s) = centers[rng.gen_range(0..clusters)];
+        let px = (cx + normal.sample(rng) * s).clamp(0.0, (n - 1) as f64) as usize;
+        let py = (cy + normal.sample(rng) * s).clamp(0.0, (n - 1) as f64) as usize;
+        x[px * n + py] += 1.0;
+    }
+    x
+}
+
+/// Minimal standard-normal sampler (Box–Muller) to avoid extra dependencies.
+struct Normal;
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen::<f64>().max(1e-12);
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// Generic categorical record sampler with mildly skewed, correlated
+/// attributes (first attribute value biases the rest).
+fn records(domain: &Domain, count: usize, skew: f64, rng: &mut impl Rng) -> Vec<Vec<usize>> {
+    let d = domain.dims();
+    (0..count)
+        .map(|_| {
+            let mut rec = Vec::with_capacity(d);
+            let mut carry = 0usize;
+            for i in 0..d {
+                let n = domain.attr_size(i);
+                // Geometric-ish skew with a correlation nudge from `carry`.
+                let u: f64 = rng.gen();
+                let v = ((-u.ln() / skew) as usize + carry % 3) % n;
+                rec.push(v);
+                carry = carry.wrapping_add(v);
+            }
+            rec
+        })
+        .collect()
+}
+
+/// Synthetic CPH person records: (Sex, Hispanic, Race, Relationship, Age).
+pub fn cph_records(count: usize, rng: &mut impl Rng) -> Vec<Vec<usize>> {
+    let d = hdmm_workload::census::cph_domain();
+    (0..count)
+        .map(|_| {
+            let sex = rng.gen_range(0..2);
+            let hispanic = usize::from(rng.gen::<f64>() < 0.18);
+            // Race: mostly single-race (one bit set), sometimes multi-racial.
+            let race = if rng.gen::<f64>() < 0.97 {
+                1usize << rng.gen_range(0..6)
+            } else {
+                (1usize << rng.gen_range(0..6)) | (1usize << rng.gen_range(0..6))
+            };
+            let rel = (rng.gen::<f64>().powi(2) * 17.0) as usize % 17;
+            // Age: roughly trapezoidal population pyramid.
+            let age = ((rng.gen::<f64>() + rng.gen::<f64>()) / 2.0 * 115.0) as usize % 115;
+            debug_assert!(race < d.attr_size(2));
+            vec![sex, hispanic, race, rel, age]
+        })
+        .collect()
+}
+
+/// Synthetic Adult records.
+pub fn adult_records(count: usize, rng: &mut impl Rng) -> Vec<Vec<usize>> {
+    records(&adult_domain(), count, 0.35, rng)
+}
+
+/// Synthetic CPS records.
+pub fn cps_records(count: usize, rng: &mut impl Rng) -> Vec<Vec<usize>> {
+    records(&cps_domain(), count, 0.25, rng)
+}
+
+/// Builds a data vector from records.
+pub fn data_vector(domain: &Domain, records: &[Vec<usize>]) -> Vec<f64> {
+    let mut x = vec![0.0; domain.size()];
+    for r in records {
+        x[domain.flatten(r)] += 1.0;
+    }
+    x
+}
+
+/// The five 1D shapes of the Appendix B.3 DAWA study (Hepth, Medcost,
+/// Nettrace, Patent, Searchlogs stand-ins), at domain size `n` scaled to
+/// `total` records.
+pub fn dawa_shapes(n: usize, total: usize, rng: &mut impl Rng) -> Vec<(&'static str, Vec<f64>)> {
+    let mut out = Vec::new();
+
+    // Hepth-like: smooth unimodal bulk.
+    let mut hepth = vec![0.0; n];
+    for _ in 0..total {
+        let v = ((rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>()) / 3.0 * n as f64) as usize;
+        hepth[v.min(n - 1)] += 1.0;
+    }
+    out.push(("hepth", hepth));
+
+    // Medcost-like: bimodal with a spike near zero.
+    let mut medcost = vec![0.0; n];
+    for _ in 0..total {
+        let v = if rng.gen::<f64>() < 0.6 {
+            (rng.gen::<f64>() * n as f64 * 0.08) as usize
+        } else {
+            let center = n as f64 / 2.0 + Normal.sample(rng) * n as f64 / 10.0;
+            center.clamp(0.0, (n - 1) as f64) as usize
+        };
+        medcost[v.min(n - 1)] += 1.0;
+    }
+    out.push(("medcost", medcost));
+
+    // Nettrace-like: sparse with a few hot cells.
+    let mut nettrace = vec![0.0; n];
+    let hot: Vec<usize> = (0..12).map(|_| rng.gen_range(0..n)).collect();
+    for _ in 0..total {
+        let v = if rng.gen::<f64>() < 0.8 {
+            hot[rng.gen_range(0..hot.len())]
+        } else {
+            rng.gen_range(0..n)
+        };
+        nettrace[v] += 1.0;
+    }
+    out.push(("nettrace", nettrace));
+
+    // Patent-like: power law.
+    out.push(("patent", patent_1d(n, total, rng)));
+
+    // Searchlogs-like: piecewise-uniform plateaus.
+    let mut search = vec![0.0; n];
+    let plateaus = 6;
+    let weights: Vec<f64> = (0..plateaus).map(|_| rng.gen::<f64>()).collect();
+    let wsum: f64 = weights.iter().sum();
+    for (p, &w) in weights.iter().enumerate() {
+        let count = (w / wsum * total as f64) as usize;
+        let lo = p * n / plateaus;
+        let hi = (p + 1) * n / plateaus;
+        for _ in 0..count {
+            search[rng.gen_range(lo..hi)] += 1.0;
+        }
+    }
+    out.push(("searchlogs", search));
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn patent_is_head_heavy() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = patent_1d(1024, 100_000, &mut rng);
+        let head: f64 = x[..64].iter().sum();
+        let tail: f64 = x[512..].iter().sum();
+        assert!(head > 10.0 * tail.max(1.0));
+        assert_eq!(x.iter().sum::<f64>() as usize, 100_000);
+    }
+
+    #[test]
+    fn taxi_totals_and_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = taxi_2d(64, 10_000, &mut rng);
+        assert_eq!(x.len(), 64 * 64);
+        assert_eq!(x.iter().sum::<f64>() as usize, 10_000);
+        // Clustered: the max cell should far exceed the mean.
+        let max = x.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 20.0 * (10_000.0 / (64.0 * 64.0)));
+    }
+
+    #[test]
+    fn cph_records_fit_domain() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = hdmm_workload::census::cph_domain();
+        for r in cph_records(500, &mut rng) {
+            assert_eq!(r.len(), d.dims());
+            for (v, &n) in r.iter().zip(d.sizes()) {
+                assert!(*v < n);
+            }
+        }
+    }
+
+    #[test]
+    fn data_vector_roundtrip() {
+        let d = Domain::new(&[3, 4]);
+        let recs = vec![vec![0, 0], vec![2, 3], vec![2, 3]];
+        let x = data_vector(&d, &recs);
+        assert_eq!(x.iter().sum::<f64>(), 3.0);
+        assert_eq!(x[d.flatten(&[2, 3])], 2.0);
+    }
+
+    #[test]
+    fn dawa_shapes_have_five_datasets() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let shapes = dawa_shapes(256, 1000, &mut rng);
+        assert_eq!(shapes.len(), 5);
+        for (name, x) in &shapes {
+            assert_eq!(x.len(), 256, "{name}");
+            assert!(x.iter().sum::<f64>() > 0.0, "{name}");
+        }
+    }
+
+    #[test]
+    fn adult_and_cps_fit_domains() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for r in adult_records(200, &mut rng) {
+            for (v, &n) in r.iter().zip(adult_domain().sizes()) {
+                assert!(*v < n);
+            }
+        }
+        for r in cps_records(200, &mut rng) {
+            for (v, &n) in r.iter().zip(cps_domain().sizes()) {
+                assert!(*v < n);
+            }
+        }
+    }
+}

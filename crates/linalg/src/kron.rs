@@ -1,0 +1,256 @@
+//! Kronecker-product utilities.
+//!
+//! Implements the explicit product (Definition 8) for tests and small cases,
+//! and the implicit Kronecker matrix–vector product of Appendix A.5
+//! (Algorithm 1, `kmatvec`) used by MEASURE and RECONSTRUCT so the full
+//! `Π mᵢ × Π nᵢ` matrix is never materialized.
+
+use crate::Matrix;
+
+/// Explicit Kronecker product `A ⊗ B` (Definition 8).
+pub fn kron(a: &Matrix, b: &Matrix) -> Matrix {
+    let (am, an) = a.shape();
+    let (bm, bn) = b.shape();
+    let mut out = Matrix::zeros(am * bm, an * bn);
+    for ar in 0..am {
+        for ac in 0..an {
+            let av = a[(ar, ac)];
+            if av == 0.0 {
+                continue;
+            }
+            for br in 0..bm {
+                let b_row = b.row(br);
+                let out_row = out.row_mut(ar * bm + br);
+                for (bc, &bv) in b_row.iter().enumerate() {
+                    out_row[ac * bn + bc] += av * bv;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Explicit Kronecker product of a list of factors, left to right.
+///
+/// # Panics
+/// Panics if `factors` is empty.
+pub fn kron_all(factors: &[&Matrix]) -> Matrix {
+    assert!(!factors.is_empty(), "kron_all requires at least one factor");
+    let mut acc = factors[0].clone();
+    for f in &factors[1..] {
+        acc = kron(&acc, f);
+    }
+    acc
+}
+
+/// Kronecker product of two vectors (treated as single-row matrices).
+pub fn kron_vec(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for &av in a {
+        for &bv in b {
+            out.push(av * bv);
+        }
+    }
+    out
+}
+
+/// Implicit Kronecker matrix–vector product `(A₁ ⊗ … ⊗ A_d)·x`
+/// (Algorithm 1 of the paper's appendix).
+///
+/// `x` has length `Π nᵢ` with the first factor's index varying slowest
+/// (row-major tensor flattening); the result has length `Π mᵢ`.
+///
+/// Space is O(max intermediate) and time O(Σᵢ mᵢ·nᵢ·rest), versus O(Π mᵢnᵢ)
+/// for the materialized product.
+pub fn kmatvec(factors: &[&Matrix], x: &[f64]) -> Vec<f64> {
+    let expected: usize = factors.iter().map(|f| f.cols()).product();
+    assert_eq!(x.len(), expected, "kmatvec input length mismatch");
+    let mut cur = x.to_vec();
+    // `right` = product of output dimensions of already-applied factors
+    // (factors are applied last-to-first, i.e. fastest index first).
+    let mut right = 1usize;
+    for k in (0..factors.len()).rev() {
+        let a = factors[k];
+        let (m, n) = a.shape();
+        let left = cur.len() / (n * right);
+        let mut next = vec![0.0; left * m * right];
+        apply_mode(a, &cur, &mut next, left, m, n, right);
+        cur = next;
+        right *= m;
+    }
+    cur
+}
+
+/// Implicit transposed Kronecker matrix–vector product `(A₁ ⊗ … ⊗ A_d)ᵀ·y`.
+pub fn kmatvec_transpose(factors: &[&Matrix], y: &[f64]) -> Vec<f64> {
+    let expected: usize = factors.iter().map(|f| f.rows()).product();
+    assert_eq!(y.len(), expected, "kmatvec_transpose input length mismatch");
+    let mut cur = y.to_vec();
+    let mut right = 1usize;
+    for k in (0..factors.len()).rev() {
+        let a = factors[k];
+        let (m, n) = a.shape(); // we apply Aᵀ: maps length-m mode to length-n mode
+        let left = cur.len() / (m * right);
+        let mut next = vec![0.0; left * n * right];
+        apply_mode_transpose(a, &cur, &mut next, left, m, n, right);
+        cur = next;
+        right *= n;
+    }
+    cur
+}
+
+/// Contracts factor `a` (m×n) along the middle mode of a (left, n, right)
+/// tensor: `next[l, r_out, r] = Σ_c a[r_out, c] · cur[l, c, r]`.
+fn apply_mode(a: &Matrix, cur: &[f64], next: &mut [f64], left: usize, m: usize, n: usize, right: usize) {
+    for l in 0..left {
+        let cur_base = l * n * right;
+        let next_base = l * m * right;
+        for r_out in 0..m {
+            let a_row = a.row(r_out);
+            let dst = &mut next[next_base + r_out * right..next_base + (r_out + 1) * right];
+            for (c, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let src = &cur[cur_base + c * right..cur_base + (c + 1) * right];
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d += av * s;
+                }
+            }
+        }
+    }
+}
+
+/// Same contraction with `aᵀ`: `next[l, c, r] = Σ_{r_in} a[r_in, c] · cur[l, r_in, r]`.
+fn apply_mode_transpose(
+    a: &Matrix,
+    cur: &[f64],
+    next: &mut [f64],
+    left: usize,
+    m: usize,
+    n: usize,
+    right: usize,
+) {
+    for l in 0..left {
+        let cur_base = l * m * right;
+        let next_base = l * n * right;
+        for r_in in 0..m {
+            let a_row = a.row(r_in);
+            let src = &cur[cur_base + r_in * right..cur_base + (r_in + 1) * right];
+            for (c, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let dst = &mut next[next_base + c * right..next_base + (c + 1) * right];
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d += av * s;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let h = (r as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(c as u64)
+                .wrapping_mul(seed | 1);
+            ((h >> 33) % 7) as f64 - 3.0
+        })
+    }
+
+    #[test]
+    fn kron_known_2x2() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[0.0, 3.0]]);
+        let k = kron(&a, &b);
+        assert_eq!(k.row(0), &[0.0, 3.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    fn kron_dimensions() {
+        let a = mat(2, 3, 1);
+        let b = mat(4, 5, 2);
+        assert_eq!(kron(&a, &b).shape(), (8, 15));
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A⊗B)(C⊗D) = AC ⊗ BD
+        let a = mat(2, 3, 1);
+        let b = mat(3, 2, 2);
+        let c = mat(3, 2, 3);
+        let d = mat(2, 4, 4);
+        let lhs = kron(&a, &b).matmul(&kron(&c, &d));
+        let rhs = kron(&a.matmul(&c), &b.matmul(&d));
+        assert!(lhs.approx_eq(&rhs, 1e-10));
+    }
+
+    #[test]
+    fn kmatvec_matches_explicit_two_factors() {
+        let a = mat(2, 3, 5);
+        let b = mat(4, 2, 6);
+        let x: Vec<f64> = (0..6).map(|i| i as f64 * 0.5 - 1.0).collect();
+        let explicit = kron(&a, &b).matvec(&x);
+        let implicit = kmatvec(&[&a, &b], &x);
+        for (l, r) in explicit.iter().zip(&implicit) {
+            assert!((l - r).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn kmatvec_matches_explicit_three_factors() {
+        let a = mat(2, 2, 7);
+        let b = mat(3, 4, 8);
+        let c = mat(2, 3, 9);
+        let n = 2 * 4 * 3;
+        let x: Vec<f64> = (0..n).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+        let explicit = kron_all(&[&a, &b, &c]).matvec(&x);
+        let implicit = kmatvec(&[&a, &b, &c], &x);
+        for (l, r) in explicit.iter().zip(&implicit) {
+            assert!((l - r).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn kmatvec_single_factor_is_matvec() {
+        let a = mat(4, 6, 11);
+        let x: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        assert_eq!(kmatvec(&[&a], &x), a.matvec(&x));
+    }
+
+    #[test]
+    fn kmatvec_transpose_matches_explicit() {
+        let a = mat(2, 3, 12);
+        let b = mat(4, 2, 13);
+        let y: Vec<f64> = (0..8).map(|i| (i as f64).cos()).collect();
+        let explicit = kron(&a, &b).t_matvec(&y);
+        let implicit = kmatvec_transpose(&[&a, &b], &y);
+        for (l, r) in explicit.iter().zip(&implicit) {
+            assert!((l - r).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn kron_vec_matches_matrix_kron() {
+        let a = [1.0, -2.0, 0.5];
+        let b = [3.0, 4.0];
+        let va = Matrix::from_vec(1, 3, a.to_vec());
+        let vb = Matrix::from_vec(1, 2, b.to_vec());
+        assert_eq!(kron_vec(&a, &b), kron(&va, &vb).into_vec());
+    }
+
+    #[test]
+    fn kron_sensitivity_is_product_of_sensitivities() {
+        // Theorem 3: ‖A₁⊗A₂‖₁ = ‖A₁‖₁·‖A₂‖₁ (non-negative matrices attain it).
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 1.0, 0.0], &[0.0, 1.0, 1.0]]);
+        let k = kron(&a, &b);
+        assert!((k.norm_l1_operator() - a.norm_l1_operator() * b.norm_l1_operator()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,63 @@
+//! Dense linear algebra substrate for the HDMM reproduction.
+//!
+//! The paper's Python implementation leans on numpy/scipy; this crate provides
+//! the equivalents built from scratch: a row-major dense [`Matrix`], Cholesky
+//! and LU factorizations, a cyclic Jacobi symmetric eigendecomposition,
+//! Moore–Penrose pseudo-inverses, the LSMR iterative least-squares solver on a
+//! matrix-free [`LinOp`], and Kronecker-product utilities (explicit products
+//! and the implicit `kmatvec` of Appendix A.5).
+//!
+//! Everything is `f64`. The matrices involved in HDMM strategy selection are
+//! per-attribute blocks (n ≤ a few thousand), so a straightforward, well-tested
+//! dense implementation with cache-aware loop ordering is the right tool.
+
+mod cholesky;
+mod eigen;
+mod kron;
+mod linop;
+mod lsmr;
+mod lu;
+mod matrix;
+mod pinv;
+
+pub use cholesky::Cholesky;
+pub use eigen::SymEigen;
+pub use kron::{kmatvec, kmatvec_transpose, kron, kron_all, kron_vec};
+pub use linop::{DenseOp, KronOp, LinOp, ScaledOp, StackedOp};
+pub use lsmr::{lsmr, LsmrOptions, LsmrResult};
+pub use lu::Lu;
+pub use matrix::Matrix;
+pub use pinv::{pinv, pinv_psd};
+
+/// Errors produced by factorizations and solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Matrix was expected to be square.
+    NotSquare { rows: usize, cols: usize },
+    /// Dimension mismatch between operands.
+    DimensionMismatch(String),
+    /// Matrix is singular (or not positive definite for Cholesky).
+    Singular,
+    /// An iterative method failed to converge.
+    NoConvergence { iterations: usize },
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix is not square: {rows}x{cols}")
+            }
+            LinalgError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            LinalgError::Singular => write!(f, "matrix is singular or not positive definite"),
+            LinalgError::NoConvergence { iterations } => {
+                write!(f, "no convergence after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,197 @@
+//! Matrix-free linear operators.
+//!
+//! LSMR-based reconstruction for union-of-product strategies (§7.2) only needs
+//! products with `A` and `Aᵀ`; this trait lets strategies stay implicit.
+
+use crate::kron::{kmatvec, kmatvec_transpose};
+use crate::Matrix;
+
+/// A linear operator exposing forward and adjoint matrix–vector products.
+pub trait LinOp {
+    /// Output dimension (number of rows).
+    fn rows(&self) -> usize;
+    /// Input dimension (number of columns).
+    fn cols(&self) -> usize;
+    /// `A·x`.
+    fn matvec(&self, x: &[f64]) -> Vec<f64>;
+    /// `Aᵀ·y`.
+    fn rmatvec(&self, y: &[f64]) -> Vec<f64>;
+}
+
+/// A dense matrix as a [`LinOp`].
+pub struct DenseOp<'a>(pub &'a Matrix);
+
+impl LinOp for DenseOp<'_> {
+    fn rows(&self) -> usize {
+        self.0.rows()
+    }
+    fn cols(&self) -> usize {
+        self.0.cols()
+    }
+    fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        self.0.matvec(x)
+    }
+    fn rmatvec(&self, y: &[f64]) -> Vec<f64> {
+        self.0.t_matvec(y)
+    }
+}
+
+/// An implicit Kronecker product `A₁ ⊗ … ⊗ A_d` as a [`LinOp`].
+pub struct KronOp {
+    factors: Vec<Matrix>,
+}
+
+impl KronOp {
+    /// Builds the operator from its factors.
+    ///
+    /// # Panics
+    /// Panics if `factors` is empty.
+    pub fn new(factors: Vec<Matrix>) -> Self {
+        assert!(!factors.is_empty(), "KronOp requires at least one factor");
+        KronOp { factors }
+    }
+
+    /// Borrows the factors.
+    pub fn factors(&self) -> &[Matrix] {
+        &self.factors
+    }
+}
+
+impl LinOp for KronOp {
+    fn rows(&self) -> usize {
+        self.factors.iter().map(Matrix::rows).product()
+    }
+    fn cols(&self) -> usize {
+        self.factors.iter().map(Matrix::cols).product()
+    }
+    fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let refs: Vec<&Matrix> = self.factors.iter().collect();
+        kmatvec(&refs, x)
+    }
+    fn rmatvec(&self, y: &[f64]) -> Vec<f64> {
+        let refs: Vec<&Matrix> = self.factors.iter().collect();
+        kmatvec_transpose(&refs, y)
+    }
+}
+
+/// `alpha · A` as a [`LinOp`].
+pub struct ScaledOp<T: LinOp> {
+    /// Scale factor.
+    pub alpha: f64,
+    /// Inner operator.
+    pub inner: T,
+}
+
+impl<T: LinOp> LinOp for ScaledOp<T> {
+    fn rows(&self) -> usize {
+        self.inner.rows()
+    }
+    fn cols(&self) -> usize {
+        self.inner.cols()
+    }
+    fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut v = self.inner.matvec(x);
+        for e in &mut v {
+            *e *= self.alpha;
+        }
+        v
+    }
+    fn rmatvec(&self, y: &[f64]) -> Vec<f64> {
+        let mut v = self.inner.rmatvec(y);
+        for e in &mut v {
+            *e *= self.alpha;
+        }
+        v
+    }
+}
+
+/// Vertical stack `[A₁; A₂; …]` of operators sharing a column dimension.
+pub struct StackedOp<'a> {
+    blocks: Vec<Box<dyn LinOp + 'a>>,
+    cols: usize,
+}
+
+impl<'a> StackedOp<'a> {
+    /// Builds a stack; all blocks must agree on column count.
+    ///
+    /// # Panics
+    /// Panics if `blocks` is empty or column counts differ.
+    pub fn new(blocks: Vec<Box<dyn LinOp + 'a>>) -> Self {
+        assert!(!blocks.is_empty(), "StackedOp requires at least one block");
+        let cols = blocks[0].cols();
+        for b in &blocks {
+            assert_eq!(b.cols(), cols, "StackedOp blocks must share column count");
+        }
+        StackedOp { blocks, cols }
+    }
+}
+
+impl LinOp for StackedOp<'_> {
+    fn rows(&self) -> usize {
+        self.blocks.iter().map(|b| b.rows()).sum()
+    }
+    fn cols(&self) -> usize {
+        self.cols
+    }
+    fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.rows());
+        for b in &self.blocks {
+            out.extend(b.matvec(x));
+        }
+        out
+    }
+    fn rmatvec(&self, y: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        let mut offset = 0;
+        for b in &self.blocks {
+            let m = b.rows();
+            let part = b.rmatvec(&y[offset..offset + m]);
+            for (o, p) in out.iter_mut().zip(&part) {
+                *o += p;
+            }
+            offset += m;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kron::kron;
+
+    #[test]
+    fn kron_op_matches_explicit() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.0, 1.0]]);
+        let op = KronOp::new(vec![a.clone(), b.clone()]);
+        let explicit = kron(&a, &b);
+        assert_eq!(op.rows(), explicit.rows());
+        assert_eq!(op.cols(), explicit.cols());
+        let x: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        assert_eq!(op.matvec(&x), explicit.matvec(&x));
+        let y = vec![1.0, -1.0];
+        assert_eq!(op.rmatvec(&y), explicit.t_matvec(&y));
+    }
+
+    #[test]
+    fn stacked_op_matches_vstack() {
+        let a = Matrix::identity(3);
+        let b = Matrix::ones(2, 3);
+        let stacked = StackedOp::new(vec![Box::new(DenseOp(&a)) as Box<dyn LinOp>, Box::new(DenseOp(&b))]);
+        // Use owned matrices to avoid borrow issues in the explicit path.
+        let explicit = Matrix::vstack(&[&a, &b]).unwrap();
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(stacked.matvec(&x), explicit.matvec(&x));
+        let y = vec![1.0, 0.0, -1.0, 2.0, 2.0];
+        assert_eq!(stacked.rmatvec(&y), explicit.t_matvec(&y));
+    }
+
+    #[test]
+    fn scaled_op_scales_both_directions() {
+        let a = Matrix::identity(2);
+        let op = ScaledOp { alpha: 3.0, inner: DenseOp(&a) };
+        assert_eq!(op.matvec(&[1.0, 2.0]), vec![3.0, 6.0]);
+        assert_eq!(op.rmatvec(&[1.0, 1.0]), vec![3.0, 3.0]);
+    }
+}

@@ -1,0 +1,549 @@
+//! Row-major dense matrix with the operations HDMM needs.
+
+use crate::{LinalgError, Result};
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major `f64` matrix.
+///
+/// Row-major storage keeps the hot loops (`matmul`, `gram`, row iteration over
+/// query matrices) sequential in memory.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_show = 8;
+        for r in 0..self.rows.min(max_show) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(max_show) {
+                write!(f, "{:9.4}", self[(r, c)])?;
+                if c + 1 < self.cols.min(max_show) {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > max_show {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > max_show {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    /// Creates a matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates an all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::filled(rows, cols, 0.0)
+    }
+
+    /// Creates an all-ones matrix.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::filled(rows, cols, 1.0)
+    }
+
+    /// Creates the `n×n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a diagonal matrix from `diag`.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for each entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix from a row-major flat vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "flat data length must be rows*cols");
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix from nested row slices.
+    ///
+    /// # Panics
+    /// Panics if rows are ragged or empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have equal length");
+            data.extend_from_slice(r);
+        }
+        Matrix { rows: rows.len(), cols, data }
+    }
+
+    /// Stacks matrices vertically. All blocks must share a column count.
+    pub fn vstack(blocks: &[&Matrix]) -> Result<Self> {
+        let cols = blocks
+            .first()
+            .map(|b| b.cols)
+            .ok_or_else(|| LinalgError::DimensionMismatch("vstack of zero blocks".into()))?;
+        let mut data = Vec::new();
+        let mut rows = 0;
+        for b in blocks {
+            if b.cols != cols {
+                return Err(LinalgError::DimensionMismatch(format!(
+                    "vstack column mismatch: {} vs {}",
+                    b.cols, cols
+                )));
+            }
+            rows += b.rows;
+            data.extend_from_slice(&b.data);
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// True when the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its flat data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for (c, &v) in row.iter().enumerate() {
+                out[(c, r)] = v;
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// Uses the i-k-j loop order so the innermost loop streams rows of both
+    /// the output and `other` (row-major friendly).
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul inner dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (j, &bkj) in b_row.iter().enumerate() {
+                    out_row[j] += aik * bkj;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ * other` without materializing the transpose.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "t_matmul dimension mismatch: {}x{} vs {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = other.row(k);
+            for (i, &aki) in a_row.iter().enumerate() {
+                if aki == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (j, &bkj) in b_row.iter().enumerate() {
+                    out_row[j] += aki * bkj;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * otherᵀ`.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_t dimension mismatch: {}x{} vs {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut acc = 0.0;
+                for (a, b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    /// Gram matrix `selfᵀ * self`, exploiting symmetry.
+    pub fn gram(&self) -> Matrix {
+        let n = self.cols;
+        let mut out = Matrix::zeros(n, n);
+        for k in 0..self.rows {
+            let row = self.row(k);
+            for (i, &vi) in row.iter().enumerate() {
+                if vi == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (j, &vj) in row.iter().enumerate().skip(i) {
+                    out_row[j] += vi * vj;
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                out.data[j * n + i] = out.data[i * n + j];
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self * x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for (r, out) in y.iter_mut().enumerate() {
+            let row = self.row(r);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            *out = acc;
+        }
+        y
+    }
+
+    /// Transposed matrix–vector product `selfᵀ * x`.
+    pub fn t_matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "t_matvec dimension mismatch");
+        let mut y = vec![0.0; self.cols];
+        for (r, &xr) in x.iter().enumerate() {
+            if xr == 0.0 {
+                continue;
+            }
+            let row = self.row(r);
+            for (yi, &a) in y.iter_mut().zip(row) {
+                *yi += a * xr;
+            }
+        }
+        y
+    }
+
+    /// Elementwise sum `self + other`.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "add shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Elementwise difference `self - other`.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "sub shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Scaled copy `alpha * self`.
+    pub fn scaled(&self, alpha: f64) -> Matrix {
+        let data = self.data.iter().map(|v| v * alpha).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Scales in place.
+    pub fn scale_mut(&mut self, alpha: f64) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Scales column `c` by `alpha` in place.
+    pub fn scale_col(&mut self, c: usize, alpha: f64) {
+        for r in 0..self.rows {
+            self.data[r * self.cols + c] *= alpha;
+        }
+    }
+
+    /// Scales row `r` by `alpha` in place.
+    pub fn scale_row(&mut self, r: usize, alpha: f64) {
+        for v in self.row_mut(r) {
+            *v *= alpha;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Squared Frobenius norm.
+    pub fn frobenius_norm_sq(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>()
+    }
+
+    /// Per-column sums of absolute values.
+    pub fn abs_col_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (s, &v) in sums.iter_mut().zip(self.row(r)) {
+                *s += v.abs();
+            }
+        }
+        sums
+    }
+
+    /// Maximum absolute column sum: the matrix 1-norm, i.e. the L1 sensitivity
+    /// of the query set (Definition 6 of the paper).
+    pub fn norm_l1_operator(&self) -> f64 {
+        self.abs_col_sums().into_iter().fold(0.0, f64::max)
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Trace of a square matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> f64 {
+        assert!(self.is_square(), "trace requires a square matrix");
+        (0..self.rows).map(|i| self.data[i * self.cols + i]).sum()
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+    }
+
+    /// True when all pairwise entries differ by at most `tol`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self.data.iter().zip(&other.data).all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// `tr(self * other)` for square-compatible matrices, computed without
+    /// forming the product: `Σ_ij self[i,j] * other[j,i]`.
+    pub fn trace_product(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.cols, other.rows, "trace_product inner mismatch");
+        assert_eq!(self.rows, other.cols, "trace_product outer mismatch");
+        let mut acc = 0.0;
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for (j, &v) in row.iter().enumerate() {
+                acc += v * other[(j, i)];
+            }
+        }
+        acc
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let i = Matrix::identity(2);
+        assert!(a.matmul(&i).approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        let expect = Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]);
+        assert!(c.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f64);
+        let b = Matrix::from_fn(4, 5, |r, c| (r + c) as f64 * 0.5);
+        let direct = a.transpose().matmul(&b);
+        assert!(a.t_matmul(&b).approx_eq(&direct, 1e-12));
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let a = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f64);
+        let b = Matrix::from_fn(5, 4, |r, c| (r + 2 * c) as f64);
+        let direct = a.matmul(&b.transpose());
+        assert!(a.matmul_t(&b).approx_eq(&direct, 1e-12));
+    }
+
+    #[test]
+    fn gram_matches_t_matmul_self() {
+        let a = Matrix::from_fn(5, 3, |r, c| ((r * c) as f64).sin());
+        assert!(a.gram().approx_eq(&a.t_matmul(&a), 1e-12));
+    }
+
+    #[test]
+    fn matvec_and_t_matvec() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 3.0, -1.0]]);
+        assert_eq!(a.matvec(&[1.0, 1.0, 1.0]), vec![3.0, 2.0]);
+        assert_eq!(a.t_matvec(&[1.0, 2.0]), vec![1.0, 6.0, 0.0]);
+    }
+
+    #[test]
+    fn l1_operator_norm_is_max_abs_col_sum() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[-3.0, 1.0]]);
+        assert_eq!(a.norm_l1_operator(), 4.0);
+    }
+
+    #[test]
+    fn vstack_concatenates_rows() {
+        let a = Matrix::identity(2);
+        let b = Matrix::ones(1, 2);
+        let s = Matrix::vstack(&[&a, &b]).unwrap();
+        assert_eq!(s.shape(), (3, 2));
+        assert_eq!(s.row(2), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn vstack_rejects_mismatched_cols() {
+        let a = Matrix::identity(2);
+        let b = Matrix::ones(1, 3);
+        assert!(Matrix::vstack(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn trace_product_matches_materialized() {
+        let a = Matrix::from_fn(3, 4, |r, c| (r + c) as f64);
+        let b = Matrix::from_fn(4, 3, |r, c| (r as f64 - c as f64) * 0.5);
+        let direct = a.matmul(&b).trace();
+        assert!((a.trace_product(&b) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(4, 7, |r, c| (r * 7 + c) as f64);
+        assert!(a.transpose().transpose().approx_eq(&a, 0.0));
+    }
+}

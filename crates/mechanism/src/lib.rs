@@ -1,0 +1,28 @@
+//! Strategies, measurement, reconstruction, and error accounting for HDMM.
+//!
+//! This crate implements the MEASURE and RECONSTRUCT phases of Table 1(b) of
+//! the paper, plus the closed-form expected-error arithmetic (Definition 7)
+//! that both strategy selection and the evaluation harness rely on:
+//!
+//! * [`Strategy`] — implicit strategy representations (explicit blocks,
+//!   Kronecker products, unions of products, weighted marginals) with
+//!   sensitivity per Theorem 3;
+//! * [`marginals`] — the `C(a)/G(v)/X(u)` subset algebra of §6.3 and
+//!   Appendix A.4, including the linear-system pseudo-inverse;
+//! * [`error`] — `‖WA⁺‖²_F` for every strategy form, decomposed per
+//!   Theorems 5/6 so only per-attribute blocks are touched;
+//! * [`laplace`] — the vector-form Laplace mechanism (Definition 6);
+//! * [`run_mechanism`] — the end-to-end ε-differentially-private pipeline
+//!   `measure → reconstruct → answer`.
+
+pub mod error;
+pub mod laplace;
+pub mod marginals;
+mod mechanism;
+mod strategy;
+
+pub use marginals::{MarginalsAlgebra, MarginalsStrategy};
+pub use mechanism::{
+    answer_workload, measure, reconstruct, run_mechanism, MechanismResult, Measurements,
+};
+pub use strategy::{Strategy, UnionGroup};

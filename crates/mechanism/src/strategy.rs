@@ -1,0 +1,161 @@
+//! Implicit strategy representations (the SELECT outputs of §6–7).
+
+use crate::MarginalsStrategy;
+use hdmm_linalg::Matrix;
+use hdmm_workload::Domain;
+
+/// One group of a union-of-products strategy (the `OPT_+` output, Def. 11).
+#[derive(Debug, Clone)]
+pub struct UnionGroup {
+    /// Fraction of the privacy budget spent on this group (shares sum to 1).
+    pub share: f64,
+    /// Kronecker factors of this group's product strategy (sensitivity 1 each).
+    pub factors: Vec<Matrix>,
+    /// Indices of the workload terms this group is responsible for answering.
+    pub term_indices: Vec<usize>,
+}
+
+/// A measurement strategy in implicit form.
+#[derive(Debug, Clone)]
+pub enum Strategy {
+    /// A single explicit query matrix (1D / small domains).
+    Explicit(Matrix),
+    /// A Kronecker product `A₁ ⊗ … ⊗ A_d` (the `OPT_⊗` output).
+    Kron(Vec<Matrix>),
+    /// A union of product strategies with a budget split (the `OPT_+` output).
+    Union(Vec<UnionGroup>),
+    /// Weighted marginals `M(θ)` (the `OPT_M` output).
+    Marginals(MarginalsStrategy),
+}
+
+impl Strategy {
+    /// The L1 sensitivity of the strategy queries.
+    ///
+    /// * explicit: max absolute column sum;
+    /// * Kronecker: product of factor sensitivities (Theorem 3);
+    /// * marginals: `Σθ_a`;
+    /// * union: the per-group strategies are measured with split budgets, so
+    ///   the effective sensitivity is `max_g ‖A_g‖₁` (each group is expected
+    ///   to be normalized to 1 and the split handled by `share`).
+    pub fn sensitivity(&self) -> f64 {
+        match self {
+            Strategy::Explicit(a) => a.norm_l1_operator(),
+            Strategy::Kron(factors) => factors.iter().map(Matrix::norm_l1_operator).product(),
+            Strategy::Marginals(m) => m.sensitivity(),
+            Strategy::Union(groups) => groups
+                .iter()
+                .map(|g| g.factors.iter().map(Matrix::norm_l1_operator).product::<f64>())
+                .fold(0.0, f64::max),
+        }
+    }
+
+    /// Rescales the strategy to sensitivity 1 (error-optimal strategies have
+    /// equal unit column norms, §5.1 footnote).
+    pub fn normalized(self) -> Strategy {
+        match self {
+            Strategy::Explicit(a) => {
+                let s = a.norm_l1_operator();
+                Strategy::Explicit(a.scaled(1.0 / s))
+            }
+            Strategy::Kron(factors) => Strategy::Kron(
+                factors
+                    .into_iter()
+                    .map(|f| {
+                        let s = f.norm_l1_operator();
+                        f.scaled(1.0 / s)
+                    })
+                    .collect(),
+            ),
+            Strategy::Union(groups) => Strategy::Union(
+                groups
+                    .into_iter()
+                    .map(|mut g| {
+                        for f in &mut g.factors {
+                            let s = f.norm_l1_operator();
+                            *f = f.scaled(1.0 / s);
+                        }
+                        g
+                    })
+                    .collect(),
+            ),
+            Strategy::Marginals(m) => {
+                let s = m.sensitivity();
+                let theta = m.theta.iter().map(|t| t / s).collect();
+                Strategy::Marginals(MarginalsStrategy::new(m.domain, theta))
+            }
+        }
+    }
+
+    /// Number of strategy queries (rows) measured.
+    pub fn query_count(&self) -> usize {
+        match self {
+            Strategy::Explicit(a) => a.rows(),
+            Strategy::Kron(factors) => factors.iter().map(Matrix::rows).product(),
+            Strategy::Union(groups) => groups
+                .iter()
+                .map(|g| g.factors.iter().map(Matrix::rows).product::<usize>())
+                .sum(),
+            Strategy::Marginals(m) => {
+                let d = m.domain.dims();
+                (0..1usize << d)
+                    .filter(|&a| m.theta[a] > 0.0)
+                    .map(|a| m.domain.sizes().iter().enumerate()
+                        .map(|(i, &n)| if a >> i & 1 == 1 { n } else { 1 })
+                        .product::<usize>())
+                    .sum()
+            }
+        }
+    }
+
+    /// A human-readable strategy kind tag for reporting.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Strategy::Explicit(_) => "explicit",
+            Strategy::Kron(_) => "kron",
+            Strategy::Union(_) => "union",
+            Strategy::Marginals(_) => "marginals",
+        }
+    }
+
+    /// The Identity strategy over a domain — the universal fallback
+    /// (line 1 of Algorithm 2).
+    pub fn identity(domain: &Domain) -> Strategy {
+        Strategy::Kron(domain.sizes().iter().map(|&n| Matrix::identity(n)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kron_sensitivity_multiplies() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0]]); // ‖·‖₁ = 2
+        let b = Matrix::identity(3); // ‖·‖₁ = 1
+        let s = Strategy::Kron(vec![a, b]);
+        assert_eq!(s.sensitivity(), 2.0);
+    }
+
+    #[test]
+    fn normalization_gives_unit_sensitivity() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[2.0, 2.0]]);
+        let s = Strategy::Explicit(a).normalized();
+        assert!((s.sensitivity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_strategy_shape() {
+        let d = Domain::new(&[2, 3]);
+        let s = Strategy::identity(&d);
+        assert_eq!(s.query_count(), 6);
+        assert_eq!(s.sensitivity(), 1.0);
+    }
+
+    #[test]
+    fn marginals_query_count_skips_zero_weights() {
+        let d = Domain::new(&[2, 3]);
+        let m = MarginalsStrategy::new(d, vec![0.0, 0.5, 0.0, 0.5]);
+        // Only subsets {0b01} (I⊗T → 2 queries) and {0b11} (I⊗I → 6).
+        assert_eq!(Strategy::Marginals(m).query_count(), 2 + 6);
+    }
+}

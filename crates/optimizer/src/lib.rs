@@ -1,0 +1,27 @@
+//! Strategy-selection optimizers for HDMM (§5–6 of the paper).
+//!
+//! * [`lbfgs`] — projected L-BFGS with box constraints (the scipy `L-BFGS-B`
+//!   stand-in every routine below is built on);
+//! * [`opt0`] — `OPT_0`, gradient optimization over p-Identity strategies
+//!   with the O(pn²) Woodbury objective/gradient (§5.2, Theorem 4/8);
+//! * [`opt_kron`] — `OPT_⊗` for (unions of) Kronecker product workloads via
+//!   per-attribute decomposition and block coordinate descent (§6.1–6.2);
+//! * [`opt_plus`] — `OPT_+`, union-of-products strategies with optimal
+//!   budget shares (Definition 11);
+//! * [`opt_marginals`] — `OPT_M`, weighted-marginals strategies with the
+//!   O(4^d) subset-algebra objective (§6.3, Appendix A.4);
+//! * [`opt_hdmm`] — Algorithm 2: run all operators with restarts, keep the
+//!   best.
+
+pub mod lbfgs;
+pub mod opt0;
+pub mod opt_hdmm;
+pub mod opt_kron;
+pub mod opt_marginals;
+pub mod opt_plus;
+
+pub use opt0::{opt0, opt0_with, Opt0Options, Opt0Result, PIdentity};
+pub use opt_hdmm::{default_ps, opt_hdmm, opt_hdmm_grams, HdmmOptions, Selected};
+pub use opt_kron::{opt_kron, OptKronOptions, OptKronResult};
+pub use opt_marginals::{opt_marginals, MarginalsObjective, OptMarginalsResult};
+pub use opt_plus::{group_terms, opt_plus, OptPlusResult};

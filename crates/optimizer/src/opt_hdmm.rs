@@ -1,0 +1,206 @@
+//! `OPT_HDMM`: the fully automated strategy-selection driver (Algorithm 2,
+//! §7.1).
+//!
+//! Runs the operator set `{OPT_⊗, OPT_+(g(W)), OPT_M}` across random restarts
+//! and keeps the lowest-error strategy, seeded with the Identity strategy as
+//! the universal fallback. Strategy selection never touches the data and
+//! consumes no privacy budget.
+
+use crate::opt_kron::{opt_kron, OptKronOptions};
+use crate::opt_marginals::opt_marginals;
+use crate::opt_plus::{group_terms, opt_plus};
+use hdmm_mechanism::Strategy;
+use hdmm_workload::{blocks, Workload, WorkloadGrams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Options for `OPT_HDMM`.
+#[derive(Debug, Clone)]
+pub struct HdmmOptions {
+    /// Random restarts `S` (the paper uses 25 and notes far fewer suffice;
+    /// the default favors wall-clock time on a single core).
+    pub restarts: usize,
+    /// RNG seed for reproducible selection.
+    pub seed: u64,
+    /// Number of groups `l` the union-partitioning function `g` produces.
+    pub union_groups: usize,
+    /// Run `OPT_M` when `2 ≤ d ≤ marginals_max_dims`.
+    pub marginals_max_dims: usize,
+    /// Per-attribute p override (`None` → the §7.1 convention).
+    pub ps: Option<Vec<usize>>,
+}
+
+impl Default for HdmmOptions {
+    fn default() -> Self {
+        HdmmOptions {
+            restarts: 4,
+            seed: 0,
+            union_groups: 2,
+            marginals_max_dims: 14,
+            ps: None,
+        }
+    }
+}
+
+/// The selected strategy and its error.
+#[derive(Debug, Clone)]
+pub struct Selected {
+    /// Winning strategy (sensitivity-normalized).
+    pub strategy: Strategy,
+    /// Squared error coefficient: `Err = (2/ε²)·squared_error`.
+    pub squared_error: f64,
+    /// Which operator produced it (`identity`, `kron`, `plus`, `marginals`).
+    pub operator: &'static str,
+}
+
+/// The §7.1 parameter convention: `p = 1` for attributes whose predicate sets
+/// are contained in `Total ∪ Identity`, else `p = nᵢ/16`.
+pub fn default_ps(workload: &Workload) -> Vec<usize> {
+    let d = workload.domain().dims();
+    (0..d)
+        .map(|i| {
+            let simple = workload
+                .terms()
+                .iter()
+                .all(|t| blocks::is_total_or_identity(&t.factors[i]));
+            if simple {
+                1
+            } else {
+                (workload.domain().attr_size(i) / 16).max(1)
+            }
+        })
+        .collect()
+}
+
+/// Runs Algorithm 2 on a logical workload.
+pub fn opt_hdmm(workload: &Workload, opts: &HdmmOptions) -> Selected {
+    let grams = WorkloadGrams::from_workload(workload);
+    let ps = opts.ps.clone().unwrap_or_else(|| default_ps(workload));
+    opt_hdmm_grams(&grams, &ps, opts)
+}
+
+/// A candidate error is usable only when the numerics were sound.
+fn valid(e: f64) -> bool {
+    e.is_finite() && e > 0.0
+}
+
+/// Runs Algorithm 2 directly on workload Grams (large structured workloads
+/// where `W` itself is never materialized).
+pub fn opt_hdmm_grams(grams: &WorkloadGrams, ps: &[usize], opts: &HdmmOptions) -> Selected {
+    let d = grams.dims();
+    let k = grams.terms().len();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    // Line 1: best = (Identity, error_I).
+    let mut best = Selected {
+        strategy: Strategy::identity(grams.domain()),
+        squared_error: grams.frobenius_norm_sq(),
+        operator: "identity",
+    };
+
+    for _restart in 0..opts.restarts.max(1) {
+        // OPT_⊗ — always applicable.
+        let kron = opt_kron(grams, &OptKronOptions::new(ps.to_vec()), &mut rng);
+        if valid(kron.residual) && kron.residual < best.squared_error {
+            best = Selected {
+                strategy: Strategy::Kron(kron.factors()),
+                squared_error: kron.residual,
+                operator: "kron",
+            };
+        }
+
+        // OPT_+ — unions with more than one structural group.
+        if k >= 2 && d >= 2 {
+            let partition = group_terms(grams, opts.union_groups);
+            if partition.len() >= 2 {
+                let plus = opt_plus(grams, &partition, ps, &mut rng);
+                if valid(plus.squared_error) && plus.squared_error < best.squared_error {
+                    best = Selected {
+                        squared_error: plus.squared_error,
+                        strategy: plus.strategy,
+                        operator: "plus",
+                    };
+                }
+            }
+        }
+
+        // OPT_M — multi-dimensional domains with tractably many subsets.
+        if d >= 2 && d <= opts.marginals_max_dims {
+            let m = opt_marginals(grams, &mut rng);
+            if valid(m.squared_error) && m.squared_error < best.squared_error {
+                best = Selected {
+                    squared_error: m.squared_error,
+                    strategy: Strategy::Marginals(m.strategy),
+                    operator: "marginals",
+                };
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdmm_workload::{builders, Domain};
+
+    fn quick() -> HdmmOptions {
+        HdmmOptions { restarts: 1, ..Default::default() }
+    }
+
+    #[test]
+    fn default_ps_convention() {
+        let d = Domain::new(&[32, 4]);
+        let w = hdmm_workload::Workload::new(
+            d,
+            vec![hdmm_workload::ProductTerm::product(vec![
+                blocks::all_range(32),
+                blocks::identity(4),
+            ])],
+        );
+        assert_eq!(default_ps(&w), vec![2, 1]);
+    }
+
+    #[test]
+    fn beats_identity_on_prefix_2d() {
+        let w = builders::prefix_2d(16, 16);
+        let sel = opt_hdmm(&w, &quick());
+        let identity_err = WorkloadGrams::from_workload(&w).frobenius_norm_sq();
+        assert!(sel.squared_error < identity_err);
+        assert_ne!(sel.operator, "identity");
+    }
+
+    #[test]
+    fn marginals_workload_selects_marginals_or_better() {
+        // Low-order marginals on a multi-attribute domain: the Table 5 regime
+        // where Identity pays a huge aggregation cost (ratio 43.89 at K=2).
+        let d = Domain::new(&[10, 10, 10, 10]);
+        let w = builders::upto_kway_marginals(&d, 2);
+        let sel = opt_hdmm(&w, &quick());
+        let identity_err = WorkloadGrams::from_workload(&w).frobenius_norm_sq();
+        assert!(
+            sel.squared_error * 2.5 < identity_err,
+            "{} vs identity {identity_err} (operator {})",
+            sel.squared_error,
+            sel.operator
+        );
+    }
+
+    #[test]
+    fn union_workload_can_choose_plus() {
+        let w = builders::range_total_union_2d(16, 16);
+        let sel = opt_hdmm(&w, &quick());
+        // OPT_+ dominates single products on this workload (§6.2); whichever
+        // wins, the error must beat Identity substantially.
+        let identity_err = WorkloadGrams::from_workload(&w).frobenius_norm_sq();
+        assert!(sel.squared_error < 0.8 * identity_err);
+    }
+
+    #[test]
+    fn more_restarts_never_hurt() {
+        let w = builders::prefix_2d(8, 8);
+        let one = opt_hdmm(&w, &HdmmOptions { restarts: 1, seed: 3, ..Default::default() });
+        let three = opt_hdmm(&w, &HdmmOptions { restarts: 3, seed: 3, ..Default::default() });
+        assert!(three.squared_error <= one.squared_error * 1.0000001);
+    }
+}

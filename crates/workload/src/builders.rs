@@ -1,0 +1,318 @@
+//! Constructors for every workload used in the paper's evaluation (§8.1).
+
+use crate::{blocks, Domain, GramTerm, ProductTerm, Workload, WorkloadGrams};
+use hdmm_linalg::Matrix;
+use rand::Rng;
+
+// ---------------------------------------------------------------------------
+// 1D workloads (Table 3 "Patent" rows, Table 4a)
+// ---------------------------------------------------------------------------
+
+/// `Prefix 1D`: the CDF workload `P` — the paper's compact proxy for all
+/// range queries.
+pub fn prefix_1d(n: usize) -> Workload {
+    Workload::one_dim(blocks::prefix(n))
+}
+
+/// `All Range`: every interval query.
+pub fn all_range_1d(n: usize) -> Workload {
+    Workload::one_dim(blocks::all_range(n))
+}
+
+/// `Width 32 Range` (any width): ranges summing exactly `width` contiguous
+/// cells.
+pub fn width_range_1d(n: usize, width: usize) -> Workload {
+    Workload::one_dim(blocks::width_range(n, width))
+}
+
+/// `Permuted Range`: all range queries right-multiplied by a random
+/// permutation, hiding the range structure.
+pub fn permuted_range_1d(n: usize, rng: &mut impl Rng) -> Workload {
+    Workload::one_dim(blocks::permuted(&blocks::all_range(n), rng))
+}
+
+/// Gram-only Prefix 1D (large domains; never materializes the queries).
+pub fn grams_prefix_1d(n: usize) -> WorkloadGrams {
+    WorkloadGrams::from_terms(
+        Domain::one_dim(n),
+        vec![GramTerm { weight: 1.0, factors: vec![blocks::gram_prefix(n)] }],
+    )
+}
+
+/// Gram-only All Range 1D.
+pub fn grams_all_range_1d(n: usize) -> WorkloadGrams {
+    WorkloadGrams::from_terms(
+        Domain::one_dim(n),
+        vec![GramTerm { weight: 1.0, factors: vec![blocks::gram_all_range(n)] }],
+    )
+}
+
+/// Gram-only Width-w Range 1D.
+pub fn grams_width_range_1d(n: usize, width: usize) -> WorkloadGrams {
+    WorkloadGrams::from_terms(
+        Domain::one_dim(n),
+        vec![GramTerm { weight: 1.0, factors: vec![blocks::gram_width_range(n, width)] }],
+    )
+}
+
+/// Gram-only Permuted Range 1D: `(RΠ)ᵀ(RΠ) = Πᵀ(RᵀR)Π`, i.e. the all-range
+/// Gram with rows and columns permuted.
+pub fn grams_permuted_range_1d(n: usize, rng: &mut impl Rng) -> WorkloadGrams {
+    use rand::seq::SliceRandom;
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.shuffle(rng);
+    let g = blocks::gram_all_range(n);
+    let permuted = Matrix::from_fn(n, n, |i, j| {
+        // entry (perm[i], perm[j]) of the permuted Gram equals g[i,j]
+        g[(inverse(&perm, i), inverse(&perm, j))]
+    });
+    WorkloadGrams::from_terms(
+        Domain::one_dim(n),
+        vec![GramTerm { weight: 1.0, factors: vec![permuted] }],
+    )
+}
+
+fn inverse(perm: &[usize], target: usize) -> usize {
+    perm.iter().position(|&p| p == target).expect("valid permutation")
+}
+
+// ---------------------------------------------------------------------------
+// 2D workloads (Table 3 "Taxi" rows, Table 4b)
+// ---------------------------------------------------------------------------
+
+/// `Prefix 2D` = `P ⊗ P`.
+pub fn prefix_2d(n1: usize, n2: usize) -> Workload {
+    Workload::product(Domain::new(&[n1, n2]), vec![blocks::prefix(n1), blocks::prefix(n2)])
+}
+
+/// `R ⊗ R`: all axis-aligned 2D range queries.
+pub fn all_range_2d(n1: usize, n2: usize) -> Workload {
+    Workload::product(Domain::new(&[n1, n2]), vec![blocks::all_range(n1), blocks::all_range(n2)])
+}
+
+/// `Prefix Identity` = `(P ⊗ I) ∪ (I ⊗ P)`.
+pub fn prefix_identity_2d(n1: usize, n2: usize) -> Workload {
+    Workload::new(
+        Domain::new(&[n1, n2]),
+        vec![
+            ProductTerm::product(vec![blocks::prefix(n1), blocks::identity(n2)]),
+            ProductTerm::product(vec![blocks::identity(n1), blocks::prefix(n2)]),
+        ],
+    )
+}
+
+/// `(R ⊗ T) ∪ (T ⊗ R)`: marginal range queries on each axis — the workload
+/// the paper uses to motivate union-of-product strategies (§6.2).
+pub fn range_total_union_2d(n1: usize, n2: usize) -> Workload {
+    Workload::new(
+        Domain::new(&[n1, n2]),
+        vec![
+            ProductTerm::product(vec![blocks::all_range(n1), blocks::total(n2)]),
+            ProductTerm::product(vec![blocks::total(n1), blocks::all_range(n2)]),
+        ],
+    )
+}
+
+/// Gram-only 2D product of structured factors, for large grids.
+pub fn grams_product_2d(g1: Matrix, g2: Matrix) -> WorkloadGrams {
+    let domain = Domain::new(&[g1.rows(), g2.rows()]);
+    WorkloadGrams::from_terms(domain, vec![GramTerm { weight: 1.0, factors: vec![g1, g2] }])
+}
+
+// ---------------------------------------------------------------------------
+// 3D and general products
+// ---------------------------------------------------------------------------
+
+/// `Prefix 3D` = `P ⊗ P ⊗ P` (Figure 1b).
+pub fn prefix_3d(n: usize) -> Workload {
+    let d = Domain::new(&[n, n, n]);
+    Workload::product(d, vec![blocks::prefix(n), blocks::prefix(n), blocks::prefix(n)])
+}
+
+/// `All 3-way Ranges`: for each triple of attributes, `R` on the triple and
+/// `T` elsewhere.
+pub fn all_3way_ranges(domain: &Domain) -> Workload {
+    let d = domain.dims();
+    assert!(d >= 3, "need at least 3 attributes");
+    let mut terms = Vec::new();
+    for a in 0..d {
+        for b in (a + 1)..d {
+            for c in (b + 1)..d {
+                let factors = (0..d)
+                    .map(|i| {
+                        if i == a || i == b || i == c {
+                            blocks::all_range(domain.attr_size(i))
+                        } else {
+                            blocks::total(domain.attr_size(i))
+                        }
+                    })
+                    .collect();
+                terms.push(ProductTerm::product(factors));
+            }
+        }
+    }
+    Workload::new(domain.clone(), terms)
+}
+
+// ---------------------------------------------------------------------------
+// Marginals workloads (Table 3 "Adult"/"CPS" rows, Table 5, Figure 1c)
+// ---------------------------------------------------------------------------
+
+/// The single marginal on the attribute subset encoded by `mask`
+/// (bit `i` ⇒ Identity on attribute `i`, else Total).
+pub fn marginal_term(domain: &Domain, mask: usize) -> ProductTerm {
+    let factors = (0..domain.dims())
+        .map(|i| {
+            if mask >> i & 1 == 1 {
+                blocks::identity(domain.attr_size(i))
+            } else {
+                blocks::total(domain.attr_size(i))
+            }
+        })
+        .collect();
+    ProductTerm::product(factors)
+}
+
+/// `All Marginals`: the union of all `2^d` marginals.
+pub fn all_marginals(domain: &Domain) -> Workload {
+    let d = domain.dims();
+    let terms = (0..1usize << d).map(|m| marginal_term(domain, m)).collect();
+    Workload::new(domain.clone(), terms)
+}
+
+/// All marginals on exactly `k` attributes (`(d choose k)` products).
+pub fn kway_marginals(domain: &Domain, k: usize) -> Workload {
+    let d = domain.dims();
+    let terms: Vec<ProductTerm> = (0..1usize << d)
+        .filter(|m| m.count_ones() as usize == k)
+        .map(|m| marginal_term(domain, m))
+        .collect();
+    Workload::new(domain.clone(), terms)
+}
+
+/// All marginals on at most `k` attributes (Table 5's `K` parameter).
+pub fn upto_kway_marginals(domain: &Domain, k: usize) -> Workload {
+    let d = domain.dims();
+    let terms: Vec<ProductTerm> = (0..1usize << d)
+        .filter(|m| (m.count_ones() as usize) <= k)
+        .map(|m| marginal_term(domain, m))
+        .collect();
+    Workload::new(domain.clone(), terms)
+}
+
+/// Marginals-like workload where Identity is replaced by AllRange on the
+/// attributes flagged `numeric` ("All Range-Marginals"). `max_way` of `None`
+/// keeps all `2^d` subsets; `Some(k)` keeps subsets of at most `k` attributes
+/// ("2-way Range-Marginals" with `k = 2`).
+pub fn range_marginals(domain: &Domain, numeric: &[bool], max_way: Option<usize>) -> Workload {
+    assert_eq!(numeric.len(), domain.dims(), "numeric flags arity mismatch");
+    let d = domain.dims();
+    let mut terms = Vec::new();
+    for mask in 0..1usize << d {
+        if let Some(k) = max_way {
+            if mask.count_ones() as usize > k {
+                continue;
+            }
+        }
+        let factors = (0..d)
+            .map(|i| {
+                let n = domain.attr_size(i);
+                if mask >> i & 1 == 0 {
+                    blocks::total(n)
+                } else if numeric[i] {
+                    blocks::all_range(n)
+                } else {
+                    blocks::identity(n)
+                }
+            })
+            .collect();
+        terms.push(ProductTerm::product(factors));
+    }
+    Workload::new(domain.clone(), terms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn prefix_1d_counts() {
+        assert_eq!(prefix_1d(16).query_count(), 16);
+    }
+
+    #[test]
+    fn all_range_query_count_is_triangular() {
+        assert_eq!(all_range_1d(10).query_count(), 55);
+    }
+
+    #[test]
+    fn grams_match_materialized_workloads() {
+        let n = 12;
+        let a = WorkloadGrams::from_workload(&all_range_1d(n));
+        assert!(grams_all_range_1d(n).explicit().approx_eq(&a.explicit(), 1e-10));
+        let p = WorkloadGrams::from_workload(&prefix_1d(n));
+        assert!(grams_prefix_1d(n).explicit().approx_eq(&p.explicit(), 1e-10));
+    }
+
+    #[test]
+    fn permuted_gram_has_same_trace_and_norm() {
+        let n = 10;
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = grams_permuted_range_1d(n, &mut rng).explicit();
+        let base = blocks::gram_all_range(n);
+        assert!((g.trace() - base.trace()).abs() < 1e-12);
+        assert!((g.frobenius_norm() - base.frobenius_norm()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permuted_gram_matches_permuted_workload() {
+        let n = 8;
+        // Same seed must produce the same permutation in both paths.
+        let w = permuted_range_1d(n, &mut StdRng::seed_from_u64(9));
+        let g = grams_permuted_range_1d(n, &mut StdRng::seed_from_u64(9));
+        assert!(g.explicit().approx_eq(&w.explicit().gram(), 1e-10));
+    }
+
+    #[test]
+    fn marginals_counts() {
+        let d = Domain::new(&[2, 3, 4]);
+        assert_eq!(all_marginals(&d).terms().len(), 8);
+        assert_eq!(kway_marginals(&d, 2).terms().len(), 3);
+        assert_eq!(upto_kway_marginals(&d, 1).terms().len(), 4);
+        // Full contingency table marginal has Π nᵢ queries.
+        assert_eq!(kway_marginals(&d, 3).query_count(), 24);
+    }
+
+    #[test]
+    fn marginal_term_structure() {
+        let d = Domain::new(&[2, 3]);
+        let t = marginal_term(&d, 0b10); // Identity on attr 1 only
+        assert_eq!(t.factors[0].shape(), (1, 2));
+        assert_eq!(t.factors[1].shape(), (3, 3));
+    }
+
+    #[test]
+    fn range_marginals_replaces_identity_on_numeric() {
+        let d = Domain::new(&[4, 3]);
+        let w = range_marginals(&d, &[true, false], Some(1));
+        // masks: 00 (T⊗T), 01 (R⊗T), 10 (T⊗I)
+        assert_eq!(w.terms().len(), 3);
+        assert_eq!(w.terms()[1].factors[0].rows(), 10); // all_range(4)
+        assert_eq!(w.terms()[2].factors[1].rows(), 3); // identity(3)
+    }
+
+    #[test]
+    fn union_2d_shapes() {
+        let w = range_total_union_2d(4, 5);
+        assert_eq!(w.terms().len(), 2);
+        assert_eq!(w.query_count(), 10 + 15);
+    }
+
+    #[test]
+    fn all_3way_ranges_term_count() {
+        let d = Domain::new(&[2, 2, 2, 2]);
+        assert_eq!(all_3way_ranges(&d).terms().len(), 4); // C(4,3)
+    }
+}

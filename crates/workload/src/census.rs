@@ -1,0 +1,212 @@
+//! Synthetic Census SF1 / SF1+ workloads over the CPH schema (§2).
+//!
+//! The real SF1 tabulations are 4151 predicate counting queries over the
+//! Person relation; the paper reduces them by hand to a union of 32 products
+//! (`W*_SF1`, Example 5/7). The exact query list is not public in machine
+//! form, so this module synthesizes a structurally faithful stand-in: a union
+//! of 32 products over the same domain, mixing
+//!
+//! * demographic group-bys (Identity on categorical attributes),
+//! * the P12-style age bucketing (Example 4: `I_sex ⊗ R_age`),
+//! * race-combination predicates on the merged 64-value Race attribute
+//!   (Example 1), and
+//! * singleton conjunctive conditions like `sex=M ∧ age<5` (Example 2).
+//!
+//! `SF1+` is the same union with the State attribute upgraded from Total to
+//! Identity∪Total (Example 5's reduced k=32 form).
+
+use crate::predicates::{LogicalProduct, LogicalWorkload, Predicate, PredicateSet};
+use crate::{Domain, Workload};
+
+/// Attribute order used throughout: Sex, Hispanic, Race, Relationship, Age.
+pub const CPH_SIZES: [usize; 5] = [2, 2, 64, 17, 115];
+
+/// State attribute size (50 states + DC).
+pub const STATES: usize = 51;
+
+/// The national CPH domain `2×2×64×17×115` (N = 500,480).
+pub fn cph_domain() -> Domain {
+    Domain::new(&CPH_SIZES)
+}
+
+/// The CPH domain with State: `2×2×64×17×115×51` (N = 25,524,480).
+pub fn cph_plus_domain() -> Domain {
+    let mut sizes = CPH_SIZES.to_vec();
+    sizes.push(STATES);
+    Domain::new(&sizes)
+}
+
+/// The P12-style age bucketing of Example 4:
+/// `[0,114], [0,4], [5,9], …, [80,84], [85,114]`.
+pub fn p12_age_ranges() -> PredicateSet {
+    let mut preds = vec![Predicate::Range(0, 114)];
+    let mut lo = 0;
+    while lo < 85 {
+        preds.push(Predicate::Range(lo, lo + 4));
+        lo += 5;
+    }
+    preds.push(Predicate::Range(85, 114));
+    PredicateSet(preds)
+}
+
+/// Adult / voting-age style thresholds.
+fn age_thresholds() -> PredicateSet {
+    PredicateSet(vec![
+        Predicate::Range(0, 17),
+        Predicate::Range(18, 114),
+        Predicate::Range(0, 4),
+        Predicate::Range(62, 114),
+        Predicate::Range(65, 114),
+    ])
+}
+
+/// Race-combination predicates over the merged 64-value Race attribute:
+/// the six SF1 race flags are bits of the value (Example 1), so "two or more
+/// races" is a subset predicate on popcount.
+fn race_combinations() -> PredicateSet {
+    let one_race = |bit: usize| Predicate::In(vec![1usize << bit]);
+    let popcount_at_least =
+        |k: u32| Predicate::In((0usize..64).filter(|v| v.count_ones() >= k).collect());
+    let mut preds: Vec<Predicate> = (0..6).map(one_race).collect();
+    preds.push(popcount_at_least(2)); // "two or more races"
+    preds.push(popcount_at_least(3));
+    PredicateSet(preds)
+}
+
+fn total() -> PredicateSet {
+    PredicateSet::total()
+}
+
+fn ident(n: usize) -> PredicateSet {
+    PredicateSet::identity(n)
+}
+
+/// The 32 logical products of the synthetic SF1 workload over
+/// (Sex, Hispanic, Race, Relationship, Age).
+fn sf1_products() -> Vec<LogicalProduct> {
+    let sex_m = PredicateSet(vec![Predicate::Eq(0)]);
+    let hisp_yes = PredicateSet(vec![Predicate::Eq(1)]);
+    let age_u5 = PredicateSet(vec![Predicate::Range(0, 4)]);
+    let age_adult = PredicateSet(vec![Predicate::Range(18, 114)]);
+
+    let mut out: Vec<LogicalProduct> = Vec::with_capacity(32);
+    let mut push = |sets: [PredicateSet; 5]| out.push(LogicalProduct::new(sets.to_vec()));
+
+    // P1-style totals and single-attribute tabulations.
+    push([total(), total(), total(), total(), total()]);
+    push([ident(2), total(), total(), total(), total()]);
+    push([total(), ident(2), total(), total(), total()]);
+    push([total(), total(), ident(64), total(), total()]);
+    push([total(), total(), total(), ident(17), total()]);
+    push([total(), total(), total(), total(), ident(115)]);
+    // P12: sex × age buckets (Example 4).
+    push([ident(2), total(), total(), total(), p12_age_ranges()]);
+    // Age bucketing alone and with hispanic.
+    push([total(), total(), total(), total(), p12_age_ranges()]);
+    push([total(), ident(2), total(), total(), p12_age_ranges()]);
+    // Race-combination tabulations (Example 1-style).
+    push([total(), total(), race_combinations(), total(), total()]);
+    push([ident(2), total(), race_combinations(), total(), total()]);
+    push([total(), ident(2), race_combinations(), total(), total()]);
+    // Hispanic × race, sex × race.
+    push([total(), ident(2), ident(64), total(), total()]);
+    push([ident(2), total(), ident(64), total(), total()]);
+    // Relationship tabulations.
+    push([ident(2), total(), total(), ident(17), total()]);
+    push([total(), ident(2), total(), ident(17), total()]);
+    push([total(), total(), total(), ident(17), age_thresholds()]);
+    // Sex × hispanic cross.
+    push([ident(2), ident(2), total(), total(), total()]);
+    push([ident(2), ident(2), total(), total(), age_thresholds()]);
+    // Threshold tabulations.
+    push([ident(2), total(), total(), total(), age_thresholds()]);
+    push([total(), ident(2), total(), total(), age_thresholds()]);
+    push([total(), total(), race_combinations(), total(), age_thresholds()]);
+    // Singleton conjunctions (Example 2-style).
+    push([sex_m.clone(), total(), total(), total(), age_u5.clone()]);
+    push([sex_m.clone(), hisp_yes.clone(), total(), total(), age_adult.clone()]);
+    push([total(), hisp_yes.clone(), total(), total(), age_u5.clone()]);
+    push([sex_m.clone(), total(), race_combinations(), total(), total()]);
+    push([total(), hisp_yes.clone(), race_combinations(), total(), total()]);
+    push([sex_m, hisp_yes.clone(), total(), total(), total()]);
+    // Deeper crosses.
+    push([ident(2), ident(2), total(), ident(17), total()]);
+    push([ident(2), total(), total(), ident(17), age_thresholds()]);
+    push([total(), hisp_yes, total(), ident(17), total()]);
+    push([ident(2), ident(2), total(), total(), p12_age_ranges()]);
+    debug_assert_eq!(out.len(), 32);
+    out
+}
+
+/// The synthetic SF1 workload (national level): 32 products on the CPH domain.
+pub fn sf1_workload() -> Workload {
+    LogicalWorkload::new(sf1_products()).impvec(&cph_domain())
+}
+
+/// The synthetic SF1+ workload: every SF1 product extended with
+/// `Identity∪Total` on State (Example 5's compact k=32 representation).
+pub fn sf1_plus_workload() -> Workload {
+    let products = sf1_products()
+        .into_iter()
+        .map(|mut p| {
+            p.predicate_sets.push(PredicateSet::identity_and_total(STATES));
+            p
+        })
+        .collect();
+    LogicalWorkload::new(products).impvec(&cph_plus_domain())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_match_paper() {
+        assert_eq!(cph_domain().size(), 500_480);
+        assert_eq!(cph_plus_domain().size(), 25_524_480);
+    }
+
+    #[test]
+    fn sf1_is_32_products() {
+        let w = sf1_workload();
+        assert_eq!(w.terms().len(), 32);
+        // Thousands of queries, like the real SF1's 4151.
+        let q = w.query_count();
+        assert!(q > 1000 && q < 20_000, "query count {q}");
+    }
+
+    #[test]
+    fn sf1_plus_multiplies_queries_by_states() {
+        let sf1 = sf1_workload();
+        let plus = sf1_plus_workload();
+        // Each query is repeated once nationally + once per state.
+        assert_eq!(plus.query_count(), sf1.query_count() * (STATES + 1));
+    }
+
+    #[test]
+    fn implicit_size_is_compact() {
+        let plus = sf1_plus_workload();
+        // The implicit representation must be dramatically smaller than the
+        // (22TB-scale) explicit matrix — at least six orders of magnitude.
+        assert!(plus.implicit_size() < 3_000_000, "size {}", plus.implicit_size());
+        assert!(plus.explicit_size() / plus.implicit_size() > 1_000_000);
+    }
+
+    #[test]
+    fn p12_ranges_partition_domain() {
+        // Rows 1.. of P12 partition [0,114]: each age in exactly one bucket.
+        let m = p12_age_ranges().vectorize(115);
+        for age in 0..115 {
+            let hits: f64 = (1..m.rows()).map(|r| m[(r, age)]).sum();
+            assert_eq!(hits, 1.0, "age {age}");
+        }
+    }
+
+    #[test]
+    fn race_combination_rows_nonempty() {
+        let m = race_combinations().vectorize(64);
+        for r in 0..m.rows() {
+            assert!(m.row(r).iter().sum::<f64>() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Multi-dimensional attribute domains (§3.1).
+
+/// The discrete domain of a relational schema `R(A₁ … A_d)`: one finite
+/// cardinality per attribute. The full domain has `N = Π nᵢ` cells, and data
+/// vectors are indexed by tuples in row-major order (first attribute slowest).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Domain {
+    sizes: Vec<usize>,
+}
+
+impl Domain {
+    /// Builds a domain from per-attribute cardinalities.
+    ///
+    /// # Panics
+    /// Panics if any attribute has cardinality 0 or the list is empty.
+    pub fn new(sizes: &[usize]) -> Self {
+        assert!(!sizes.is_empty(), "domain needs at least one attribute");
+        assert!(sizes.iter().all(|&n| n > 0), "attribute cardinalities must be positive");
+        Domain { sizes: sizes.to_vec() }
+    }
+
+    /// One-dimensional domain of size `n`.
+    pub fn one_dim(n: usize) -> Self {
+        Self::new(&[n])
+    }
+
+    /// Number of attributes `d`.
+    pub fn dims(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Cardinality of attribute `i`.
+    pub fn attr_size(&self, i: usize) -> usize {
+        self.sizes[i]
+    }
+
+    /// Per-attribute cardinalities.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Total domain size `N = Π nᵢ`.
+    pub fn size(&self) -> usize {
+        self.sizes.iter().product()
+    }
+
+    /// Total domain size with overflow awareness (for very large synthetic
+    /// scalability configurations).
+    pub fn size_checked(&self) -> Option<usize> {
+        self.sizes.iter().try_fold(1usize, |acc, &n| acc.checked_mul(n))
+    }
+
+    /// Projects onto the attribute subset encoded by `mask` (bit `i` set keeps
+    /// attribute `i`).
+    pub fn project(&self, mask: usize) -> Domain {
+        let kept: Vec<usize> = self
+            .sizes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, &n)| n)
+            .collect();
+        assert!(!kept.is_empty(), "projection must keep at least one attribute");
+        Domain { sizes: kept }
+    }
+
+    /// Flattens a tuple index to the row-major cell offset.
+    ///
+    /// # Panics
+    /// Panics if the tuple has the wrong arity or is out of range.
+    pub fn flatten(&self, tuple: &[usize]) -> usize {
+        assert_eq!(tuple.len(), self.dims(), "tuple arity mismatch");
+        let mut idx = 0;
+        for (t, &n) in tuple.iter().zip(&self.sizes) {
+            assert!(*t < n, "tuple coordinate out of range");
+            idx = idx * n + t;
+        }
+        idx
+    }
+
+    /// Inverse of [`Domain::flatten`].
+    pub fn unflatten(&self, mut idx: usize) -> Vec<usize> {
+        let mut tuple = vec![0; self.dims()];
+        for i in (0..self.dims()).rev() {
+            tuple[i] = idx % self.sizes[i];
+            idx /= self.sizes[i];
+        }
+        tuple
+    }
+}
+
+impl std::fmt::Display for Domain {
+    /// Renders domains like `2x2x64x17x115`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let parts: Vec<String> = self.sizes.iter().map(|n| n.to_string()).collect();
+        write!(f, "{}", parts.join("x"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_is_product() {
+        let d = Domain::new(&[2, 3, 4]);
+        assert_eq!(d.size(), 24);
+        assert_eq!(d.dims(), 3);
+    }
+
+    #[test]
+    fn flatten_unflatten_roundtrip() {
+        let d = Domain::new(&[3, 4, 5]);
+        for idx in 0..d.size() {
+            assert_eq!(d.flatten(&d.unflatten(idx)), idx);
+        }
+    }
+
+    #[test]
+    fn flatten_is_row_major() {
+        let d = Domain::new(&[2, 3]);
+        assert_eq!(d.flatten(&[0, 0]), 0);
+        assert_eq!(d.flatten(&[0, 2]), 2);
+        assert_eq!(d.flatten(&[1, 0]), 3);
+    }
+
+    #[test]
+    fn projection_keeps_masked_attributes() {
+        let d = Domain::new(&[2, 3, 4]);
+        assert_eq!(d.project(0b101).sizes(), &[2, 4]);
+    }
+
+    #[test]
+    fn size_checked_detects_overflow() {
+        let d = Domain::new(&[usize::MAX, 2]);
+        assert!(d.size_checked().is_none());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Domain::new(&[2, 2, 64]).to_string(), "2x2x64");
+    }
+}

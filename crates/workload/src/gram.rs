@@ -1,0 +1,173 @@
+//! Per-attribute Gram matrices of implicit workloads.
+//!
+//! All of HDMM's error arithmetic depends on the workload only through
+//! `WᵀW`; for a union of products this factors as
+//! `WᵀW = Σ_j w_j²·(G₁⁽ʲ⁾ ⊗ … ⊗ G_d⁽ʲ⁾)` with `Gᵢ⁽ʲ⁾ = Wᵢ⁽ʲ⁾ᵀWᵢ⁽ʲ⁾`
+//! (§4.4). This module materializes only the small `nᵢ × nᵢ` blocks.
+
+use crate::{Domain, Workload};
+use hdmm_linalg::{kron, Matrix};
+
+/// Gram factors of one product term: `factors[i] = Wᵢᵀ Wᵢ`.
+#[derive(Debug, Clone)]
+pub struct GramTerm {
+    /// The term's query weight `w_j` (enters error as `w_j²`).
+    pub weight: f64,
+    /// Per-attribute Gram blocks.
+    pub factors: Vec<Matrix>,
+}
+
+impl GramTerm {
+    /// Per-factor `(trace, sum)` pairs — the sufficient statistics for the
+    /// marginals objective (§6.3): `tr(G)` pairs with `I` blocks, `sum(G)`
+    /// with `𝟙` blocks.
+    pub fn traces_and_sums(&self) -> Vec<(f64, f64)> {
+        self.factors.iter().map(|g| (g.trace(), g.sum())).collect()
+    }
+}
+
+/// The workload Gram `WᵀW` in implicit union-of-Kronecker form.
+#[derive(Debug, Clone)]
+pub struct WorkloadGrams {
+    domain: Domain,
+    terms: Vec<GramTerm>,
+}
+
+impl WorkloadGrams {
+    /// Computes Gram blocks from a workload.
+    pub fn from_workload(w: &Workload) -> Self {
+        let terms = w
+            .terms()
+            .iter()
+            .map(|t| GramTerm {
+                weight: t.weight,
+                factors: t.factors.iter().map(Matrix::gram).collect(),
+            })
+            .collect();
+        WorkloadGrams { domain: w.domain().clone(), terms }
+    }
+
+    /// Builds directly from closed-form Gram blocks (large structured
+    /// workloads where the query matrix is never materialized).
+    pub fn from_terms(domain: Domain, terms: Vec<GramTerm>) -> Self {
+        assert!(!terms.is_empty(), "need at least one gram term");
+        for t in &terms {
+            assert_eq!(t.factors.len(), domain.dims(), "gram term arity mismatch");
+            for (g, &n) in t.factors.iter().zip(domain.sizes()) {
+                assert!(g.is_square() && g.rows() == n, "gram block must be n×n");
+            }
+        }
+        WorkloadGrams { domain, terms }
+    }
+
+    /// The domain.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// The Gram terms.
+    pub fn terms(&self) -> &[GramTerm] {
+        &self.terms
+    }
+
+    /// Number of attributes.
+    pub fn dims(&self) -> usize {
+        self.domain.dims()
+    }
+
+    /// Materializes the full `N×N` Gram `Σ w²·⊗G` (tests / small domains).
+    pub fn explicit(&self) -> Matrix {
+        let n = self.domain.size();
+        let mut acc = Matrix::zeros(n, n);
+        for t in &self.terms {
+            let mut prod = t.factors[0].clone();
+            for g in &t.factors[1..] {
+                prod = kron(&prod, g);
+            }
+            acc.axpy(t.weight * t.weight, &prod);
+        }
+        acc
+    }
+
+    /// The weighted sum `Σ_j c_j²·Gᵢ⁽ʲ⁾` over attribute `i` — the Gram of the
+    /// surrogate workload `Ŵᵢ` in the block-coordinate step of Problem 3
+    /// (Equation 6).
+    pub fn surrogate_gram(&self, attr: usize, coeffs: &[f64]) -> Matrix {
+        assert_eq!(coeffs.len(), self.terms.len(), "one coefficient per term");
+        let n = self.domain.attr_size(attr);
+        let mut acc = Matrix::zeros(n, n);
+        for (t, &c) in self.terms.iter().zip(coeffs) {
+            acc.axpy(c * c, &t.factors[attr]);
+        }
+        acc
+    }
+
+    /// Workload squared Frobenius norm `‖W‖²_F = Σ_j w_j²·Π tr(Gᵢ⁽ʲ⁾)` —
+    /// the Identity-strategy error numerator.
+    pub fn frobenius_norm_sq(&self) -> f64 {
+        self.terms
+            .iter()
+            .map(|t| t.weight * t.weight * t.factors.iter().map(Matrix::trace).product::<f64>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks;
+    use crate::ProductTerm;
+
+    fn union() -> Workload {
+        let domain = Domain::new(&[3, 4]);
+        Workload::new(
+            domain,
+            vec![
+                ProductTerm::new(1.5, vec![blocks::prefix(3), blocks::identity(4)]),
+                ProductTerm::new(0.5, vec![blocks::identity(3), blocks::all_range(4)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn explicit_gram_matches_materialized_workload() {
+        let w = union();
+        let grams = WorkloadGrams::from_workload(&w);
+        let direct = w.explicit().gram();
+        assert!(grams.explicit().approx_eq(&direct, 1e-10));
+    }
+
+    #[test]
+    fn frobenius_matches_explicit() {
+        let w = union();
+        let grams = WorkloadGrams::from_workload(&w);
+        let direct = w.explicit().frobenius_norm_sq();
+        assert!((grams.frobenius_norm_sq() - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn surrogate_gram_is_weighted_sum() {
+        let grams = WorkloadGrams::from_workload(&union());
+        let s = grams.surrogate_gram(0, &[2.0, 3.0]);
+        let expect = grams.terms()[0].factors[0]
+            .scaled(4.0)
+            .add(&grams.terms()[1].factors[0].scaled(9.0));
+        assert!(s.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn from_terms_validates_shapes() {
+        let domain = Domain::new(&[3]);
+        let ok = WorkloadGrams::from_terms(
+            domain.clone(),
+            vec![GramTerm { weight: 1.0, factors: vec![blocks::gram_prefix(3)] }],
+        );
+        assert_eq!(ok.dims(), 1);
+    }
+
+    #[test]
+    fn traces_and_sums() {
+        let g = GramTerm { weight: 1.0, factors: vec![blocks::identity(3).gram()] };
+        assert_eq!(g.traces_and_sums(), vec![(3.0, 3.0)]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Implicit workload representation for HDMM (§3–4 of the paper).
+//!
+//! A *workload* is a set of predicate counting queries over a
+//! multi-dimensional [`Domain`]. Following the paper, workloads are kept in
+//! the implicit **union-of-products** form
+//!
+//! ```text
+//! W = w₁·(W₁⁽¹⁾ ⊗ … ⊗ W_d⁽¹⁾) + … + w_k·(W₁⁽ᵏ⁾ ⊗ … ⊗ W_d⁽ᵏ⁾)
+//! ```
+//!
+//! where each `Wᵢ⁽ʲ⁾` is a small per-attribute query matrix. The logical
+//! layer ([`predicates`]) mirrors Definitions 1–3 and the `ImpVec` encoding
+//! algorithm; [`blocks`] provides the standard per-attribute building blocks
+//! (Identity, Total, Prefix, AllRange, …); [`builders`] assembles every
+//! workload used in the paper's evaluation; [`census`] synthesizes the
+//! SF1/SF1+ use case of §2.
+
+pub mod blocks;
+pub mod builders;
+pub mod census;
+mod domain;
+mod gram;
+pub mod predicates;
+mod workload;
+
+pub use domain::Domain;
+pub use gram::{GramTerm, WorkloadGrams};
+pub use workload::{ProductTerm, Workload};

@@ -1,0 +1,52 @@
+//! Quickstart: privately answer all 1-D range queries over a histogram.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hdmm_core::{builders, Hdmm};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 256;
+    let eps = 1.0;
+
+    // A power-law histogram ("patent"-like) and the all-ranges workload.
+    let mut rng = StdRng::seed_from_u64(7);
+    let x = hdmm_data::patent_1d(n, 100_000, &mut rng);
+    let workload = builders::all_range_1d(n);
+    println!(
+        "workload: {} range queries over a domain of {n}",
+        workload.query_count()
+    );
+
+    // SELECT: strategy optimization — data independent, costs no budget.
+    let plan = Hdmm::with_restarts(3).plan(&workload);
+    println!("selected operator: {}", plan.operator());
+    println!(
+        "expected per-query RMSE at eps={eps}: {:.2} (identity baseline {:.2})",
+        plan.expected_rmse(eps),
+        (plan.identity_error(eps) / workload.query_count() as f64).sqrt(),
+    );
+
+    // MEASURE + RECONSTRUCT: the eps-differentially-private release.
+    let result = plan.execute(&workload, &x, eps, &mut rng);
+
+    // Compare a few private answers to the truth (for demonstration only —
+    // a real deployment never looks at the truth).
+    let truth = workload.answer(&x);
+    println!("\n{:>24} {:>12} {:>12}", "query", "private", "true");
+    for (i, label) in [(0usize, "[0,0]"), (n - 1, "[0,255]"), (n, "[1,1]")] {
+        println!("{label:>24} {:>12.1} {:>12.1}", result.answers[i], truth[i]);
+    }
+    let rmse = (result
+        .answers
+        .iter()
+        .zip(&truth)
+        .map(|(a, t)| (a - t) * (a - t))
+        .sum::<f64>()
+        / truth.len() as f64)
+        .sqrt();
+    println!("\nobserved RMSE: {rmse:.2} (expectation {:.2})", plan.expected_rmse(eps));
+}

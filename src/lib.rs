@@ -1,0 +1,6 @@
+//! Workspace facade crate: hosts the top-level `examples/` and `tests/`.
+//!
+//! The implementation lives in the `hdmm-*` crates; see `hdmm-core` for the
+//! public API.
+
+pub use hdmm_core as core;

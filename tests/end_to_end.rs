@@ -1,0 +1,134 @@
+//! Cross-crate integration tests: the full SELECT → MEASURE → RECONSTRUCT
+//! pipeline on the paper's workload families.
+
+use hdmm_core::{builders, hdmm, Hdmm, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_histogram(n: usize, rng: &mut impl Rng) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(0..100) as f64).collect()
+}
+
+fn empirical_total_squared_error(
+    workload: &Workload,
+    plan: &hdmm_core::Plan,
+    x: &[f64],
+    eps: f64,
+    trials: usize,
+    rng: &mut impl Rng,
+) -> f64 {
+    let truth = workload.answer(x);
+    let mut total = 0.0;
+    for _ in 0..trials {
+        let res = plan.execute(workload, x, eps, rng);
+        total += res
+            .answers
+            .iter()
+            .zip(&truth)
+            .map(|(a, t)| (a - t) * (a - t))
+            .sum::<f64>();
+    }
+    total / trials as f64
+}
+
+#[test]
+fn observed_error_matches_prediction_1d_ranges() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let w = builders::all_range_1d(64);
+    let plan = Hdmm::with_restarts(1).plan(&w);
+    let x = random_histogram(64, &mut rng);
+    let emp = empirical_total_squared_error(&w, &plan, &x, 1.0, 40, &mut rng);
+    let analytic = plan.expected_error(1.0);
+    assert!(
+        (emp / analytic - 1.0).abs() < 0.35,
+        "empirical {emp} vs analytic {analytic}"
+    );
+}
+
+#[test]
+fn observed_error_matches_prediction_2d_union() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let w = builders::prefix_identity_2d(8, 8);
+    let plan = Hdmm::with_restarts(1).plan(&w);
+    let x = random_histogram(64, &mut rng);
+    let emp = empirical_total_squared_error(&w, &plan, &x, 1.0, 40, &mut rng);
+    let analytic = plan.expected_error(1.0);
+    assert!(
+        (emp / analytic - 1.0).abs() < 0.35,
+        "empirical {emp} vs analytic {analytic} (operator {})",
+        plan.operator()
+    );
+}
+
+#[test]
+fn observed_error_matches_prediction_marginals() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let d = hdmm_core::Domain::new(&[6, 5, 4]);
+    let w = builders::kway_marginals(&d, 2);
+    let plan = Hdmm::with_restarts(1).plan(&w);
+    let x = random_histogram(d.size(), &mut rng);
+    let emp = empirical_total_squared_error(&w, &plan, &x, 1.0, 40, &mut rng);
+    let analytic = plan.expected_error(1.0);
+    assert!(
+        (emp / analytic - 1.0).abs() < 0.35,
+        "empirical {emp} vs analytic {analytic} (operator {})",
+        plan.operator()
+    );
+}
+
+#[test]
+fn answers_are_unbiased() {
+    // The Laplace mechanism and linear reconstruction are unbiased: averaging
+    // private answers over many runs converges to the truth.
+    let mut rng = StdRng::seed_from_u64(3);
+    let w = builders::prefix_1d(16);
+    let plan = Hdmm::with_restarts(1).plan(&w);
+    let x = random_histogram(16, &mut rng);
+    let truth = w.answer(&x);
+    let trials = 400;
+    let mut mean = vec![0.0; truth.len()];
+    for _ in 0..trials {
+        let res = plan.execute(&w, &x, 1.0, &mut rng);
+        for (m, a) in mean.iter_mut().zip(&res.answers) {
+            *m += a / trials as f64;
+        }
+    }
+    // Standard error of each mean ≈ per-query noise / √trials.
+    let tolerance = 6.0 * plan.expected_rmse(1.0) / (trials as f64).sqrt() * 3.0;
+    for (m, t) in mean.iter().zip(&truth) {
+        assert!((m - t).abs() < tolerance.max(1.0), "{m} vs {t}");
+    }
+}
+
+#[test]
+fn epsilon_controls_noise_monotonically() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let w = builders::all_range_1d(32);
+    let plan = Hdmm::with_restarts(1).plan(&w);
+    let x = random_histogram(32, &mut rng);
+    let low = empirical_total_squared_error(&w, &plan, &x, 0.1, 15, &mut rng);
+    let high = empirical_total_squared_error(&w, &plan, &x, 10.0, 15, &mut rng);
+    assert!(low > 100.0 * high, "eps=0.1 err {low} vs eps=10 err {high}");
+}
+
+#[test]
+fn one_call_api_runs_census_workload() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let w = hdmm_core::census::sf1_workload();
+    // Tiny synthetic population to keep the test fast.
+    let records = hdmm_data::cph_records(5_000, &mut rng);
+    let x = hdmm_data::data_vector(w.domain(), &records);
+    let res = hdmm(&w, &x, 1.0, &mut rng);
+    assert_eq!(res.answers.len(), w.query_count());
+    assert!(res.answers.iter().all(|a| a.is_finite()));
+}
+
+#[test]
+fn plan_is_deterministic_given_seed() {
+    let w = builders::prefix_2d(8, 8);
+    let opts = hdmm_core::HdmmOptions { restarts: 1, seed: 42, ..Default::default() };
+    let a = Hdmm::with_options(opts.clone()).plan(&w);
+    let b = Hdmm::with_options(opts).plan(&w);
+    assert_eq!(a.squared_error_coefficient(), b.squared_error_coefficient());
+    assert_eq!(a.operator(), b.operator());
+}

@@ -78,7 +78,7 @@ pub fn datacube(domain: &Domain, workload: &[usize]) -> DataCubeResult {
             trial.push(cand);
             let c = answer_cost(domain, &trial, workload).expect("still supported")
                 * (trial.len() as f64).powi(2);
-            if step.map_or(true, |(_, bc)| c < bc) {
+            if step.is_none_or(|(_, bc)| c < bc) {
                 step = Some((cand, c));
             }
         }
@@ -119,12 +119,17 @@ pub fn datacube(domain: &Domain, workload: &[usize]) -> DataCubeResult {
         }
     }
 
-    DataCubeResult { measured, squared_error: cost }
+    DataCubeResult {
+        measured,
+        squared_error: cost,
+    }
 }
 
 /// The workload masks of all marginals on at most `k` attributes.
 pub fn upto_k_masks(d: usize, k: usize) -> Vec<usize> {
-    (0..1usize << d).filter(|m| (m.count_ones() as usize) <= k).collect()
+    (0..1usize << d)
+        .filter(|m| (m.count_ones() as usize) <= k)
+        .collect()
 }
 
 #[cfg(test)]

@@ -34,7 +34,10 @@ pub struct DawaOptions {
 
 impl Default for DawaOptions {
     fn default() -> Self {
-        DawaOptions { partition_budget: 0.25, stage2: Stage2::GreedyH }
+        DawaOptions {
+            partition_budget: 0.25,
+            stage2: Stage2::GreedyH,
+        }
     }
 }
 
@@ -154,8 +157,7 @@ pub fn dawa_run(
     add_laplace_noise(&mut y, sens / eps2, rng);
 
     // Reconstruct bucket estimates and expand uniformly.
-    let x_hat_buckets = hdmm_mechanism::error::gram_pinv(&strategy)
-        .matvec(&strategy.t_matvec(&y));
+    let x_hat_buckets = hdmm_mechanism::error::gram_pinv(&strategy).matvec(&strategy.t_matvec(&y));
     let x_hat = p_exp.matvec(&x_hat_buckets);
     w.matvec(&x_hat)
 }
@@ -191,7 +193,15 @@ mod tests {
 
     fn piecewise_uniform(n: usize) -> Vec<f64> {
         (0..n)
-            .map(|i| if i < n / 3 { 100.0 } else if i < 2 * n / 3 { 5.0 } else { 40.0 })
+            .map(|i| {
+                if i < n / 3 {
+                    100.0
+                } else if i < 2 * n / 3 {
+                    5.0
+                } else {
+                    40.0
+                }
+            })
             .collect()
     }
 
@@ -241,7 +251,10 @@ mod tests {
             &w,
             &x,
             eps,
-            &DawaOptions { stage2: Stage2::Hdmm, ..Default::default() },
+            &DawaOptions {
+                stage2: Stage2::Hdmm,
+                ..Default::default()
+            },
             12,
             &mut rng,
         );

@@ -115,17 +115,22 @@ pub fn general_mechanism(wtw: &Matrix, max_iter: usize, rng: &mut impl Rng) -> G
         &mut obj,
         theta.as_slice(),
         &vec![0.0; m * n],
-        &LbfgsOptions { max_iter, ..Default::default() },
+        &LbfgsOptions {
+            max_iter,
+            ..Default::default()
+        },
     );
     let theta = Matrix::from_vec(m, n, res.x);
     let (a, _) = GeneralObjective { wtw, m, n }.normalize(&theta);
-    GeneralResult { strategy: a, squared_error: res.value }
+    GeneralResult {
+        strategy: a,
+        squared_error: res.value,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hdmm_optimizer::lbfgs::Objective as _;
     use hdmm_workload::blocks;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -160,7 +165,11 @@ mod tests {
         let identity = wtw.trace();
         let mut rng = StdRng::seed_from_u64(1);
         let r = general_mechanism(&wtw, 80, &mut rng);
-        assert!(r.squared_error < identity, "{} vs {identity}", r.squared_error);
+        assert!(
+            r.squared_error < identity,
+            "{} vs {identity}",
+            r.squared_error
+        );
         assert!((r.strategy.norm_l1_operator() - 1.0).abs() < 1e-6);
     }
 }

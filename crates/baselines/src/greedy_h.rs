@@ -58,7 +58,15 @@ pub fn greedy_h_1d(stats: &NodeLevelStats) -> GreedyHResult {
     lower[0] = 1e-6; // leaf level keeps the strategy full-rank
     let x0 = vec![1.0; h + 1];
     let mut obj = TreeObjective { stats };
-    let res = minimize(&mut obj, &x0, &lower, &LbfgsOptions { max_iter: 200, ..Default::default() });
+    let res = minimize(
+        &mut obj,
+        &x0,
+        &lower,
+        &LbfgsOptions {
+            max_iter: 200,
+            ..Default::default()
+        },
+    );
     // Normalize (the error is scale-invariant; report unit sensitivity).
     let sens: f64 = res.x.iter().sum();
     GreedyHResult {
@@ -149,12 +157,19 @@ pub fn greedy_h_explicit(wtw: &Matrix) -> (Matrix, f64) {
     // every level keeps a meaningfully positive weight: the strategy stays
     // full rank *and well conditioned* at a negligible budget cost.
     let lower = vec![1e-2; depths];
-    let mut obj = ExplicitObjective { rows_by_depth: &rows_by_depth, wtw, n };
+    let mut obj = ExplicitObjective {
+        rows_by_depth: &rows_by_depth,
+        wtw,
+        n,
+    };
     let res = minimize(
         &mut obj,
         &vec![1.0; depths],
         &lower,
-        &LbfgsOptions { max_iter: 60, ..Default::default() },
+        &LbfgsOptions {
+            max_iter: 60,
+            ..Default::default()
+        },
     );
     let a = obj.strategy(&res.x);
     let sens = a.norm_l1_operator();
@@ -174,7 +189,11 @@ mod tests {
         let h = tree_height(n, 2).unwrap();
         let uniform = tree_strategy_error(&stats, &vec![1.0; h + 1]);
         let tuned = greedy_h_1d(&stats);
-        assert!(tuned.squared_error < uniform, "{} vs {uniform}", tuned.squared_error);
+        assert!(
+            tuned.squared_error < uniform,
+            "{} vs {uniform}",
+            tuned.squared_error
+        );
     }
 
     #[test]
@@ -188,7 +207,11 @@ mod tests {
         let a = tree_strategy_matrix(n, 2, &r.level_weights);
         let sens = a.norm_l1_operator();
         let dense = sens * sens * residual_explicit(&blocks::gram_prefix(n), &a);
-        assert!((r.squared_error - dense).abs() < 1e-5 * dense, "{} vs {dense}", r.squared_error);
+        assert!(
+            (r.squared_error - dense).abs() < 1e-5 * dense,
+            "{} vs {dense}",
+            r.squared_error
+        );
     }
 
     #[test]
@@ -303,7 +326,10 @@ pub fn greedy_h_original(stats: &NodeLevelStats, family: RangeFamily) -> GreedyH
         *w /= total;
     }
     let squared_error = tree_strategy_error(stats, &weights);
-    GreedyHResult { level_weights: weights, squared_error }
+    GreedyHResult {
+        level_weights: weights,
+        squared_error,
+    }
 }
 
 #[cfg(test)]
@@ -330,7 +356,7 @@ mod original_tests {
         let mut expect = vec![0.0; 4];
         for i in 0..n {
             for j in i..n {
-                for l in 0..=3 {
+                for (l, count) in expect.iter_mut().enumerate() {
                     let m = 1usize << l;
                     for a in (0..n).step_by(m) {
                         let inside = i <= a && a + m - 1 <= j;
@@ -342,7 +368,7 @@ mod original_tests {
                             i <= pa && pa + pm - 1 <= j
                         };
                         if inside && !parent_inside {
-                            expect[l] += 1.0;
+                            *count += 1.0;
                         }
                     }
                 }

@@ -49,20 +49,28 @@ pub fn hb_1d(n: usize, target: &dyn Fn(&[f64]) -> f64) -> HbResult {
         // Selection criterion: uniform-tree error on ALL RANGE queries.
         let sel_stats = node_level_stats_mixed(n, &seq, &range_energy);
         let sel = tree_strategy_error(&sel_stats, &weights);
-        if best.as_ref().map_or(true, |&(_, _, e)| sel < e) {
+        if best.as_ref().is_none_or(|&(_, _, e)| sel < e) {
             best = Some((b, seq, sel));
         }
     }
     let (b, seq, _) = best.expect("n ≥ 2 has at least the b = n candidate");
     let stats = node_level_stats_mixed(n, &seq, target);
     let weights = vec![1.0; seq.len() + 1];
-    HbResult { b, squared_error: tree_strategy_error(&stats, &weights), branchings: seq }
+    HbResult {
+        b,
+        squared_error: tree_strategy_error(&stats, &weights),
+        branchings: seq,
+    }
 }
 
 /// The HB strategy matrix for explicit use (2D Kronecker extension and tests).
 pub fn hb_matrix(n: usize) -> Matrix {
     let r = hb_1d(n, &range_energy);
-    crate::hierarchy::tree_strategy_matrix_mixed(n, &r.branchings, &vec![1.0; r.branchings.len() + 1])
+    crate::hierarchy::tree_strategy_matrix_mixed(
+        n,
+        &r.branchings,
+        &vec![1.0; r.branchings.len() + 1],
+    )
 }
 
 /// Per-node-level stats helper re-exported for 2D compositions.
@@ -79,11 +87,17 @@ mod tests {
 
     #[test]
     fn candidates_include_ragged_trees() {
-        let c16: Vec<usize> = candidate_branchings(16).into_iter().map(|(b, _)| b).collect();
+        let c16: Vec<usize> = candidate_branchings(16)
+            .into_iter()
+            .map(|(b, _)| b)
+            .collect();
         // Every b from 2..16 yields some ragged decomposition of 16.
         assert!(c16.contains(&2) && c16.contains(&4) && c16.contains(&16));
         // b = 8 gives the ragged [8, 2] tree.
-        let (_, seq) = candidate_branchings(16).into_iter().find(|(b, _)| *b == 8).unwrap();
+        let (_, seq) = candidate_branchings(16)
+            .into_iter()
+            .find(|(b, _)| *b == 8)
+            .unwrap();
         assert_eq!(seq, vec![8, 2]);
     }
 
@@ -104,8 +118,12 @@ mod tests {
         let n = 4096;
         let chosen = hb_1d(n, &range_energy);
         let flat_stats = node_level_stats_mixed(n, &[n], &range_energy);
-        let flat = tree_strategy_error(&flat_stats, &vec![1.0; 2]);
-        assert!(chosen.squared_error < flat, "{} vs {flat}", chosen.squared_error);
+        let flat = tree_strategy_error(&flat_stats, &[1.0; 2]);
+        assert!(
+            chosen.squared_error < flat,
+            "{} vs {flat}",
+            chosen.squared_error
+        );
         assert!(chosen.b < n);
     }
 

@@ -52,12 +52,12 @@ impl NodeLevelStats {
 /// `b`-way levels as divide `n`, then one remainder level. Returns `None`
 /// when the remainder is not an exact factor.
 pub fn hb_branchings(n: usize, b: usize) -> Option<Vec<usize>> {
-    if b < 2 || n < 2 || (n % b != 0 && b != n) {
+    if b < 2 || n < 2 || (!n.is_multiple_of(b) && b != n) {
         return None;
     }
     let mut rest = n;
     let mut out = Vec::new();
-    while rest % b == 0 && rest > 1 {
+    while rest.is_multiple_of(b) && rest > 1 {
         out.push(b);
         rest /= b;
     }
@@ -108,9 +108,7 @@ pub fn node_level_stats_mixed(
 
     // Constant vector.
     let c = 1.0 / (n as f64).sqrt();
-    for e in &mut v {
-        *e = c;
-    }
+    v.fill(c);
     let q_const = wv_sq(&v);
 
     let mut q_levels = vec![0.0; branchings.len()];
@@ -120,9 +118,7 @@ pub fn node_level_stats_mixed(
         for node_start in (0..n).step_by(m) {
             // Helmert basis: for t = 1..b, children 0..t get ±values.
             for t in 1..b {
-                for e in &mut v {
-                    *e = 0.0;
-                }
+                v.fill(0.0);
                 let norm = ((child * t * (t + 1)) as f64).sqrt();
                 let pos = 1.0 / norm;
                 let neg = -(t as f64) / norm;
@@ -141,7 +137,12 @@ pub fn node_level_stats_mixed(
         }
         child = m;
     }
-    NodeLevelStats { branchings: branchings.to_vec(), n, q_const, q_levels }
+    NodeLevelStats {
+        branchings: branchings.to_vec(),
+        n,
+        q_const,
+        q_levels,
+    }
 }
 
 /// Eigenvalue of `Σ_l λ_l²·B_lᵀB_l` on a Haar vector at node level `j`:
@@ -162,8 +163,15 @@ fn tree_eigenvalue(level_weights: &[f64], block_sizes: &[usize], max_level_incl:
 /// Requires `λ_0 > 0` (leaf level) so the strategy has full rank.
 pub fn tree_strategy_error(stats: &NodeLevelStats, level_weights: &[f64]) -> f64 {
     let levels = stats.q_levels.len();
-    assert_eq!(level_weights.len(), levels + 1, "one weight per level (leaf..root)");
-    assert!(level_weights[0] > 0.0, "leaf level must have positive weight");
+    assert_eq!(
+        level_weights.len(),
+        levels + 1,
+        "one weight per level (leaf..root)"
+    );
+    assert!(
+        level_weights[0] > 0.0,
+        "leaf level must have positive weight"
+    );
     let sens: f64 = level_weights.iter().sum();
     let sizes = stats.level_block_sizes();
 
@@ -182,8 +190,15 @@ pub fn tree_strategy_error(stats: &NodeLevelStats, level_weights: &[f64]) -> f64
 /// `w²·m` for a difference row over `m` cells and `w_const²·n` for the base
 /// row; the sensitivity is the sum of the per-level weights (binary trees
 /// touch each column once per level).
-pub fn wavelet_strategy_error(stats: &NodeLevelStats, level_weights: &[f64], const_weight: f64) -> f64 {
-    assert!(stats.is_binary(), "the Haar wavelet is a binary construction");
+pub fn wavelet_strategy_error(
+    stats: &NodeLevelStats,
+    level_weights: &[f64],
+    const_weight: f64,
+) -> f64 {
+    assert!(
+        stats.is_binary(),
+        "the Haar wavelet is a binary construction"
+    );
     let h = stats.q_levels.len();
     assert_eq!(level_weights.len(), h, "one weight per wavelet level");
     let sens: f64 = const_weight + level_weights.iter().sum::<f64>();
@@ -402,7 +417,7 @@ mod tests {
     #[test]
     fn wavelet_sensitivity_is_levels_plus_one() {
         let n = 32;
-        let a = wavelet_matrix(n, &vec![1.0; 5], 1.0);
+        let a = wavelet_matrix(n, &[1.0; 5], 1.0);
         assert!((a.norm_l1_operator() - 6.0).abs() < 1e-12); // 1 + log₂(32)
     }
 

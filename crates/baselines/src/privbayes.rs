@@ -22,7 +22,10 @@ pub struct PrivBayesOptions {
 
 impl Default for PrivBayesOptions {
     fn default() -> Self {
-        PrivBayesOptions { max_parents: 2, structure_budget: 0.3 }
+        PrivBayesOptions {
+            max_parents: 2,
+            structure_budget: 0.3,
+        }
     }
 }
 
@@ -97,7 +100,7 @@ pub fn fit(
                 let mi = mutual_information(records, node, c, domain);
                 let gumbel = -(-(rng.gen::<f64>().max(1e-300)).ln()).ln();
                 let score = eps_per_choice * mi / (2.0 * mi_sens.max(1e-9)) + gumbel;
-                if best.map_or(true, |(_, s)| score > s) {
+                if best.is_none_or(|(_, s)| score > s) {
                     best = Some((ci, score));
                 }
             }
@@ -115,7 +118,11 @@ pub fn fit(
     let mut tables = Vec::with_capacity(d);
     for node in 0..d {
         let pa = &parents[node];
-        let pa_size: usize = pa.iter().map(|&p| domain.attr_size(p)).product::<usize>().max(1);
+        let pa_size: usize = pa
+            .iter()
+            .map(|&p| domain.attr_size(p))
+            .product::<usize>()
+            .max(1);
         let node_size = domain.attr_size(node);
         let mut table = vec![0.0; pa_size * node_size];
         for r in records {
@@ -133,7 +140,12 @@ pub fn fit(
         tables.push(table);
     }
 
-    BayesNet { order, parents, tables, domain: domain.clone() }
+    BayesNet {
+        order,
+        parents,
+        tables,
+        domain: domain.clone(),
+    }
 }
 
 impl BayesNet {
@@ -222,7 +234,11 @@ mod tests {
         (0..n)
             .map(|_| {
                 let a = rng.gen_range(0..4);
-                let b = if rng.gen::<f64>() < 0.9 { a } else { rng.gen_range(0..4) };
+                let b = if rng.gen::<f64>() < 0.9 {
+                    a
+                } else {
+                    rng.gen_range(0..4)
+                };
                 vec![a, b, rng.gen_range(0..3)]
             })
             .collect()
@@ -243,7 +259,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let domain = Domain::new(&[4, 4, 3]);
         let recs = correlated_records(2000, &mut rng);
-        let net = fit(&recs, &domain, 100.0, &PrivBayesOptions { max_parents: 1, ..Default::default() }, &mut rng);
+        let net = fit(
+            &recs,
+            &domain,
+            100.0,
+            &PrivBayesOptions {
+                max_parents: 1,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         assert_eq!(net.parents[1], vec![0]);
     }
 
@@ -255,7 +280,7 @@ mod tests {
         let net = fit(&recs, &domain, 1e6, &PrivBayesOptions::default(), &mut rng);
         let x = net.synthetic_data_vector(recs.len(), &mut rng);
         // First-attribute marginal should be close to the truth.
-        let mut truth = vec![0.0; 4];
+        let mut truth = [0.0; 4];
         for r in &recs {
             truth[r[0]] += 1.0;
         }

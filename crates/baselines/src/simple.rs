@@ -22,7 +22,10 @@ pub fn lm_squared_error_from(sensitivity: f64, query_count: usize) -> f64 {
 pub fn lm_squared_error(w: &Workload, max_cells: usize) -> (f64, bool) {
     match w.sensitivity_exact(max_cells) {
         Some(s) => (lm_squared_error_from(s, w.query_count()), true),
-        None => (lm_squared_error_from(w.sensitivity_upper_bound(), w.query_count()), false),
+        None => (
+            lm_squared_error_from(w.sensitivity_upper_bound(), w.query_count()),
+            false,
+        ),
     }
 }
 

@@ -4,7 +4,7 @@
 //! with uniform weights; sensitivity is `1 + log₂ n`. Multi-dimensional
 //! domains use the standard Kronecker (tensor) wavelet.
 
-use crate::hierarchy::{node_level_stats, wavelet_matrix, wavelet_strategy_error, tree_height};
+use crate::hierarchy::{node_level_stats, tree_height, wavelet_matrix, wavelet_strategy_error};
 use hdmm_linalg::Matrix;
 use hdmm_mechanism::error::residual_kron;
 use hdmm_workload::WorkloadGrams;

@@ -1,0 +1,114 @@
+//! End-to-end engine latency: cold (optimize + measure) vs warm (strategy
+//! cache hit) request service across domain sizes.
+//!
+//! The gap between the two is the engine's reason to exist: SELECT dominates
+//! request cost (Fig. 6 of the paper), and the fingerprint cache removes it
+//! from every repeated workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdmm_core::{builders, Domain, QueryEngine, Workload};
+use hdmm_engine::{Engine, EngineOptions};
+use hdmm_optimizer::HdmmOptions;
+
+fn quick_engine() -> Engine {
+    Engine::new(EngineOptions {
+        hdmm: HdmmOptions {
+            restarts: 1,
+            ..Default::default()
+        },
+        seed: 0,
+        ..Default::default()
+    })
+}
+
+/// Effectively unlimited ε so warm-path iterations never exhaust the ledger.
+const BUDGET: f64 = 1e18;
+
+fn serve_cold(n: usize, workload: &Workload, x: &[f64]) {
+    let engine = quick_engine();
+    engine
+        .register_dataset("d", Domain::one_dim(n), x.to_vec(), BUDGET)
+        .expect("valid registration");
+    engine.serve("d", workload, 1.0).expect("within budget");
+}
+
+fn bench_cold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_cold_optimize_and_measure");
+    group.sample_size(10);
+    for &n in &[32usize, 64, 128] {
+        let workload = builders::all_range_1d(n);
+        let x = vec![1.0; n];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| serve_cold(n, &workload, &x));
+        });
+    }
+    group.finish();
+}
+
+fn bench_warm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_warm_cache_hit");
+    group.sample_size(20);
+    for &n in &[32usize, 64, 128] {
+        let workload = builders::all_range_1d(n);
+        let engine = quick_engine();
+        engine
+            .register_dataset("d", Domain::one_dim(n), vec![1.0; n], BUDGET)
+            .expect("valid registration");
+        // Pre-warm the cache, then measure cache-hit requests only.
+        engine.serve("d", &workload, 1.0).expect("within budget");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| engine.serve("d", &workload, 1.0).expect("within budget"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_warm_multidim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_warm_marginals_3d");
+    group.sample_size(20);
+    let domain = Domain::new(&[4, 8, 8]);
+    let workload = builders::upto_kway_marginals(&domain, 2);
+    let engine = quick_engine();
+    engine
+        .register_dataset("d", domain.clone(), vec![1.0; domain.size()], BUDGET)
+        .expect("valid registration");
+    engine.serve("d", &workload, 1.0).expect("within budget");
+    group.bench_with_input(BenchmarkId::from_parameter(domain.size()), &(), |b, _| {
+        b.iter(|| engine.serve("d", &workload, 1.0).expect("within budget"));
+    });
+    group.finish();
+}
+
+fn bench_session_answer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_session_zero_eps_answer");
+    group.sample_size(20);
+    for &n in &[64usize, 256] {
+        let workload = builders::prefix_1d(n);
+        let follow_up = builders::all_range_1d(n);
+        let engine = quick_engine();
+        engine
+            .register_dataset("d", Domain::one_dim(n), vec![1.0; n], BUDGET)
+            .expect("valid registration");
+        let session = engine
+            .serve("d", &workload, 1.0)
+            .expect("within budget")
+            .session;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                engine
+                    .serve_from_session(session, &follow_up)
+                    .expect("same domain")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cold,
+    bench_warm,
+    bench_warm_multidim,
+    bench_session_answer
+);
+criterion_main!(benches);

@@ -12,8 +12,8 @@
 //! `HDMM_LARGE=1` extends every sweep.
 
 use hdmm_baselines::datacube::{datacube, upto_k_masks};
-use hdmm_baselines::{general_mechanism, greedy_h_energy};
 use hdmm_baselines::hierarchy::prefix_energy;
+use hdmm_baselines::{general_mechanism, greedy_h_energy};
 use hdmm_bench::{large_runs, print_table, timed};
 use hdmm_optimizer::{opt0_with, opt_kron, opt_marginals, Opt0Options, OptKronOptions};
 use hdmm_workload::{blocks, builders, Domain, GramTerm, WorkloadGrams};
@@ -47,7 +47,14 @@ fn fig1a() {
         let (_, greedy_secs) = timed(|| greedy_h_energy(n, &prefix_energy));
         let (_, hdmm_secs) = timed(|| {
             let mut rng = StdRng::seed_from_u64(0);
-            opt0_with(&wtw, &Opt0Options { p: (n / 16).max(1), max_iter: 100 }, &mut rng)
+            opt0_with(
+                &wtw,
+                &Opt0Options {
+                    p: (n / 16).max(1),
+                    max_iter: 100,
+                },
+                &mut rng,
+            )
         });
         rows.push(vec![
             n.to_string(),
@@ -89,7 +96,10 @@ fn fig1b() {
             let g1 = blocks::gram_prefix(n);
             let grams = WorkloadGrams::from_terms(
                 Domain::new(&[n, n, n]),
-                vec![GramTerm { weight: 1.0, factors: vec![g1.clone(), g1.clone(), g1] }],
+                vec![GramTerm {
+                    weight: 1.0,
+                    factors: vec![g1.clone(), g1.clone(), g1],
+                }],
             );
             let p = (n / 16).max(1);
             let mut rng = StdRng::seed_from_u64(0);
@@ -125,7 +135,11 @@ fn fig1c() {
             let mut rng = StdRng::seed_from_u64(0);
             opt_marginals(&grams, &mut rng)
         });
-        rows.push(vec![format!("{total:.1e}"), format!("{dc_secs:.2}"), format!("{hdmm_secs:.2}")]);
+        rows.push(vec![
+            format!("{total:.1e}"),
+            format!("{dc_secs:.2}"),
+            format!("{hdmm_secs:.2}"),
+        ]);
     }
     print_table(
         "Figure 1c — selection runtime (s) vs N = n⁸, 3-way marginals 8D \

@@ -32,12 +32,20 @@ fn main() {
         let range_errors: Vec<f64> = (0..restarts)
             .map(|seed| {
                 let mut rng = StdRng::seed_from_u64(seed as u64);
-                opt0_with(&wtw, &Opt0Options { p: 16, max_iter: 150 }, &mut rng).residual
+                opt0_with(
+                    &wtw,
+                    &Opt0Options {
+                        p: 16,
+                        max_iter: 150,
+                    },
+                    &mut rng,
+                )
+                .residual
             })
             .collect();
 
         // OPT_M on up-to-4-way marginals, d = 8, n_i = 10.
-        let domain = Domain::new(&vec![10usize; 8]);
+        let domain = Domain::new(&[10usize; 8]);
         let grams = WorkloadGrams::from_workload(&builders::upto_kway_marginals(&domain, 4));
         let marg_errors: Vec<f64> = (0..restarts)
             .map(|seed| {
@@ -60,6 +68,8 @@ fn main() {
         &["RelErr", "RangeQueries", "Marginals"],
         &rows,
     );
-    println!("\n({restarts} restarts each, total {secs:.1}s; paper: range-query minima \
-              tightly concentrated, marginals more spread)");
+    println!(
+        "\n({restarts} restarts each, total {secs:.1}s; paper: range-query minima \
+              tightly concentrated, marginals more spread)"
+    );
 }

@@ -18,8 +18,7 @@ fn sparkline(row: &[f64]) -> String {
     let chunk = row.len() / cols;
     (0..cols)
         .map(|c| {
-            let avg: f64 =
-                row[c * chunk..(c + 1) * chunk].iter().sum::<f64>() / chunk as f64;
+            let avg: f64 = row[c * chunk..(c + 1) * chunk].iter().sum::<f64>() / chunk as f64;
             GLYPHS[((avg / max) * 7.0).round() as usize]
         })
         .collect()
@@ -34,7 +33,7 @@ fn main() {
         for seed in 0..3u64 {
             let mut rng = StdRng::seed_from_u64(seed);
             let r = opt0_with(&wtw, &Opt0Options { p, max_iter: 250 }, &mut rng);
-            if best.as_ref().map_or(true, |b| r.residual < b.residual) {
+            if best.as_ref().is_none_or(|b| r.residual < b.residual) {
                 best = Some(r);
             }
         }
@@ -43,7 +42,10 @@ fn main() {
 
     let a = result.pident.matrix();
     println!("## Figure 4 — non-identity strategy rows, all ranges n=256 (paper: Fig 4)");
-    println!("(residual {:.2}, {secs:.1}s; rows sorted by support width)\n", result.residual);
+    println!(
+        "(residual {:.2}, {secs:.1}s; rows sorted by support width)\n",
+        result.residual
+    );
     let mut rows: Vec<Vec<f64>> = (n..a.rows())
         .map(|r| a.row(r).to_vec())
         .filter(|row| row.iter().any(|&v| v > 1e-6))

@@ -24,20 +24,34 @@ fn main() {
     // OPT_⊗ trajectory: essentially one cheap shot.
     let grams = WorkloadGrams::from_terms(
         Domain::new(&[n, n]),
-        vec![GramTerm { weight: 1.0, factors: vec![g1.clone(), g1.clone()] }],
+        vec![GramTerm {
+            weight: 1.0,
+            factors: vec![g1.clone(), g1.clone()],
+        }],
     );
     let (kron_res, kron_secs) = timed(|| {
         let mut rng = StdRng::seed_from_u64(0);
         opt_kron(&grams, &OptKronOptions::new(vec![4, 4]), &mut rng)
     });
-    rows.push(vec!["OPT_kron".into(), format!("{kron_secs:.1}"), format!("{:.0}", kron_res.residual)]);
+    rows.push(vec![
+        "OPT_kron".into(),
+        format!("{kron_secs:.1}"),
+        format!("{:.0}", kron_res.residual),
+    ]);
 
     // OPT_0 trajectory: deterministic L-BFGS from a fixed seed, probed at
     // increasing iteration budgets (prefix runs replay the same path).
     for iters in [3usize, 6, 12, 25, 50] {
         let (res, secs) = timed(|| {
             let mut rng = StdRng::seed_from_u64(0);
-            opt0_with(&big, &Opt0Options { p: 64, max_iter: iters }, &mut rng)
+            opt0_with(
+                &big,
+                &Opt0Options {
+                    p: 64,
+                    max_iter: iters,
+                },
+                &mut rng,
+            )
         });
         rows.push(vec![
             format!("OPT_0[{iters} it]"),
@@ -45,7 +59,11 @@ fn main() {
             format!("{:.0}", res.residual),
         ]);
     }
-    rows.push(vec!["Identity".into(), "0.0".into(), format!("{identity:.0}")]);
+    rows.push(vec![
+        "Identity".into(),
+        "0.0".into(),
+        format!("{identity:.0}"),
+    ]);
 
     print_table(
         "Figure 5 — quality vs time, OPT_0 (explicit, N=4096) vs OPT_⊗ \

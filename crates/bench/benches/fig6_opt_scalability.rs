@@ -20,7 +20,14 @@ fn main() {
         let wtw = blocks::gram_all_range(n);
         let (_, secs) = timed(|| {
             let mut rng = StdRng::seed_from_u64(0);
-            opt0_with(&wtw, &Opt0Options { p: (n / 16).max(1), max_iter: 50 }, &mut rng)
+            opt0_with(
+                &wtw,
+                &Opt0Options {
+                    p: (n / 16).max(1),
+                    max_iter: 50,
+                },
+                &mut rng,
+            )
         });
         rows.push(vec![n.to_string(), format!("{secs:.2}")]);
     }
@@ -38,10 +45,7 @@ fn main() {
     let mut rows = Vec::new();
     for &d in &dims {
         let domain = Domain::new(&vec![10usize; d]);
-        let grams = WorkloadGrams::from_workload(&builders::upto_kway_marginals(
-            &domain,
-            3.min(d),
-        ));
+        let grams = WorkloadGrams::from_workload(&builders::upto_kway_marginals(&domain, 3.min(d)));
         let (_, secs) = timed(|| {
             let mut rng = StdRng::seed_from_u64(0);
             opt_marginals(&grams, &mut rng)
@@ -53,6 +57,8 @@ fn main() {
         &["d", "Seconds"],
         &rows,
     );
-    println!("\n(paper shape: OPT_0 polynomial in n up to 8192; OPT_M exponential in d, \
-              independent of attribute sizes)");
+    println!(
+        "\n(paper shape: OPT_0 polynomial in n up to 8192; OPT_M exponential in d, \
+              independent of attribute sizes)"
+    );
 }

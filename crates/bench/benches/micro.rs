@@ -3,7 +3,7 @@
 //! evaluation, and Laplace noise generation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hdmm_linalg::{kmatvec, Matrix};
+use hdmm_linalg::kmatvec;
 use hdmm_mechanism::laplace::add_laplace_noise;
 use hdmm_optimizer::lbfgs::Objective as _;
 use hdmm_optimizer::opt0::Opt0Objective;

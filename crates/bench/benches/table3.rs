@@ -8,8 +8,10 @@
 //! 1D Patent configurations when `HDMM_LARGE=1` (it is O(N³) per iteration —
 //! the very wall Figure 1 documents).
 
-use hdmm_baselines::hierarchy::{gram_energy, node_level_stats, prefix_energy, range_energy, NodeLevelStats};
-use hdmm_baselines::quadtree::{identity_energy, quadtree_error, total_energy};
+use hdmm_baselines::hierarchy::{
+    gram_energy, node_level_stats, prefix_energy, range_energy, NodeLevelStats,
+};
+use hdmm_baselines::quadtree::{identity_energy, quadtree_error};
 use hdmm_baselines::{
     datacube, dawa_expected_error, general_mechanism, greedy_h_original, hb_1d, hb_matrix,
     lm_squared_error, privbayes_expected_error, privelet_error_1d, privelet_matrix, DawaOptions,
@@ -37,17 +39,31 @@ fn at_eps(coefficient: f64) -> f64 {
 }
 
 fn plan(w: &Workload, restarts: usize) -> f64 {
-    Hdmm::with_options(HdmmOptions { restarts, ..Default::default() })
-        .plan(w)
-        .squared_error_coefficient()
+    Hdmm::with_options(HdmmOptions {
+        restarts,
+        ..Default::default()
+    })
+    .plan(w)
+    .squared_error_coefficient()
 }
 
 fn main() {
     let mut rows: Vec<Row> = Vec::new();
     let t = trials(3);
     let header = [
-        "Dataset", "Workload", "Identity", "LM", "LRM*", "HDMM", "Privelet", "HB", "Quadtree",
-        "GreedyH", "DAWA", "DataCube", "PrivBayes",
+        "Dataset",
+        "Workload",
+        "Identity",
+        "LM",
+        "LRM*",
+        "HDMM",
+        "Privelet",
+        "HB",
+        "Quadtree",
+        "GreedyH",
+        "DAWA",
+        "DataCube",
+        "PrivBayes",
     ];
 
     let (_, secs) = timed(|| {
@@ -129,9 +145,15 @@ fn patent_rows(rows: &mut Vec<Row>, t: usize) {
     for (name, gram, energy, explicit_w, family) in configs {
         let grams = hdmm_workload::WorkloadGrams::from_terms(
             hdmm_workload::Domain::one_dim(n),
-            vec![hdmm_workload::GramTerm { weight: 1.0, factors: vec![gram.clone()] }],
+            vec![hdmm_workload::GramTerm {
+                weight: 1.0,
+                factors: vec![gram.clone()],
+            }],
         );
-        let opts = HdmmOptions { restarts: 2, ..Default::default() };
+        let opts = HdmmOptions {
+            restarts: 2,
+            ..Default::default()
+        };
         let hdmm = hdmm_optimizer::opt_hdmm_grams(&grams, &[n / 16], &opts).squared_error;
 
         let identity = gram.trace();
@@ -154,11 +176,8 @@ fn patent_rows(rows: &mut Vec<Row>, t: usize) {
         // Wavelet through the gram-energy functional (handles permutation).
         let wavelet = privelet_error_1d(n, &gram_energy(&gram));
         let hb = hb_1d(n, energy.as_ref()).squared_error;
-        let greedyh = greedy_h_original(
-            &node_level_stats(n, 2, energy.as_ref()),
-            family,
-        )
-        .squared_error;
+        let greedyh =
+            greedy_h_original(&node_level_stats(n, 2, energy.as_ref()), family).squared_error;
         // DAWA: empirical on the patent histogram.
         let dawa = explicit_w.as_ref().map(|w| {
             let mut rng = StdRng::seed_from_u64(11);
@@ -189,9 +208,16 @@ fn patent_rows(rows: &mut Vec<Row>, t: usize) {
 // Taxi (2D, 256×256): Prefix Identity, Prefix 2D
 // ---------------------------------------------------------------------------
 
+/// One taxi config: label, per-term 2-D gram factors, hierarchy stats pairs.
+type TaxiConfig = (
+    &'static str,
+    Vec<(Matrix, Matrix)>,
+    Vec<(NodeLevelStats, NodeLevelStats)>,
+);
+
 fn taxi_rows(rows: &mut Vec<Row>) {
     let n = 256;
-    let configs: Vec<(&str, Vec<(Matrix, Matrix)>, Vec<(NodeLevelStats, NodeLevelStats)>)> = vec![
+    let configs: Vec<TaxiConfig> = vec![
         (
             "Prefix Identity",
             vec![
@@ -199,14 +225,23 @@ fn taxi_rows(rows: &mut Vec<Row>) {
                 (Matrix::identity(n), blocks::gram_prefix(n)),
             ],
             vec![
-                (node_level_stats(n, 2, &prefix_energy), node_level_stats(n, 2, &identity_energy)),
-                (node_level_stats(n, 2, &identity_energy), node_level_stats(n, 2, &prefix_energy)),
+                (
+                    node_level_stats(n, 2, &prefix_energy),
+                    node_level_stats(n, 2, &identity_energy),
+                ),
+                (
+                    node_level_stats(n, 2, &identity_energy),
+                    node_level_stats(n, 2, &prefix_energy),
+                ),
             ],
         ),
         (
             "Prefix 2D",
             vec![(blocks::gram_prefix(n), blocks::gram_prefix(n))],
-            vec![(node_level_stats(n, 2, &prefix_energy), node_level_stats(n, 2, &prefix_energy))],
+            vec![(
+                node_level_stats(n, 2, &prefix_energy),
+                node_level_stats(n, 2, &prefix_energy),
+            )],
         ),
     ];
 
@@ -221,9 +256,11 @@ fn taxi_rows(rows: &mut Vec<Row>) {
                 })
                 .collect(),
         );
-        let opts = HdmmOptions { restarts: 2, ..Default::default() };
-        let hdmm =
-            hdmm_optimizer::opt_hdmm_grams(&grams, &[n / 16, n / 16], &opts).squared_error;
+        let opts = HdmmOptions {
+            restarts: 2,
+            ..Default::default()
+        };
+        let hdmm = hdmm_optimizer::opt_hdmm_grams(&grams, &[n / 16, n / 16], &opts).squared_error;
 
         let identity = grams.frobenius_norm_sq();
         // LM sensitivity for prefix-style 2D workloads: the all-ones column.
@@ -238,7 +275,11 @@ fn taxi_rows(rows: &mut Vec<Row>) {
                 })
                 .sum();
             // ΔW: prefix column sums peak at n per factor; union adds.
-            let sens: f64 = if name == "Prefix 2D" { (n * n) as f64 } else { (n + n) as f64 };
+            let sens: f64 = if name == "Prefix 2D" {
+                (n * n) as f64
+            } else {
+                (n + n) as f64
+            };
             m * sens * sens
         };
         // Sensitivity of H⊗H is ‖H‖₁² (Thm 3); the error carries its square.
@@ -318,7 +359,14 @@ fn cph_rows(rows: &mut Vec<Row>, t: usize) {
         for r in &mut records {
             r.push(rand::Rng::gen_range(&mut rng, 0..census::STATES));
         }
-        Some(privbayes_expected_error(&w, &records, EPS, &PrivBayesOptions::default(), 1, &mut rng))
+        Some(privbayes_expected_error(
+            &w,
+            &records,
+            EPS,
+            &PrivBayesOptions::default(),
+            1,
+            &mut rng,
+        ))
     } else {
         None
     };
@@ -337,7 +385,11 @@ fn cph_rows(rows: &mut Vec<Row>, t: usize) {
             cell(None),
             cell(None),
             cell(None),
-            cell(privbayes.map(|v| ratio(v, at_eps(hdmm))).or(Some(f64::INFINITY))),
+            cell(
+                privbayes
+                    .map(|v| ratio(v, at_eps(hdmm)))
+                    .or(Some(f64::INFINITY)),
+            ),
         ],
     });
 }
@@ -404,7 +456,10 @@ fn cps_rows(rows: &mut Vec<Row>, t: usize) {
     let mut rng = StdRng::seed_from_u64(53);
     let records = hdmm_data::cps_records(50_000, &mut rng);
 
-    for (name, max_way) in [("All Range-Marginals", None), ("2-way Range-Marginals", Some(2))] {
+    for (name, max_way) in [
+        ("All Range-Marginals", None),
+        ("2-way Range-Marginals", Some(2)),
+    ] {
         let w = builders::range_marginals(&domain, &numeric, max_way);
         let hdmm = plan(&w, 2);
         let grams = WorkloadGrams::from_workload(&w);

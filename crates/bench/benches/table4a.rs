@@ -3,11 +3,11 @@
 //!
 //! Domains: 128, 1024 by default; add 8192 with `HDMM_LARGE=1`.
 
-use hdmm_baselines::hierarchy::{gram_energy, prefix_energy, range_energy};
 use hdmm_baselines::hierarchy::node_level_stats;
+use hdmm_baselines::hierarchy::{gram_energy, prefix_energy, range_energy};
 use hdmm_baselines::{greedy_h_original, hb_1d, privelet_error_1d, RangeFamily};
 use hdmm_bench::{cell, large_runs, print_table, ratio, timed};
-use hdmm_core::{builders, HdmmOptions};
+use hdmm_core::HdmmOptions;
 use hdmm_linalg::Matrix;
 use hdmm_workload::blocks;
 use rand::seq::SliceRandom;
@@ -26,10 +26,16 @@ fn permuted_gram(g: &Matrix, perm: &[usize]) -> Matrix {
 fn hdmm_1d(gram: Matrix, n: usize) -> f64 {
     let grams = hdmm_workload::WorkloadGrams::from_terms(
         hdmm_workload::Domain::one_dim(n),
-        vec![hdmm_workload::GramTerm { weight: 1.0, factors: vec![gram] }],
+        vec![hdmm_workload::GramTerm {
+            weight: 1.0,
+            factors: vec![gram],
+        }],
     );
     let restarts = if n >= 8192 { 1 } else { 2 };
-    let opts = HdmmOptions { restarts, ..Default::default() };
+    let opts = HdmmOptions {
+        restarts,
+        ..Default::default()
+    };
     hdmm_optimizer::opt_hdmm_grams(&grams, &[(n / 16).max(1)], &opts).squared_error
 }
 
@@ -38,7 +44,9 @@ fn main() {
     if large_runs() {
         sizes.push(8192);
     }
-    let header = ["Workload", "Domain", "Identity", "Wavelet", "HB", "GreedyH", "HDMM"];
+    let header = [
+        "Workload", "Domain", "Identity", "Wavelet", "HB", "GreedyH", "HDMM",
+    ];
     let mut rows = Vec::new();
     let (_, secs) = timed(|| {
         for &n in &sizes {
@@ -53,8 +61,11 @@ fn main() {
                 cell(Some(ratio(privelet_error_1d(n, &range_energy), hdmm))),
                 cell(Some(ratio(hb_1d(n, &range_energy).squared_error, hdmm))),
                 cell(Some(ratio(
-                    greedy_h_original(&node_level_stats(n, 2, &range_energy), RangeFamily::AllRange)
-                        .squared_error,
+                    greedy_h_original(
+                        &node_level_stats(n, 2, &range_energy),
+                        RangeFamily::AllRange,
+                    )
+                    .squared_error,
                     hdmm,
                 ))),
                 "1.00".into(),
@@ -101,8 +112,11 @@ fn main() {
                 cell(Some(ratio(wavelet, hdmm))),
                 cell(Some(ratio(hb_1d(n, &perm_energy).squared_error, hdmm))),
                 cell(Some(ratio(
-                    greedy_h_original(&node_level_stats(n, 2, &perm_energy), RangeFamily::Arbitrary)
-                        .squared_error,
+                    greedy_h_original(
+                        &node_level_stats(n, 2, &perm_energy),
+                        RangeFamily::Arbitrary,
+                    )
+                    .squared_error,
                     hdmm,
                 ))),
                 "1.00".into(),

@@ -46,7 +46,10 @@ fn grams_for(n: usize, terms: &[(F, F)]) -> WorkloadGrams {
         Domain::new(&[n, n]),
         terms
             .iter()
-            .map(|&(a, b)| GramTerm { weight: 1.0, factors: vec![a.gram(n), b.gram(n)] })
+            .map(|&(a, b)| GramTerm {
+                weight: 1.0,
+                factors: vec![a.gram(n), b.gram(n)],
+            })
             .collect(),
     )
 }
@@ -63,7 +66,9 @@ fn main() {
         ("PxI u IxP", vec![(F::P, F::I), (F::I, F::P)]),
     ];
 
-    let header = ["Workload", "Domain", "Identity", "Wavelet", "HB", "QuadTree", "HDMM"];
+    let header = [
+        "Workload", "Domain", "Identity", "Wavelet", "HB", "QuadTree", "HDMM",
+    ];
     let mut rows = Vec::new();
     let (_, secs) = timed(|| {
         for (name, terms) in &workloads {
@@ -73,10 +78,12 @@ fn main() {
 
                 // HDMM: restarts scaled down at the largest grid.
                 let restarts = if n >= 1024 { 1 } else { 2 };
-                let opts = HdmmOptions { restarts, ..Default::default() };
+                let opts = HdmmOptions {
+                    restarts,
+                    ..Default::default()
+                };
                 let p = (n / 16).max(1);
-                let hdmm =
-                    hdmm_optimizer::opt_hdmm_grams(&grams, &[p, p], &opts).squared_error;
+                let hdmm = hdmm_optimizer::opt_hdmm_grams(&grams, &[p, p], &opts).squared_error;
 
                 // Wavelet: tensor Haar (Kron error path).
                 // Sensitivity of H⊗H is ‖H‖₁² (Thm 3); error carries its square.
@@ -108,6 +115,10 @@ fn main() {
             }
         }
     });
-    print_table("Table 4b — 2D error ratios vs HDMM (paper: Table 4b)", &header, &rows);
+    print_table(
+        "Table 4b — 2D error ratios vs HDMM (paper: Table 4b)",
+        &header,
+        &rows,
+    );
     println!("\n(total {secs:.1}s)");
 }

@@ -47,14 +47,20 @@ fn main() {
 
             // LM: m·ΔW²; each domain cell is counted once per marginal, so
             // ΔW = #masks; m = Σ_a Π_{i∈a} nᵢ.
-            let m: f64 = masks.iter().map(|&a| (n as f64).powi(a.count_ones() as i32)).sum();
+            let m: f64 = masks
+                .iter()
+                .map(|&a| (n as f64).powi(a.count_ones() as i32))
+                .sum();
             let lm = m * (masks.len() as f64).powi(2);
 
             // DataCube greedy selection.
             let dc = datacube(&domain, &masks).squared_error;
 
             // HDMM: OPT_M dominates here; run the full operator set.
-            let opts = HdmmOptions { restarts: 3, ..Default::default() };
+            let opts = HdmmOptions {
+                restarts: 3,
+                ..Default::default()
+            };
             let hdmm = hdmm_optimizer::opt_hdmm_grams(&grams, &vec![1; d], &opts).squared_error;
 
             rows.push(vec![

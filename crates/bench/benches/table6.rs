@@ -34,7 +34,10 @@ fn main() {
                         &w,
                         x,
                         eps,
-                        &DawaOptions { stage2: Stage2::GreedyH, ..Default::default() },
+                        &DawaOptions {
+                            stage2: Stage2::GreedyH,
+                            ..Default::default()
+                        },
                         t,
                         &mut rng,
                     );
@@ -42,7 +45,10 @@ fn main() {
                         &w,
                         x,
                         eps,
-                        &DawaOptions { stage2: Stage2::Hdmm, ..Default::default() },
+                        &DawaOptions {
+                            stage2: Stage2::Hdmm,
+                            ..Default::default()
+                        },
                         t,
                         &mut rng,
                     );

@@ -10,7 +10,7 @@ use std::time::Instant;
 
 /// True when the large (paper-scale) configurations were requested.
 pub fn large_runs() -> bool {
-    std::env::var("HDMM_LARGE").map_or(false, |v| v != "0" && !v.is_empty())
+    std::env::var("HDMM_LARGE").is_ok_and(|v| v != "0" && !v.is_empty())
 }
 
 /// Number of trials for empirical (data-dependent) error estimates.
@@ -56,7 +56,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(header.iter().map(|s| s.to_string()).collect()));
+    println!(
+        "{}",
+        fmt_row(header.iter().map(|s| s.to_string()).collect())
+    );
     for row in rows {
         println!("{}", fmt_row(row.clone()));
     }

@@ -1,0 +1,311 @@
+//! Offline stand-in for the subset of the `proptest` API this workspace uses.
+//!
+//! Implements the `proptest!` macro, the [`strategy::Strategy`] trait with
+//! `prop_map`, range/collection/bool strategies, and `prop_assert!` /
+//! `prop_assume!`. Cases are generated from seeded RNG streams so failures
+//! are reproducible; there is **no shrinking** — a failing case reports the
+//! seed that produced it instead.
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+
+    /// A recipe for generating random values of an associated type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value from the RNG stream.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The output of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8, f64);
+}
+
+pub mod test_runner {
+    //! Case execution config and outcomes.
+
+    /// Per-test configuration; only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-rejected) cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered the inputs; try another case.
+        Reject,
+        /// `prop_assert!` failed; the whole test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// An assumption rejection.
+        pub fn reject() -> Self {
+            TestCaseError::Reject
+        }
+
+        /// An assertion failure with a message.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError::Fail(msg)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+
+    /// A strategy for `Vec`s of exactly `count` elements of `element`.
+    pub fn vec<S: Strategy>(element: S, count: usize) -> VecStrategy<S> {
+        VecStrategy { element, count }
+    }
+
+    /// The output of [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        count: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            (0..self.count)
+                .map(|_| self.element.generate(rng))
+                .collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A strategy yielding `true` with probability `p`.
+    pub fn weighted(p: f64) -> Weighted {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        Weighted { p }
+    }
+
+    /// The output of [`weighted`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Weighted {
+        p: f64,
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.gen::<f64>() < self.p
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude::*`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Fails the current case with a formatted message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Rejects the current case (generates a replacement) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject());
+        }
+    };
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, …) { … }`
+/// item becomes a standard test that runs the body over `cases` random
+/// instantiations of its arguments.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut accepted = 0u32;
+            let mut attempts = 0u64;
+            // Distinct base seed per test, stable across runs.
+            let mut seed = {
+                let name = concat!(module_path!(), "::", stringify!($name));
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for b in name.bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                h
+            };
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts < config.cases as u64 * 256 + 1024,
+                    "proptest: too many rejected cases (prop_assume! too strict)"
+                );
+                seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut __rng =
+                    <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                        seed,
+                    );
+                $(let $arg =
+                    $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("proptest case failed (seed {seed}): {msg}");
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Range strategies stay in bounds and assumptions reject.
+        #[test]
+        fn ranges_in_bounds(a in 2usize..5, b in 0.5f64..2.0) {
+            prop_assume!(a != 4);
+            prop_assert!((2..5).contains(&a));
+            prop_assert!((0.5..2.0).contains(&b));
+        }
+
+        /// Collections honor the exact length and prop_map composes.
+        #[test]
+        fn vec_and_map(v in crate::collection::vec(0u32..10, 7)) {
+            let doubled: Vec<u32> = v.iter().map(|x| x * 2).collect();
+            prop_assert_eq!(doubled.len(), 7);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+}

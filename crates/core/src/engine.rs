@@ -1,0 +1,244 @@
+//! Engine abstractions: the contracts an end-to-end private query-answering
+//! service implements, plus its typed error domain.
+//!
+//! The math crates stay policy-free; this module defines the *serving*
+//! vocabulary shared between them and `hdmm-engine`:
+//!
+//! * [`BudgetAccountant`] — tracks ε spend per dataset across sequential
+//!   measurements (sequential composition) and rejects overspend;
+//! * [`PrivateSession`] — a measure-once/answer-many handle: after one noisy
+//!   measurement, any workload over the same domain is answered from the
+//!   reconstructed estimate at zero additional privacy cost (post-processing);
+//! * [`QueryEngine`] — the request lifecycle: plan (cached), spend, measure,
+//!   reconstruct, answer;
+//! * [`EngineError`] — every way a request can fail, as typed variants.
+
+use hdmm_mechanism::MechanismError;
+use hdmm_workload::{Domain, Workload};
+
+/// Opaque identifier of a measurement session within an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "session-{}", self.0)
+    }
+}
+
+/// Typed failures of the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The request would overspend the dataset's remaining privacy budget.
+    BudgetExhausted {
+        /// Dataset whose ledger rejected the spend.
+        dataset: String,
+        /// ε requested by this measurement.
+        requested: f64,
+        /// ε still available.
+        remaining: f64,
+    },
+    /// The privacy parameter is not a positive finite number.
+    InvalidEpsilon {
+        /// The offending value.
+        eps: f64,
+    },
+    /// No dataset registered under this name.
+    UnknownDataset {
+        /// The requested name.
+        name: String,
+    },
+    /// No session with this id (expired or never created).
+    UnknownSession {
+        /// The requested id.
+        id: SessionId,
+    },
+    /// The workload's domain does not match the session/dataset domain.
+    DomainMismatch {
+        /// Domain the engine holds.
+        expected: Domain,
+        /// Domain the workload was built over.
+        got: Domain,
+    },
+    /// The registered data vector does not match its domain size.
+    DataVectorMismatch {
+        /// Cells expected by the domain.
+        expected: usize,
+        /// Cells provided.
+        got: usize,
+    },
+    /// A dataset name was registered twice.
+    DatasetExists {
+        /// The duplicated name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::BudgetExhausted { dataset, requested, remaining } => write!(
+                f,
+                "dataset '{dataset}': requested eps={requested} exceeds remaining budget {remaining}"
+            ),
+            EngineError::InvalidEpsilon { eps } => {
+                write!(f, "privacy parameter must be positive and finite, got {eps}")
+            }
+            EngineError::UnknownDataset { name } => write!(f, "no dataset named '{name}'"),
+            EngineError::UnknownSession { id } => write!(f, "no such {id}"),
+            EngineError::DomainMismatch { expected, got } => {
+                write!(f, "workload domain {got} does not match engine domain {expected}")
+            }
+            EngineError::DataVectorMismatch { expected, got } => {
+                write!(f, "data vector has {got} cells, domain has {expected}")
+            }
+            EngineError::DatasetExists { name } => {
+                write!(f, "dataset '{name}' is already registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl EngineError {
+    /// Lifts a mechanism-layer error into the engine's error domain.
+    pub fn from_mechanism(err: MechanismError, dataset: &str) -> EngineError {
+        match err {
+            MechanismError::InvalidEpsilon { eps } => EngineError::InvalidEpsilon { eps },
+            MechanismError::BudgetExhausted {
+                requested,
+                remaining,
+            } => EngineError::BudgetExhausted {
+                dataset: dataset.to_string(),
+                requested,
+                remaining,
+            },
+            MechanismError::DataVectorMismatch { expected, got } => {
+                EngineError::DataVectorMismatch { expected, got }
+            }
+        }
+    }
+}
+
+/// Tracks ε spend for one dataset under sequential composition.
+pub trait BudgetAccountant {
+    /// The total budget granted at registration.
+    fn total_budget(&self) -> f64;
+
+    /// ε consumed so far.
+    fn spent(&self) -> f64;
+
+    /// ε still available (never negative).
+    fn remaining(&self) -> f64 {
+        (self.total_budget() - self.spent()).max(0.0)
+    }
+
+    /// Records a spend of `eps`, or rejects it with a typed error. Must be
+    /// all-or-nothing: a rejected spend leaves the ledger unchanged.
+    fn try_spend(&mut self, eps: f64) -> Result<(), EngineError>;
+}
+
+/// A measure-once/answer-many handle over one reconstructed estimate.
+pub trait PrivateSession {
+    /// The domain the measurement was taken over.
+    fn domain(&self) -> &Domain;
+
+    /// ε consumed by the measurement backing this session.
+    fn eps_spent(&self) -> f64;
+
+    /// Answers an arbitrary workload over the session's domain from the
+    /// reconstructed estimate — pure post-processing, zero additional ε.
+    fn answer(&self, workload: &Workload) -> Result<Vec<f64>, EngineError>;
+}
+
+/// Summary of one served request.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// Private answers to the requested workload, in workload query order.
+    pub answers: Vec<f64>,
+    /// Session created by this request (for zero-ε follow-ups).
+    pub session: SessionId,
+    /// ε actually consumed.
+    pub eps_spent: f64,
+    /// Whether the strategy came from the cache (true) or was optimized now.
+    pub cache_hit: bool,
+    /// Which optimizer produced the strategy (`opt0`, `kron`, `plus`, …).
+    pub operator: &'static str,
+    /// Closed-form expected total squared error at the spent ε (Definition 7).
+    pub expected_error: f64,
+}
+
+/// The end-to-end request lifecycle of a private query-answering service.
+pub trait QueryEngine {
+    /// Serves one batched linear-query request against a registered dataset:
+    /// select (cache-aware), spend, measure, reconstruct, answer.
+    fn serve(
+        &self,
+        dataset: &str,
+        workload: &Workload,
+        eps: f64,
+    ) -> Result<QueryResponse, EngineError>;
+
+    /// Answers a follow-up workload from an existing session at zero ε cost.
+    fn serve_from_session(
+        &self,
+        session: SessionId,
+        workload: &Workload,
+    ) -> Result<Vec<f64>, EngineError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_context() {
+        let err = EngineError::BudgetExhausted {
+            dataset: "census".into(),
+            requested: 2.0,
+            remaining: 0.5,
+        };
+        let msg = err.to_string();
+        assert!(
+            msg.contains("census") && msg.contains('2') && msg.contains("0.5"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn mechanism_errors_lift_with_dataset_context() {
+        let lifted = EngineError::from_mechanism(
+            MechanismError::BudgetExhausted {
+                requested: 1.0,
+                remaining: 0.0,
+            },
+            "taxi",
+        );
+        assert_eq!(
+            lifted,
+            EngineError::BudgetExhausted {
+                dataset: "taxi".into(),
+                requested: 1.0,
+                remaining: 0.0
+            }
+        );
+    }
+
+    #[test]
+    fn default_remaining_clamps_at_zero() {
+        struct Over;
+        impl BudgetAccountant for Over {
+            fn total_budget(&self) -> f64 {
+                1.0
+            }
+            fn spent(&self) -> f64 {
+                2.0
+            }
+            fn try_spend(&mut self, _eps: f64) -> Result<(), EngineError> {
+                unreachable!()
+            }
+        }
+        assert_eq!(Over.remaining(), 0.0);
+    }
+}

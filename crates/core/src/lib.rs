@@ -38,14 +38,21 @@
 //! assert_eq!(answers.len(), workload.query_count());
 //! ```
 
+pub mod engine;
+
 pub use hdmm_linalg as linalg;
 pub use hdmm_mechanism as mechanism;
 pub use hdmm_optimizer as optimizer;
 pub use hdmm_workload as workload;
 
+pub use engine::{
+    BudgetAccountant, EngineError, PrivateSession, QueryEngine, QueryResponse, SessionId,
+};
 pub use hdmm_mechanism::{MarginalsStrategy, MechanismResult, Strategy};
 pub use hdmm_optimizer::{HdmmOptions, Selected};
-pub use hdmm_workload::{builders, census, predicates, Domain, ProductTerm, Workload, WorkloadGrams};
+pub use hdmm_workload::{
+    builders, census, predicates, Domain, ProductTerm, Workload, WorkloadFingerprint, WorkloadGrams,
+};
 
 use rand::Rng;
 
@@ -63,7 +70,12 @@ impl Hdmm {
 
     /// Planner with a given number of random restarts (Algorithm 2's `S`).
     pub fn with_restarts(restarts: usize) -> Self {
-        Hdmm { options: HdmmOptions { restarts, ..Default::default() } }
+        Hdmm {
+            options: HdmmOptions {
+                restarts,
+                ..Default::default()
+            },
+        }
     }
 
     /// SELECT: optimizes a measurement strategy for `workload`
@@ -76,14 +88,22 @@ impl Hdmm {
             .clone()
             .unwrap_or_else(|| hdmm_optimizer::default_ps(workload));
         let selected = hdmm_optimizer::opt_hdmm_grams(&grams, &ps, &self.options);
-        Plan { selected, grams, query_count: workload.query_count() }
+        Plan {
+            selected,
+            grams,
+            query_count: workload.query_count(),
+        }
     }
 
     /// SELECT directly from workload Grams (very large structured workloads
     /// where the query matrices are never materialized).
     pub fn plan_grams(&self, grams: WorkloadGrams, ps: &[usize], query_count: usize) -> Plan {
         let selected = hdmm_optimizer::opt_hdmm_grams(&grams, ps, &self.options);
-        Plan { selected, grams, query_count }
+        Plan {
+            selected,
+            grams,
+            query_count,
+        }
     }
 }
 
@@ -97,6 +117,17 @@ pub struct Plan {
 }
 
 impl Plan {
+    /// Assembles a plan from an externally produced selection — the hook the
+    /// serving engine uses after running a single planner-chosen optimizer
+    /// instead of full Algorithm 2.
+    pub fn from_parts(selected: Selected, grams: WorkloadGrams, query_count: usize) -> Plan {
+        Plan {
+            selected,
+            grams,
+            query_count,
+        }
+    }
+
     /// The selected strategy.
     pub fn strategy(&self) -> &Strategy {
         &self.selected.strategy
@@ -143,7 +174,9 @@ impl Plan {
 /// One-call convenience: plan and execute in a single invocation
 /// (the full Table 1(b) pipeline).
 pub fn hdmm(workload: &Workload, x: &[f64], eps: f64, rng: &mut impl Rng) -> MechanismResult {
-    Hdmm::default().plan(workload).execute(workload, x, eps, rng)
+    Hdmm::default()
+        .plan(workload)
+        .execute(workload, x, eps, rng)
 }
 
 #[cfg(test)]

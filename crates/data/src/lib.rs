@@ -42,14 +42,21 @@ pub fn patent_1d(n: usize, total: usize, rng: &mut impl Rng) -> Vec<f64> {
 pub fn taxi_2d(n: usize, total: usize, rng: &mut impl Rng) -> Vec<f64> {
     let clusters = 8;
     let centers: Vec<(f64, f64, f64)> = (0..clusters)
-        .map(|_| (rng.gen::<f64>() * n as f64, rng.gen::<f64>() * n as f64, 2.0 + rng.gen::<f64>() * (n as f64 / 12.0)))
+        .map(|_| {
+            (
+                rng.gen::<f64>() * n as f64,
+                rng.gen::<f64>() * n as f64,
+                2.0 + rng.gen::<f64>() * (n as f64 / 12.0),
+            )
+        })
         .collect();
     let mut x = vec![0.0; n * n];
     let normal = Normal;
     for _ in 0..total {
         let (cx, cy, s) = centers[rng.gen_range(0..clusters)];
-        let px = (cx + normal.sample(rng) * s).clamp(0.0, (n - 1) as f64) as usize;
-        let py = (cy + normal.sample(rng) * s).clamp(0.0, (n - 1) as f64) as usize;
+        let (dx, dy): (f64, f64) = (normal.sample(rng), normal.sample(rng));
+        let px = (cx + dx * s).clamp(0.0, (n - 1) as f64) as usize;
+        let py = (cy + dy * s).clamp(0.0, (n - 1) as f64) as usize;
         x[px * n + py] += 1.0;
     }
     x
@@ -137,7 +144,8 @@ pub fn dawa_shapes(n: usize, total: usize, rng: &mut impl Rng) -> Vec<(&'static 
     // Hepth-like: smooth unimodal bulk.
     let mut hepth = vec![0.0; n];
     for _ in 0..total {
-        let v = ((rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>()) / 3.0 * n as f64) as usize;
+        let v =
+            ((rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>()) / 3.0 * n as f64) as usize;
         hepth[v.min(n - 1)] += 1.0;
     }
     out.push(("hepth", hepth));
@@ -148,7 +156,8 @@ pub fn dawa_shapes(n: usize, total: usize, rng: &mut impl Rng) -> Vec<(&'static 
         let v = if rng.gen::<f64>() < 0.6 {
             (rng.gen::<f64>() * n as f64 * 0.08) as usize
         } else {
-            let center = n as f64 / 2.0 + Normal.sample(rng) * n as f64 / 10.0;
+            let offset: f64 = Normal.sample(rng);
+            let center = n as f64 / 2.0 + offset * n as f64 / 10.0;
             center.clamp(0.0, (n - 1) as f64) as usize
         };
         medcost[v.min(n - 1)] += 1.0;

@@ -1,0 +1,115 @@
+//! The ε-budget accountant: sequential-composition ledger for one dataset.
+
+use hdmm_core::{BudgetAccountant, EngineError};
+
+/// Tracks ε spend for one dataset. Sequential composition: total privacy loss
+/// is the sum of the ε of every measurement taken on the dataset, so the
+/// ledger is a plain additive counter with an all-or-nothing spend check.
+#[derive(Debug, Clone)]
+pub struct EpsAccountant {
+    dataset: String,
+    total: f64,
+    spent: f64,
+}
+
+impl EpsAccountant {
+    /// A fresh ledger granting `total` ε to `dataset`.
+    ///
+    /// # Panics
+    /// Panics if `total` is not positive and finite (registration validates
+    /// this before construction).
+    pub fn new(dataset: impl Into<String>, total: f64) -> Self {
+        assert!(
+            total.is_finite() && total > 0.0,
+            "total budget must be positive and finite"
+        );
+        EpsAccountant {
+            dataset: dataset.into(),
+            total,
+            spent: 0.0,
+        }
+    }
+
+    /// The dataset this ledger guards.
+    pub fn dataset(&self) -> &str {
+        &self.dataset
+    }
+}
+
+impl BudgetAccountant for EpsAccountant {
+    fn total_budget(&self) -> f64 {
+        self.total
+    }
+
+    fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    fn try_spend(&mut self, eps: f64) -> Result<(), EngineError> {
+        if !(eps.is_finite() && eps > 0.0) {
+            return Err(EngineError::InvalidEpsilon { eps });
+        }
+        let remaining = self.remaining();
+        // Tolerate float dust so spending exactly the remaining budget works
+        // even after repeated additive updates.
+        if eps > remaining * (1.0 + 1e-12) {
+            return Err(EngineError::BudgetExhausted {
+                dataset: self.dataset.clone(),
+                requested: eps,
+                remaining,
+            });
+        }
+        self.spent = (self.spent + eps).min(self.total);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spends_accumulate() {
+        let mut a = EpsAccountant::new("d", 1.0);
+        a.try_spend(0.25).unwrap();
+        a.try_spend(0.25).unwrap();
+        assert!((a.spent() - 0.5).abs() < 1e-12);
+        assert!((a.remaining() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overspend_is_rejected_and_leaves_ledger_unchanged() {
+        let mut a = EpsAccountant::new("d", 1.0);
+        a.try_spend(0.9).unwrap();
+        let err = a.try_spend(0.2).unwrap_err();
+        assert!(matches!(err, EngineError::BudgetExhausted { ref dataset, .. } if dataset == "d"));
+        assert!(
+            (a.spent() - 0.9).abs() < 1e-12,
+            "rejected spend must not be recorded"
+        );
+    }
+
+    #[test]
+    fn exact_exhaustion_is_allowed_then_everything_rejected() {
+        let mut a = EpsAccountant::new("d", 1.0);
+        for _ in 0..10 {
+            a.try_spend(0.1).unwrap();
+        }
+        assert!(a.remaining() < 1e-9);
+        assert!(matches!(
+            a.try_spend(1e-6),
+            Err(EngineError::BudgetExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_epsilon_is_typed() {
+        let mut a = EpsAccountant::new("d", 1.0);
+        for eps in [0.0, -0.5, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                a.try_spend(eps),
+                Err(EngineError::InvalidEpsilon { .. })
+            ));
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! The strategy cache: fingerprint-keyed memoization of SELECT.
+//!
+//! Strategy optimization is the dominant per-request cost (Figure 6 of the
+//! paper: seconds to minutes at scale) while MEASURE/RECONSTRUCT are
+//! milliseconds, and SELECT is a pure function of the workload. Caching on
+//! the canonical [`WorkloadFingerprint`] makes repeated workloads — the
+//! common case for a serving system issuing the same dashboards and reports —
+//! skip re-optimization entirely. Since selection never touches data or
+//! budget, a cached strategy is privacy-neutral to reuse.
+
+use hdmm_core::{Plan, WorkloadFingerprint};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Counters describing cache effectiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required fresh optimization.
+    pub misses: u64,
+    /// Entries dropped to respect capacity.
+    pub evictions: u64,
+    /// Current number of cached plans.
+    pub len: usize,
+    /// Maximum number of cached plans.
+    pub capacity: usize,
+}
+
+/// An LRU map from workload fingerprint to optimized plan.
+#[derive(Debug)]
+pub struct StrategyCache {
+    capacity: usize,
+    map: HashMap<WorkloadFingerprint, Arc<Plan>>,
+    /// Recency queue; front is the least recently used key.
+    order: VecDeque<WorkloadFingerprint>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl StrategyCache {
+    /// A cache holding at most `capacity` plans.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        StrategyCache {
+            capacity,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up a plan, updating recency and hit/miss counters.
+    pub fn get(&mut self, key: &WorkloadFingerprint) -> Option<Arc<Plan>> {
+        match self.map.get(key).cloned() {
+            Some(plan) => {
+                self.hits += 1;
+                self.touch(key);
+                Some(plan)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a plan, evicting the least recently used entry when full.
+    pub fn insert(&mut self, key: WorkloadFingerprint, plan: Arc<Plan>) {
+        if self.map.insert(key.clone(), plan).is_some() {
+            // Concurrent planners may race on the same miss; keep one entry.
+            self.touch(&key);
+            return;
+        }
+        self.order.push_back(key);
+        while self.map.len() > self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                if self.map.remove(&oldest).is_some() {
+                    self.evictions += 1;
+                }
+            }
+        }
+    }
+
+    /// Moves `key` to the most-recently-used position.
+    fn touch(&mut self, key: &WorkloadFingerprint) {
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            let k = self.order.remove(pos).expect("position is in range");
+            self.order.push_back(k);
+        }
+    }
+
+    /// Current effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            len: self.map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdmm_core::{builders, Hdmm, Workload};
+
+    fn plan_of(w: &Workload) -> Arc<Plan> {
+        Arc::new(Hdmm::with_restarts(1).plan(w))
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut cache = StrategyCache::new(4);
+        let w = builders::prefix_1d(8);
+        let fp = w.fingerprint();
+        assert!(cache.get(&fp).is_none());
+        cache.insert(fp.clone(), plan_of(&w));
+        assert!(cache.get(&fp).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut cache = StrategyCache::new(2);
+        let w1 = builders::prefix_1d(4);
+        let w2 = builders::prefix_1d(5);
+        let w3 = builders::prefix_1d(6);
+        cache.insert(w1.fingerprint(), plan_of(&w1));
+        cache.insert(w2.fingerprint(), plan_of(&w2));
+        // Touch w1 so w2 becomes the LRU entry.
+        assert!(cache.get(&w1.fingerprint()).is_some());
+        cache.insert(w3.fingerprint(), plan_of(&w3));
+        assert!(cache.get(&w2.fingerprint()).is_none(), "w2 was evicted");
+        assert!(cache.get(&w1.fingerprint()).is_some());
+        assert!(cache.get(&w3.fingerprint()).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_does_not_duplicate() {
+        let mut cache = StrategyCache::new(2);
+        let w = builders::prefix_1d(4);
+        cache.insert(w.fingerprint(), plan_of(&w));
+        cache.insert(w.fingerprint(), plan_of(&w));
+        assert_eq!(cache.stats().len, 1);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+}

@@ -1,0 +1,484 @@
+//! The engine: request lifecycle over registered datasets.
+
+use crate::accountant::EpsAccountant;
+use crate::cache::{CacheStats, StrategyCache};
+use crate::session::Session;
+use hdmm_core::{
+    BudgetAccountant, Domain, EngineError, HdmmOptions, Plan, PrivateSession, QueryEngine,
+    QueryResponse, SessionId, Workload, WorkloadGrams,
+};
+use hdmm_mechanism::try_run_mechanism;
+use hdmm_optimizer::planner::{optimize_with_choice, select_optimizer, OptimizerChoice};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Optimizer options (restarts, seeds, p overrides) used by SELECT.
+    pub hdmm: HdmmOptions,
+    /// Maximum number of cached plans.
+    pub cache_capacity: usize,
+    /// Maximum number of retained sessions; the oldest is dropped when full
+    /// (each session holds a domain-sized estimate, so this bounds memory).
+    pub session_capacity: usize,
+    /// Seed of the engine's measurement RNG stream: two engines with the same
+    /// seed serving the same request sequence produce identical answers.
+    pub seed: u64,
+    /// Run full Algorithm 2 on every plan instead of the structural planner
+    /// (slower, occasionally lower error; mirrors the paper's offline mode).
+    pub exhaustive_planning: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            hdmm: HdmmOptions::default(),
+            cache_capacity: 64,
+            session_capacity: 1024,
+            seed: 0,
+            exhaustive_planning: false,
+        }
+    }
+}
+
+struct DatasetState {
+    domain: Domain,
+    x: Vec<f64>,
+    accountant: EpsAccountant,
+}
+
+/// FIFO-bounded session registry.
+struct SessionStore {
+    map: HashMap<SessionId, Arc<Session>>,
+    order: VecDeque<SessionId>,
+    capacity: usize,
+}
+
+impl SessionStore {
+    fn insert(&mut self, session: Arc<Session>) {
+        let id = session.id();
+        self.map.insert(id, session);
+        self.order.push_back(id);
+        while self.map.len() > self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.map.remove(&oldest);
+            }
+        }
+    }
+
+    fn remove(&mut self, id: SessionId) -> Option<Arc<Session>> {
+        // `order` is lazily cleaned: a stale id left behind is skipped when
+        // it reaches the front because `map.remove` then returns `None`.
+        self.map.remove(&id)
+    }
+}
+
+/// An end-to-end private query-answering engine.
+///
+/// Owns registered datasets (each with its own ε ledger and its own lock, so
+/// measurements on different datasets proceed concurrently), a strategy cache
+/// keyed by canonical workload fingerprints, and a bounded registry of the
+/// sessions produced by completed measurements. Shareable across threads
+/// behind an `Arc`.
+pub struct Engine {
+    options: EngineOptions,
+    cache: Mutex<StrategyCache>,
+    datasets: Mutex<HashMap<String, Arc<Mutex<DatasetState>>>>,
+    sessions: Mutex<SessionStore>,
+    rng: Mutex<StdRng>,
+    next_session: AtomicU64,
+}
+
+impl Engine {
+    /// An engine with explicit options.
+    pub fn new(options: EngineOptions) -> Self {
+        Engine {
+            cache: Mutex::new(StrategyCache::new(options.cache_capacity)),
+            rng: Mutex::new(StdRng::seed_from_u64(options.seed)),
+            sessions: Mutex::new(SessionStore {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                capacity: options.session_capacity.max(1),
+            }),
+            options,
+            datasets: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+        }
+    }
+
+    /// An engine with default options and the given RNG seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Engine::new(EngineOptions {
+            seed,
+            ..Default::default()
+        })
+    }
+
+    /// Registers a dataset: its domain, data vector (cell counts in row-major
+    /// order), and total ε budget. The engine holds the only reference the
+    /// serving path ever takes to raw data.
+    pub fn register_dataset(
+        &self,
+        name: impl Into<String>,
+        domain: Domain,
+        x: Vec<f64>,
+        total_eps: f64,
+    ) -> Result<(), EngineError> {
+        let name = name.into();
+        if !(total_eps.is_finite() && total_eps > 0.0) {
+            return Err(EngineError::InvalidEpsilon { eps: total_eps });
+        }
+        if x.len() != domain.size() {
+            return Err(EngineError::DataVectorMismatch {
+                expected: domain.size(),
+                got: x.len(),
+            });
+        }
+        let mut datasets = self.lock_datasets();
+        if datasets.contains_key(&name) {
+            return Err(EngineError::DatasetExists { name });
+        }
+        let accountant = EpsAccountant::new(name.clone(), total_eps);
+        datasets.insert(
+            name,
+            Arc::new(Mutex::new(DatasetState {
+                domain,
+                x,
+                accountant,
+            })),
+        );
+        Ok(())
+    }
+
+    /// Resolves a dataset handle, validating the workload domain against it
+    /// (domains are immutable after registration, so one check suffices).
+    fn resolve_dataset(
+        &self,
+        name: &str,
+        workload: &Workload,
+    ) -> Result<Arc<Mutex<DatasetState>>, EngineError> {
+        let handle =
+            self.lock_datasets()
+                .get(name)
+                .cloned()
+                .ok_or_else(|| EngineError::UnknownDataset {
+                    name: name.to_string(),
+                })?;
+        let ds = handle.lock().expect("dataset lock poisoned");
+        if workload.domain() != &ds.domain {
+            return Err(EngineError::DomainMismatch {
+                expected: ds.domain.clone(),
+                got: workload.domain().clone(),
+            });
+        }
+        drop(ds);
+        Ok(handle)
+    }
+
+    /// Returns the optimized plan for `workload`, consulting the strategy
+    /// cache first. The boolean is `true` on a cache hit. Selection is pure —
+    /// no data, no budget — so this is safe to call speculatively (e.g. to
+    /// pre-warm the cache before traffic arrives).
+    pub fn plan(&self, workload: &Workload) -> (Arc<Plan>, bool) {
+        let fingerprint = workload.fingerprint();
+        if let Some(plan) = self.lock_cache().get(&fingerprint) {
+            return (plan, true);
+        }
+        // Optimize outside the cache lock: SELECT can take seconds while
+        // cached requests should keep flowing. Concurrent misses on the same
+        // fingerprint duplicate work but converge on one entry.
+        let plan = Arc::new(self.optimize(workload));
+        self.lock_cache().insert(fingerprint, Arc::clone(&plan));
+        (plan, false)
+    }
+
+    fn optimize(&self, workload: &Workload) -> Plan {
+        let opts = &self.options.hdmm;
+        let grams = WorkloadGrams::from_workload(workload);
+        let ps = opts
+            .ps
+            .clone()
+            .unwrap_or_else(|| hdmm_optimizer::default_ps(workload));
+        let choice = if self.options.exhaustive_planning {
+            OptimizerChoice::Exhaustive
+        } else {
+            select_optimizer(workload, opts).choice
+        };
+        let selected = optimize_with_choice(&grams, &ps, opts, choice);
+        Plan::from_parts(selected, grams, workload.query_count())
+    }
+
+    /// The planner decision for a workload, without running the optimization
+    /// (`EXPLAIN` for the SELECT phase).
+    pub fn explain(&self, workload: &Workload) -> hdmm_optimizer::PlanDecision {
+        select_optimizer(workload, &self.options.hdmm)
+    }
+
+    /// Looks up a session produced by a previous [`QueryEngine::serve`] call.
+    pub fn session(&self, id: SessionId) -> Result<Arc<Session>, EngineError> {
+        self.lock_sessions()
+            .map
+            .get(&id)
+            .cloned()
+            .ok_or(EngineError::UnknownSession { id })
+    }
+
+    /// Drops a session, releasing its domain-sized estimate immediately
+    /// instead of waiting for capacity eviction.
+    pub fn close_session(&self, id: SessionId) -> Result<(), EngineError> {
+        self.lock_sessions()
+            .remove(id)
+            .map(|_| ())
+            .ok_or(EngineError::UnknownSession { id })
+    }
+
+    /// (total, spent, remaining) ε for a dataset.
+    pub fn budget(&self, dataset: &str) -> Result<(f64, f64, f64), EngineError> {
+        let handle = self.lock_datasets().get(dataset).cloned().ok_or_else(|| {
+            EngineError::UnknownDataset {
+                name: dataset.to_string(),
+            }
+        })?;
+        let ds = handle.lock().expect("dataset lock poisoned");
+        let a = &ds.accountant;
+        Ok((a.total_budget(), a.spent(), a.remaining()))
+    }
+
+    /// Strategy-cache effectiveness counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.lock_cache().stats()
+    }
+
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, StrategyCache> {
+        self.cache.lock().expect("strategy cache lock poisoned")
+    }
+
+    fn lock_datasets(
+        &self,
+    ) -> std::sync::MutexGuard<'_, HashMap<String, Arc<Mutex<DatasetState>>>> {
+        self.datasets
+            .lock()
+            .expect("dataset registry lock poisoned")
+    }
+
+    fn lock_sessions(&self) -> std::sync::MutexGuard<'_, SessionStore> {
+        self.sessions
+            .lock()
+            .expect("session registry lock poisoned")
+    }
+}
+
+impl QueryEngine for Engine {
+    fn serve(
+        &self,
+        dataset: &str,
+        workload: &Workload,
+        eps: f64,
+    ) -> Result<QueryResponse, EngineError> {
+        // Cheap validation first (microseconds, short registry lock) so a
+        // typo'd dataset or mismatched domain never pays for SELECT or
+        // occupies a cache slot.
+        let handle = self.resolve_dataset(dataset, workload)?;
+
+        // SELECT (cache-aware) — pure, no data, no budget.
+        let (plan, cache_hit) = self.plan(workload);
+
+        // One u64 off the engine stream seeds a per-request RNG, keeping the
+        // answer sequence deterministic per engine seed without holding the
+        // engine-wide RNG lock through the measurement.
+        let mut rng = {
+            let mut engine_rng = self.rng.lock().expect("engine rng lock poisoned");
+            StdRng::seed_from_u64(engine_rng.gen::<u64>())
+        };
+
+        // MEASURE + RECONSTRUCT under the remaining budget; the mechanism
+        // layer re-validates eps and the budget bound with typed errors.
+        // Only this dataset's lock is held, so other datasets keep serving.
+        let mut ds = handle.lock().expect("dataset lock poisoned");
+        let remaining = ds.accountant.remaining();
+        let result = try_run_mechanism(workload, plan.strategy(), &ds.x, eps, remaining, &mut rng)
+            .map_err(|e| EngineError::from_mechanism(e, dataset))?;
+        ds.accountant
+            .try_spend(eps)
+            .expect("spend was validated by the measurement");
+
+        let id = SessionId(self.next_session.fetch_add(1, Ordering::Relaxed));
+        let session = Arc::new(Session::new(
+            id,
+            dataset.to_string(),
+            ds.domain.clone(),
+            result.x_hat,
+            eps,
+        ));
+        drop(ds);
+        self.lock_sessions().insert(session);
+
+        Ok(QueryResponse {
+            answers: result.answers,
+            session: id,
+            eps_spent: eps,
+            cache_hit,
+            operator: plan.operator(),
+            expected_error: plan.expected_error(eps),
+        })
+    }
+
+    fn serve_from_session(
+        &self,
+        session: SessionId,
+        workload: &Workload,
+    ) -> Result<Vec<f64>, EngineError> {
+        self.session(session)?.answer(workload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdmm_core::builders;
+
+    fn quick_engine(seed: u64) -> Engine {
+        Engine::new(EngineOptions {
+            hdmm: HdmmOptions {
+                restarts: 1,
+                ..Default::default()
+            },
+            seed,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn serve_requires_a_registered_dataset() {
+        let engine = quick_engine(0);
+        let w = builders::prefix_1d(8);
+        assert!(matches!(
+            engine.serve("nope", &w, 0.1),
+            Err(EngineError::UnknownDataset { .. })
+        ));
+    }
+
+    #[test]
+    fn registration_validates_shape_budget_and_uniqueness() {
+        let engine = quick_engine(0);
+        let d = Domain::one_dim(8);
+        assert!(matches!(
+            engine.register_dataset("d", d.clone(), vec![0.0; 7], 1.0),
+            Err(EngineError::DataVectorMismatch {
+                expected: 8,
+                got: 7
+            })
+        ));
+        assert!(matches!(
+            engine.register_dataset("d", d.clone(), vec![0.0; 8], 0.0),
+            Err(EngineError::InvalidEpsilon { .. })
+        ));
+        engine
+            .register_dataset("d", d.clone(), vec![0.0; 8], 1.0)
+            .unwrap();
+        assert!(matches!(
+            engine.register_dataset("d", d, vec![0.0; 8], 1.0),
+            Err(EngineError::DatasetExists { .. })
+        ));
+    }
+
+    #[test]
+    fn serve_spends_budget_and_mismatched_domain_is_rejected() {
+        let engine = quick_engine(0);
+        engine
+            .register_dataset("d", Domain::one_dim(8), vec![5.0; 8], 1.0)
+            .unwrap();
+        let w = builders::prefix_1d(8);
+        let resp = engine.serve("d", &w, 0.25).unwrap();
+        assert_eq!(resp.answers.len(), w.query_count());
+        let (total, spent, remaining) = engine.budget("d").unwrap();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((spent - 0.25).abs() < 1e-12);
+        assert!((remaining - 0.75).abs() < 1e-12);
+
+        let wrong = builders::prefix_1d(16);
+        assert!(matches!(
+            engine.serve("d", &wrong, 0.1),
+            Err(EngineError::DomainMismatch { .. })
+        ));
+        // A failed request spends nothing.
+        assert!((engine.budget("d").unwrap().1 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plan_is_cached_by_fingerprint() {
+        let engine = quick_engine(0);
+        let w = builders::prefix_2d(8, 8);
+        let (_, hit1) = engine.plan(&w);
+        let (_, hit2) = engine.plan(&w);
+        assert!(!hit1 && hit2);
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (1, 1, 1));
+    }
+
+    #[test]
+    fn session_store_is_bounded_and_closable() {
+        let engine = Engine::new(EngineOptions {
+            hdmm: HdmmOptions {
+                restarts: 1,
+                ..Default::default()
+            },
+            session_capacity: 2,
+            ..Default::default()
+        });
+        engine
+            .register_dataset("d", Domain::one_dim(8), vec![1.0; 8], 100.0)
+            .unwrap();
+        let w = builders::prefix_1d(8);
+        let s1 = engine.serve("d", &w, 0.1).unwrap().session;
+        let s2 = engine.serve("d", &w, 0.1).unwrap().session;
+        let s3 = engine.serve("d", &w, 0.1).unwrap().session;
+        // Capacity 2: the oldest session was evicted.
+        assert!(matches!(
+            engine.session(s1),
+            Err(EngineError::UnknownSession { .. })
+        ));
+        assert!(engine.session(s2).is_ok() && engine.session(s3).is_ok());
+        // Explicit close releases immediately; closing twice is typed.
+        engine.close_session(s2).unwrap();
+        assert!(matches!(
+            engine.close_session(s2),
+            Err(EngineError::UnknownSession { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_requests_never_occupy_the_strategy_cache() {
+        let engine = quick_engine(0);
+        engine
+            .register_dataset("d", Domain::one_dim(8), vec![1.0; 8], 1.0)
+            .unwrap();
+        let wrong_domain = builders::prefix_1d(16);
+        assert!(engine.serve("d", &wrong_domain, 0.1).is_err());
+        assert!(engine.serve("nope", &wrong_domain, 0.1).is_err());
+        let stats = engine.cache_stats();
+        assert_eq!(
+            (stats.len, stats.misses),
+            (0, 0),
+            "rejected requests must not reach SELECT: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_answers() {
+        let w = builders::all_range_1d(16);
+        let run = |seed| {
+            let engine = quick_engine(seed);
+            engine
+                .register_dataset("d", Domain::one_dim(16), vec![3.0; 16], 2.0)
+                .unwrap();
+            engine.serve("d", &w, 1.0).unwrap().answers
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10), "different seeds should perturb the noise");
+    }
+}

@@ -1,0 +1,77 @@
+//! # hdmm-engine — an end-to-end private query-answering engine
+//!
+//! The math crates reproduce HDMM's phases (SELECT / MEASURE / RECONSTRUCT,
+//! Table 1(b) of McKenna et al., PVLDB 2018) as pure functions. This crate
+//! owns the *request lifecycle* around them, the way a serving system would:
+//!
+//! * **Strategy cache** — SELECT is a pure function of the workload and the
+//!   dominant per-request cost (Fig. 6), so plans are memoized under a
+//!   canonical [`hdmm_core::WorkloadFingerprint`]; repeated workloads skip
+//!   re-optimization entirely.
+//! * **Privacy-budget accountant** — every dataset registers with a total ε;
+//!   sequential measurements accumulate spend, and over-budget requests fail
+//!   with a typed [`EngineError::BudgetExhausted`] before any noise is drawn.
+//! * **Measure-once / answer-many sessions** — each served request yields a
+//!   [`Session`] holding the reconstructed estimate `x̄`; follow-up workloads
+//!   over the same domain are answered from `x̄` at **zero** additional ε
+//!   (post-processing).
+//! * **Planner** — workload structure picks the optimizer the paper's
+//!   decision rules prescribe (`OPT_0` for 1-D, `OPT_M` for marginals,
+//!   `OPT_+` for structured unions, `OPT_⊗` otherwise), instead of running
+//!   all of Algorithm 2 per request.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hdmm_core::{builders, Domain, EngineError, QueryEngine};
+//! use hdmm_engine::Engine;
+//!
+//! let engine = Engine::with_seed(7);
+//!
+//! // Register a dataset: domain, histogram, and a total privacy budget.
+//! let domain = Domain::one_dim(16);
+//! engine.register_dataset("toy", domain, vec![10.0; 16], /*total ε=*/ 1.0)?;
+//!
+//! // Serve a workload. SELECT runs once (cache miss), MEASURE spends ε.
+//! let workload = builders::prefix_1d(16);
+//! let first = engine.serve("toy", &workload, 0.5)?;
+//! assert!(!first.cache_hit);
+//!
+//! // The same workload again: the strategy comes from the cache.
+//! let again = engine.serve("toy", &workload, 0.5)?;
+//! assert!(again.cache_hit);
+//!
+//! // Follow-up workloads on the session cost nothing.
+//! let ranges = builders::all_range_1d(16);
+//! let free = engine.serve_from_session(again.session, &ranges)?;
+//! assert_eq!(free.len(), ranges.query_count());
+//!
+//! // The budget is now exhausted: further measurement is refused, typed.
+//! match engine.serve("toy", &workload, 0.1) {
+//!     Err(EngineError::BudgetExhausted { remaining, .. }) => assert!(remaining < 1e-9),
+//!     other => panic!("expected BudgetExhausted, got {other:?}"),
+//! }
+//! # Ok::<(), hdmm_core::EngineError>(())
+//! ```
+//!
+//! ## Layering
+//!
+//! `hdmm-engine` sits above [`hdmm_core`] (planner API, engine traits) and
+//! below any transport. It adds no new privacy analysis: privacy follows
+//! from the Laplace mechanism's guarantee per measurement, sequential
+//! composition across measurements (the accountant), and post-processing for
+//! everything served from a session.
+
+mod accountant;
+mod cache;
+mod engine;
+mod session;
+
+pub use accountant::EpsAccountant;
+pub use cache::{CacheStats, StrategyCache};
+pub use engine::{Engine, EngineOptions};
+pub use session::Session;
+
+pub use hdmm_core::{
+    BudgetAccountant, EngineError, PrivateSession, QueryEngine, QueryResponse, SessionId,
+};

@@ -1,0 +1,112 @@
+//! Measure-once/answer-many sessions.
+//!
+//! A session captures the reconstructed estimate `x̄` from one noisy
+//! measurement. By the post-processing property of differential privacy,
+//! *any* function of `x̄` — in particular, answering arbitrary follow-up
+//! workloads over the same domain — consumes zero additional privacy budget.
+
+use hdmm_core::{Domain, EngineError, PrivateSession, SessionId, Workload};
+
+/// One completed measurement: the reconstructed estimate plus its provenance.
+#[derive(Debug, Clone)]
+pub struct Session {
+    id: SessionId,
+    dataset: String,
+    domain: Domain,
+    x_hat: Vec<f64>,
+    eps_spent: f64,
+}
+
+impl Session {
+    pub(crate) fn new(
+        id: SessionId,
+        dataset: String,
+        domain: Domain,
+        x_hat: Vec<f64>,
+        eps_spent: f64,
+    ) -> Self {
+        debug_assert_eq!(x_hat.len(), domain.size());
+        Session {
+            id,
+            dataset,
+            domain,
+            x_hat,
+            eps_spent,
+        }
+    }
+
+    /// This session's identifier.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// The dataset the measurement was taken on.
+    pub fn dataset(&self) -> &str {
+        &self.dataset
+    }
+
+    /// The reconstructed data-vector estimate `x̄`.
+    pub fn estimate(&self) -> &[f64] {
+        &self.x_hat
+    }
+}
+
+impl PrivateSession for Session {
+    fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    fn eps_spent(&self) -> f64 {
+        self.eps_spent
+    }
+
+    fn answer(&self, workload: &Workload) -> Result<Vec<f64>, EngineError> {
+        if workload.domain() != &self.domain {
+            return Err(EngineError::DomainMismatch {
+                expected: self.domain.clone(),
+                got: workload.domain().clone(),
+            });
+        }
+        Ok(workload.answer(&self.x_hat))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdmm_core::builders;
+
+    fn session() -> Session {
+        Session::new(
+            SessionId(1),
+            "d".into(),
+            Domain::one_dim(4),
+            vec![1.0, 2.0, 3.0, 4.0],
+            0.5,
+        )
+    }
+
+    #[test]
+    fn answers_any_workload_over_the_domain() {
+        let s = session();
+        let prefix = builders::prefix_1d(4);
+        assert_eq!(s.answer(&prefix).unwrap(), vec![1.0, 3.0, 6.0, 10.0]);
+        // A different workload over the same domain works from the same x̄.
+        let ranges = builders::all_range_1d(4);
+        assert_eq!(s.answer(&ranges).unwrap().len(), ranges.query_count());
+        assert!(
+            (s.eps_spent() - 0.5).abs() < 1e-12,
+            "answering spends nothing"
+        );
+    }
+
+    #[test]
+    fn rejects_mismatched_domains() {
+        let s = session();
+        let other = builders::prefix_1d(8);
+        assert!(matches!(
+            s.answer(&other),
+            Err(EngineError::DomainMismatch { .. })
+        ));
+    }
+}

@@ -20,7 +20,10 @@ impl Cholesky {
     /// (matrix not positive definite to working precision).
     pub fn new(a: &Matrix) -> Result<Self> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         let n = a.rows();
         let mut l = Matrix::zeros(n, n);
@@ -88,8 +91,8 @@ impl Cholesky {
         // Back substitution: Lᵀ x = y
         for i in (0..n).rev() {
             let mut s = y[i];
-            for k in (i + 1)..n {
-                s -= self.l[(k, i)] * y[k];
+            for (k, &yk) in y.iter().enumerate().skip(i + 1) {
+                s -= self.l[(k, i)] * yk;
             }
             y[i] = s / self.l[(i, i)];
         }

@@ -21,7 +21,10 @@ impl SymEigen {
     /// `a` is assumed symmetric; only the upper triangle is trusted.
     pub fn new(a: &Matrix) -> Result<Self> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         let n = a.rows();
         let mut m = a.clone();
@@ -49,7 +52,9 @@ impl SymEigen {
                 break;
             }
             if sweep == max_sweeps - 1 {
-                return Err(LinalgError::NoConvergence { iterations: max_sweeps });
+                return Err(LinalgError::NoConvergence {
+                    iterations: max_sweeps,
+                });
             }
             for p in 0..n {
                 for q in (p + 1)..n {

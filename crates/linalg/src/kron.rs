@@ -101,7 +101,15 @@ pub fn kmatvec_transpose(factors: &[&Matrix], y: &[f64]) -> Vec<f64> {
 
 /// Contracts factor `a` (m×n) along the middle mode of a (left, n, right)
 /// tensor: `next[l, r_out, r] = Σ_c a[r_out, c] · cur[l, c, r]`.
-fn apply_mode(a: &Matrix, cur: &[f64], next: &mut [f64], left: usize, m: usize, n: usize, right: usize) {
+fn apply_mode(
+    a: &Matrix,
+    cur: &[f64],
+    next: &mut [f64],
+    left: usize,
+    m: usize,
+    n: usize,
+    right: usize,
+) {
     for l in 0..left {
         let cur_base = l * n * right;
         let next_base = l * m * right;

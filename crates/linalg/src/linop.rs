@@ -178,7 +178,10 @@ mod tests {
     fn stacked_op_matches_vstack() {
         let a = Matrix::identity(3);
         let b = Matrix::ones(2, 3);
-        let stacked = StackedOp::new(vec![Box::new(DenseOp(&a)) as Box<dyn LinOp>, Box::new(DenseOp(&b))]);
+        let stacked = StackedOp::new(vec![
+            Box::new(DenseOp(&a)) as Box<dyn LinOp>,
+            Box::new(DenseOp(&b)),
+        ]);
         // Use owned matrices to avoid borrow issues in the explicit path.
         let explicit = Matrix::vstack(&[&a, &b]).unwrap();
         let x = vec![1.0, 2.0, 3.0];
@@ -190,7 +193,10 @@ mod tests {
     #[test]
     fn scaled_op_scales_both_directions() {
         let a = Matrix::identity(2);
-        let op = ScaledOp { alpha: 3.0, inner: DenseOp(&a) };
+        let op = ScaledOp {
+            alpha: 3.0,
+            inner: DenseOp(&a),
+        };
         assert_eq!(op.matvec(&[1.0, 2.0]), vec![3.0, 6.0]);
         assert_eq!(op.rmatvec(&[1.0, 1.0]), vec![3.0, 3.0]);
     }

@@ -24,7 +24,13 @@ pub struct LsmrOptions {
 
 impl Default for LsmrOptions {
     fn default() -> Self {
-        LsmrOptions { atol: 1e-10, btol: 1e-10, conlim: 1e12, max_iter: 2000, damp: 0.0 }
+        LsmrOptions {
+            atol: 1e-10,
+            btol: 1e-10,
+            conlim: 1e12,
+            max_iter: 2000,
+            damp: 0.0,
+        }
     }
 }
 
@@ -61,7 +67,11 @@ pub fn lsmr(a: &dyn LinOp, b: &[f64], opts: &LsmrOptions) -> LsmrResult {
             *e /= beta;
         }
     }
-    let mut v = if beta > 0.0 { a.rmatvec(&u) } else { vec![0.0; n] };
+    let mut v = if beta > 0.0 {
+        a.rmatvec(&u)
+    } else {
+        vec![0.0; n]
+    };
     let mut alpha = norm(&v);
     if alpha > 0.0 {
         for e in &mut v {
@@ -71,7 +81,13 @@ pub fn lsmr(a: &dyn LinOp, b: &[f64], opts: &LsmrOptions) -> LsmrResult {
 
     let mut x = vec![0.0; n];
     if alpha * beta == 0.0 {
-        return LsmrResult { x, iterations: 0, istop: 0, residual_norm: beta, normal_residual_norm: 0.0 };
+        return LsmrResult {
+            x,
+            iterations: 0,
+            istop: 0,
+            residual_norm: beta,
+            normal_residual_norm: 0.0,
+        };
     }
 
     // Variables for the rotations and recurrences.
@@ -100,7 +116,11 @@ pub fn lsmr(a: &dyn LinOp, b: &[f64], opts: &LsmrOptions) -> LsmrResult {
     let mut min_rbar = 1e100f64;
     let norm_b = beta;
 
-    let ctol = if opts.conlim > 0.0 { 1.0 / opts.conlim } else { 0.0 };
+    let ctol = if opts.conlim > 0.0 {
+        1.0 / opts.conlim
+    } else {
+        0.0
+    };
     let mut istop = 0u8;
     let mut iterations = 0;
     let mut norm_r = beta;
@@ -153,7 +173,7 @@ pub fn lsmr(a: &dyn LinOp, b: &[f64], opts: &LsmrOptions) -> LsmrResult {
         cbar = rhotemp / rhobar;
         sbar = thetanew / rhobar;
         zeta = cbar * zetabar;
-        zetabar = -sbar * zetabar;
+        zetabar *= -sbar;
 
         // Update hbar, x, h.
         let hbar_scale = thetabar * rho / (rhoold * rhobarold);
@@ -203,7 +223,11 @@ pub fn lsmr(a: &dyn LinOp, b: &[f64], opts: &LsmrOptions) -> LsmrResult {
 
         // Stopping tests.
         let test1 = norm_r / norm_b;
-        let test2 = if norm_a * norm_r > 0.0 { norm_ar / (norm_a * norm_r) } else { f64::INFINITY };
+        let test2 = if norm_a * norm_r > 0.0 {
+            norm_ar / (norm_a * norm_r)
+        } else {
+            f64::INFINITY
+        };
         let test3 = 1.0 / cond_a;
         let t1 = test1 / (1.0 + norm_a * norm_x / norm_b);
         let rtol = opts.btol + opts.atol * norm_a * norm_x / norm_b;
@@ -234,7 +258,13 @@ pub fn lsmr(a: &dyn LinOp, b: &[f64], opts: &LsmrOptions) -> LsmrResult {
         }
     }
 
-    LsmrResult { x, iterations, istop, residual_norm: norm_r, normal_residual_norm: norm_ar }
+    LsmrResult {
+        x,
+        iterations,
+        istop,
+        residual_norm: norm_r,
+        normal_residual_norm: norm_ar,
+    }
 }
 
 #[cfg(test)]
@@ -292,7 +322,14 @@ mod tests {
         let a = Matrix::identity(2);
         let b = [1.0, 1.0];
         let plain = lsmr(&DenseOp(&a), &b, &LsmrOptions::default());
-        let damped = lsmr(&DenseOp(&a), &b, &LsmrOptions { damp: 1.0, ..Default::default() });
+        let damped = lsmr(
+            &DenseOp(&a),
+            &b,
+            &LsmrOptions {
+                damp: 1.0,
+                ..Default::default()
+            },
+        );
         let n_plain: f64 = plain.x.iter().map(|v| v * v).sum();
         let n_damped: f64 = damped.x.iter().map(|v| v * v).sum();
         assert!(n_damped < n_plain);

@@ -23,7 +23,10 @@ impl Lu {
     /// Factorizes square matrix `a`.
     pub fn new(a: &Matrix) -> Result<Self> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         let n = a.rows();
         let mut lu = a.clone();
@@ -141,9 +144,18 @@ mod tests {
 
     #[test]
     fn inverse_roundtrip() {
-        let a = Matrix::from_fn(5, 5, |r, c| if r == c { 3.0 } else { ((r + 2 * c) % 5) as f64 * 0.2 });
+        let a = Matrix::from_fn(5, 5, |r, c| {
+            if r == c {
+                3.0
+            } else {
+                ((r + 2 * c) % 5) as f64 * 0.2
+            }
+        });
         let lu = Lu::new(&a).unwrap();
-        assert!(lu.inverse().matmul(&a).approx_eq(&Matrix::identity(5), 1e-9));
+        assert!(lu
+            .inverse()
+            .matmul(&a)
+            .approx_eq(&Matrix::identity(5), 1e-9));
     }
 
     #[test]

@@ -67,7 +67,13 @@ pub fn residual_factors(grams: &WorkloadGrams, factors: &[Matrix]) -> Vec<Vec<f6
     grams
         .terms()
         .iter()
-        .map(|t| t.factors.iter().zip(&pinvs).map(|(g, p)| p.trace_product(g)).collect())
+        .map(|t| {
+            t.factors
+                .iter()
+                .zip(&pinvs)
+                .map(|(g, p)| p.trace_product(g))
+                .collect()
+        })
         .collect()
 }
 

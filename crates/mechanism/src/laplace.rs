@@ -55,7 +55,9 @@ mod tests {
     fn median_is_zero() {
         let mut rng = StdRng::seed_from_u64(3);
         let n = 100_000;
-        let below = (0..n).filter(|_| laplace_noise(&mut rng, 1.0) < 0.0).count();
+        let below = (0..n)
+            .filter(|_| laplace_noise(&mut rng, 1.0) < 0.0)
+            .count();
         let frac = below as f64 / n as f64;
         assert!((frac - 0.5).abs() < 0.01, "frac {frac}");
     }

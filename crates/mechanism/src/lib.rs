@@ -15,14 +15,16 @@
 //! * [`run_mechanism`] — the end-to-end ε-differentially-private pipeline
 //!   `measure → reconstruct → answer`.
 
+pub mod budget;
 pub mod error;
 pub mod laplace;
 pub mod marginals;
 mod mechanism;
 mod strategy;
 
+pub use budget::{try_measure, try_run_mechanism, MechanismError};
 pub use marginals::{MarginalsAlgebra, MarginalsStrategy};
 pub use mechanism::{
-    answer_workload, measure, reconstruct, run_mechanism, MechanismResult, Measurements,
+    answer_workload, measure, reconstruct, run_mechanism, Measurements, MechanismResult,
 };
 pub use strategy::{Strategy, UnionGroup};

@@ -46,7 +46,10 @@ impl MarginalsAlgebra {
                 }
             }
         }
-        MarginalsAlgebra { domain: domain.clone(), cbar }
+        MarginalsAlgebra {
+            domain: domain.clone(),
+            cbar,
+        }
     }
 
     /// The domain.
@@ -69,7 +72,11 @@ impl MarginalsAlgebra {
         let mut acc = Matrix::identity(1);
         for i in 0..self.domain.dims() {
             let n = self.domain.attr_size(i);
-            let block = if a >> i & 1 == 1 { Matrix::identity(n) } else { Matrix::ones(n, n) };
+            let block = if a >> i & 1 == 1 {
+                Matrix::identity(n)
+            } else {
+                Matrix::ones(n, n)
+            };
             acc = hdmm_linalg::kron(&acc, &block);
         }
         acc
@@ -191,7 +198,10 @@ impl MarginalsAlgebra {
 impl SubsetTriangular {
     /// Entry access (zero when absent).
     pub fn get(&self, k: usize, b: usize) -> f64 {
-        self.cols[b].iter().find(|&&(kk, _)| kk == k).map_or(0.0, |&(_, v)| v)
+        self.cols[b]
+            .iter()
+            .find(|&&(kk, _)| kk == k)
+            .map_or(0.0, |&(_, v)| v)
     }
 
     /// Diagonal entry of column `b`.
@@ -263,9 +273,19 @@ pub struct MarginalsStrategy {
 impl MarginalsStrategy {
     /// Builds and validates a marginals strategy.
     pub fn new(domain: Domain, theta: Vec<f64>) -> Self {
-        assert_eq!(theta.len(), 1usize << domain.dims(), "theta must have 2^d entries");
-        assert!(theta.iter().all(|&t| t >= 0.0), "theta must be non-negative");
-        assert!(theta[theta.len() - 1] > 0.0, "full-table weight must be positive");
+        assert_eq!(
+            theta.len(),
+            1usize << domain.dims(),
+            "theta must have 2^d entries"
+        );
+        assert!(
+            theta.iter().all(|&t| t >= 0.0),
+            "theta must be non-negative"
+        );
+        assert!(
+            theta[theta.len() - 1] > 0.0,
+            "full-table weight must be positive"
+        );
         MarginalsStrategy { domain, theta }
     }
 
@@ -366,12 +386,12 @@ mod tests {
         let t: Vec<f64> = (0..8).map(|i| (i as f64 * 0.7).sin()).collect();
         let y = x.solve_upper_transpose(&t);
         // Check Xᵀy = t by direct evaluation.
-        for b in 0..8 {
+        for (b, &tb) in t.iter().enumerate() {
             let mut acc = 0.0;
             for &(k, val) in &x.cols[b] {
                 acc += val * y[k];
             }
-            assert!((acc - t[b]).abs() < 1e-9, "b={b}");
+            assert!((acc - tb).abs() < 1e-9, "b={b}");
         }
     }
 
@@ -407,7 +427,9 @@ mod tests {
         }
         let refs: Vec<&Matrix> = blocks_vec.iter().collect();
         let m = Matrix::vstack(&refs).unwrap();
-        let dense = pinv_psd(&m.gram()).unwrap().trace_product(&grams.explicit());
+        let dense = pinv_psd(&m.gram())
+            .unwrap()
+            .trace_product(&grams.explicit());
         assert!((strat.residual_error(&grams) - dense).abs() < 1e-7 * dense.abs().max(1.0));
     }
 
@@ -421,9 +443,9 @@ mod tests {
         let t = alg.workload_stats(&grams);
         // Direct check against the explicit gram: T_a = tr[C(a)·WᵀW].
         let explicit = grams.explicit();
-        for a in 0..4 {
+        for (a, &ta) in t.iter().enumerate() {
             let direct = alg.c_explicit(a).trace_product(&explicit);
-            assert!((t[a] - direct).abs() < 1e-9, "a={a}: {} vs {direct}", t[a]);
+            assert!((ta - direct).abs() < 1e-9, "a={a}: {ta} vs {direct}");
         }
     }
 

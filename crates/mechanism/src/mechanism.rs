@@ -47,7 +47,10 @@ pub fn measure(strategy: &Strategy, x: &[f64], eps: f64, rng: &mut impl Rng) -> 
             let scale = a.norm_l1_operator() / eps;
             let mut noisy = a.matvec(x);
             add_laplace_noise(&mut noisy, scale, rng);
-            vec![MeasuredBlock { noisy, noise_scale: scale }]
+            vec![MeasuredBlock {
+                noisy,
+                noise_scale: scale,
+            }]
         }
         Strategy::Kron(factors) => {
             let sens: f64 = factors.iter().map(Matrix::norm_l1_operator).product();
@@ -55,7 +58,10 @@ pub fn measure(strategy: &Strategy, x: &[f64], eps: f64, rng: &mut impl Rng) -> 
             let refs: Vec<&Matrix> = factors.iter().collect();
             let mut noisy = kmatvec(&refs, x);
             add_laplace_noise(&mut noisy, scale, rng);
-            vec![MeasuredBlock { noisy, noise_scale: scale }]
+            vec![MeasuredBlock {
+                noisy,
+                noise_scale: scale,
+            }]
         }
         Strategy::Marginals(m) => {
             let scale = m.sensitivity() / eps;
@@ -72,7 +78,10 @@ pub fn measure(strategy: &Strategy, x: &[f64], eps: f64, rng: &mut impl Rng) -> 
                     *v *= theta;
                 }
                 add_laplace_noise(&mut noisy, scale, rng);
-                blocks.push(MeasuredBlock { noisy, noise_scale: scale });
+                blocks.push(MeasuredBlock {
+                    noisy,
+                    noise_scale: scale,
+                });
             }
             blocks
         }
@@ -86,7 +95,10 @@ pub fn measure(strategy: &Strategy, x: &[f64], eps: f64, rng: &mut impl Rng) -> 
                     let refs: Vec<&Matrix> = g.factors.iter().collect();
                     let mut noisy = kmatvec(&refs, x);
                     add_laplace_noise(&mut noisy, scale, rng);
-                    MeasuredBlock { noisy, noise_scale: scale }
+                    MeasuredBlock {
+                        noisy,
+                        noise_scale: scale,
+                    }
                 })
                 .collect()
         }
@@ -125,7 +137,9 @@ pub fn reconstruct(strategy: &Strategy, meas: &Measurements) -> Vec<f64> {
                 if theta == 0.0 {
                     continue;
                 }
-                let block = block_iter.next().expect("one block per positive-weight marginal");
+                let block = block_iter
+                    .next()
+                    .expect("one block per positive-weight marginal");
                 let q = algebra.marginal_factors(a);
                 let refs: Vec<&Matrix> = q.iter().collect();
                 let back = kmatvec_transpose(&refs, &block.noisy);
@@ -143,7 +157,10 @@ pub fn reconstruct(strategy: &Strategy, meas: &Measurements) -> Vec<f64> {
             let mut rhs = Vec::new();
             for (g, block) in groups.iter().zip(&meas.blocks) {
                 let w = 1.0 / block.noise_scale;
-                ops.push(Box::new(ScaledOp { alpha: w, inner: KronOp::new(g.factors.clone()) }));
+                ops.push(Box::new(ScaledOp {
+                    alpha: w,
+                    inner: KronOp::new(g.factors.clone()),
+                }));
                 rhs.extend(block.noisy.iter().map(|v| v * w));
             }
             let stacked = StackedOp::new(ops);
@@ -166,7 +183,11 @@ pub fn run_mechanism(
     eps: f64,
     rng: &mut impl Rng,
 ) -> MechanismResult {
-    assert_eq!(x.len(), workload.domain().size(), "data vector size mismatch");
+    assert_eq!(
+        x.len(),
+        workload.domain().size(),
+        "data vector size mismatch"
+    );
     let meas = measure(strategy, x, eps, rng);
     let x_hat = reconstruct(strategy, &meas);
     let answers = answer_workload(workload, &x_hat);
@@ -285,8 +306,16 @@ mod tests {
     #[test]
     fn union_noise_scales_by_share() {
         let strat = Strategy::Union(vec![
-            UnionGroup { share: 0.25, factors: vec![Matrix::identity(3)], term_indices: vec![0] },
-            UnionGroup { share: 0.75, factors: vec![Matrix::identity(3)], term_indices: vec![0] },
+            UnionGroup {
+                share: 0.25,
+                factors: vec![Matrix::identity(3)],
+                term_indices: vec![0],
+            },
+            UnionGroup {
+                share: 0.75,
+                factors: vec![Matrix::identity(3)],
+                term_indices: vec![0],
+            },
         ]);
         let meas = measure(&strat, &data(3), 1.0, &mut StdRng::seed_from_u64(4));
         assert!((meas.blocks[0].noise_scale - 4.0).abs() < 1e-12);

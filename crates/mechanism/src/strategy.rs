@@ -44,7 +44,12 @@ impl Strategy {
             Strategy::Marginals(m) => m.sensitivity(),
             Strategy::Union(groups) => groups
                 .iter()
-                .map(|g| g.factors.iter().map(Matrix::norm_l1_operator).product::<f64>())
+                .map(|g| {
+                    g.factors
+                        .iter()
+                        .map(Matrix::norm_l1_operator)
+                        .product::<f64>()
+                })
                 .fold(0.0, f64::max),
         }
     }
@@ -99,9 +104,14 @@ impl Strategy {
                 let d = m.domain.dims();
                 (0..1usize << d)
                     .filter(|&a| m.theta[a] > 0.0)
-                    .map(|a| m.domain.sizes().iter().enumerate()
-                        .map(|(i, &n)| if a >> i & 1 == 1 { n } else { 1 })
-                        .product::<usize>())
+                    .map(|a| {
+                        m.domain
+                            .sizes()
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &n)| if a >> i & 1 == 1 { n } else { 1 })
+                            .product::<usize>()
+                    })
                     .sum()
             }
         }
@@ -120,7 +130,13 @@ impl Strategy {
     /// The Identity strategy over a domain — the universal fallback
     /// (line 1 of Algorithm 2).
     pub fn identity(domain: &Domain) -> Strategy {
-        Strategy::Kron(domain.sizes().iter().map(|&n| Matrix::identity(n)).collect())
+        Strategy::Kron(
+            domain
+                .sizes()
+                .iter()
+                .map(|&n| Matrix::identity(n))
+                .collect(),
+        )
     }
 }
 

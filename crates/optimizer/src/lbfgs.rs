@@ -36,7 +36,14 @@ pub struct LbfgsOptions {
 
 impl Default for LbfgsOptions {
     fn default() -> Self {
-        LbfgsOptions { memory: 8, max_iter: 150, gtol: 1e-7, ftol: 1e-9, c1: 1e-4, c2: 0.9 }
+        LbfgsOptions {
+            memory: 8,
+            max_iter: 150,
+            gtol: 1e-7,
+            ftol: 1e-9,
+            c1: 1e-4,
+            c2: 0.9,
+        }
     }
 }
 
@@ -73,7 +80,12 @@ fn projected_grad_norm(x: &[f64], g: &[f64], lower: &[f64]) -> f64 {
 }
 
 /// Minimizes `f` over the box `x ≥ lower` starting from `x0`.
-pub fn minimize(f: &mut dyn Objective, x0: &[f64], lower: &[f64], opts: &LbfgsOptions) -> LbfgsResult {
+pub fn minimize(
+    f: &mut dyn Objective,
+    x0: &[f64],
+    lower: &[f64],
+    opts: &LbfgsOptions,
+) -> LbfgsResult {
     let n = f.dim();
     assert_eq!(x0.len(), n, "x0 dimension mismatch");
     assert_eq!(lower.len(), n, "bound dimension mismatch");
@@ -101,8 +113,7 @@ pub fn minimize(f: &mut dyn Objective, x0: &[f64], lower: &[f64], opts: &LbfgsOp
         // gradient pushing outward are frozen this iteration, so the
         // quasi-Newton direction lives in the free subspace (the gradient-
         // projection idea behind L-BFGS-B).
-        let active: Vec<bool> =
-            (0..n).map(|i| x[i] <= lower[i] && g[i] > 0.0).collect();
+        let active: Vec<bool> = (0..n).map(|i| x[i] <= lower[i] && g[i] > 0.0).collect();
         let mut gr = g.clone();
         for (gi, &a) in gr.iter_mut().zip(&active) {
             if a {
@@ -241,7 +252,12 @@ pub fn minimize(f: &mut dyn Objective, x0: &[f64], lower: &[f64], opts: &LbfgsOp
         }
     }
 
-    LbfgsResult { x, value: fx, iterations: iter, converged }
+    LbfgsResult {
+        x,
+        value: fx,
+        iterations: iter,
+        converged,
+    }
 }
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {
@@ -289,7 +305,10 @@ mod tests {
 
     #[test]
     fn unconstrained_quadratic() {
-        let mut f = Quadratic { c: vec![1.0, 10.0, 0.5], t: vec![1.0, -2.0, 3.0] };
+        let mut f = Quadratic {
+            c: vec![1.0, 10.0, 0.5],
+            t: vec![1.0, -2.0, 3.0],
+        };
         let lower = vec![f64::NEG_INFINITY; 3];
         let r = minimize(&mut f, &[0.0; 3], &lower, &LbfgsOptions::default());
         assert!(r.converged);
@@ -301,7 +320,10 @@ mod tests {
     #[test]
     fn bound_becomes_active() {
         // Minimum at t = (-2, 3) but x ≥ 0 forces x₀ = 0.
-        let mut f = Quadratic { c: vec![1.0, 1.0], t: vec![-2.0, 3.0] };
+        let mut f = Quadratic {
+            c: vec![1.0, 1.0],
+            t: vec![-2.0, 3.0],
+        };
         let r = minimize(&mut f, &[1.0, 1.0], &[0.0, 0.0], &LbfgsOptions::default());
         assert!(r.x[0].abs() < 1e-6);
         assert!((r.x[1] - 3.0).abs() < 1e-5);
@@ -330,7 +352,10 @@ mod tests {
             &mut Rosenbrock,
             &[-1.2, 1.0],
             &[f64::NEG_INFINITY; 2],
-            &LbfgsOptions { max_iter: 500, ..Default::default() },
+            &LbfgsOptions {
+                max_iter: 500,
+                ..Default::default()
+            },
         );
         assert!((r.x[0] - 1.0).abs() < 1e-4, "{:?}", r.x);
         assert!((r.x[1] - 1.0).abs() < 1e-4);
@@ -338,7 +363,10 @@ mod tests {
 
     #[test]
     fn starts_outside_box_projects_in() {
-        let mut f = Quadratic { c: vec![1.0], t: vec![5.0] };
+        let mut f = Quadratic {
+            c: vec![1.0],
+            t: vec![5.0],
+        };
         let r = minimize(&mut f, &[-10.0], &[0.0], &LbfgsOptions::default());
         assert!((r.x[0] - 5.0).abs() < 1e-6);
     }

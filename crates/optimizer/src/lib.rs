@@ -11,7 +11,9 @@
 //! * [`opt_marginals`] — `OPT_M`, weighted-marginals strategies with the
 //!   O(4^d) subset-algebra objective (§6.3, Appendix A.4);
 //! * [`opt_hdmm`] — Algorithm 2: run all operators with restarts, keep the
-//!   best.
+//!   best;
+//! * [`planner`] — structural plan selection (§7.1 decision rules): pick one
+//!   operator from workload shape instead of running all of Algorithm 2.
 
 pub mod lbfgs;
 pub mod opt0;
@@ -19,9 +21,11 @@ pub mod opt_hdmm;
 pub mod opt_kron;
 pub mod opt_marginals;
 pub mod opt_plus;
+pub mod planner;
 
 pub use opt0::{opt0, opt0_with, Opt0Options, Opt0Result, PIdentity};
 pub use opt_hdmm::{default_ps, opt_hdmm, opt_hdmm_grams, HdmmOptions, Selected};
 pub use opt_kron::{opt_kron, OptKronOptions, OptKronResult};
 pub use opt_marginals::{opt_marginals, MarginalsObjective, OptMarginalsResult};
 pub use opt_plus::{group_terms, opt_plus, OptPlusResult};
+pub use planner::{optimize_with_choice, select_optimizer, OptimizerChoice, PlanDecision};

@@ -23,7 +23,10 @@ pub struct PIdentity {
 impl PIdentity {
     /// Wraps a non-negative `p×n` parameter matrix.
     pub fn new(theta: Matrix) -> Self {
-        assert!(theta.as_slice().iter().all(|&v| v >= 0.0), "Θ must be non-negative");
+        assert!(
+            theta.as_slice().iter().all(|&v| v >= 0.0),
+            "Θ must be non-negative"
+        );
         PIdentity { theta }
     }
 
@@ -122,7 +125,11 @@ impl<'a> Opt0Objective<'a> {
     pub fn new(wtw: &'a Matrix, p: usize) -> Self {
         assert!(wtw.is_square(), "WᵀW must be square");
         assert!(p >= 1, "p must be at least 1");
-        Opt0Objective { wtw, p, n: wtw.rows() }
+        Opt0Objective {
+            wtw,
+            p,
+            n: wtw.rows(),
+        }
     }
 
     fn theta_from(&self, x: &[f64]) -> Matrix {
@@ -234,10 +241,16 @@ pub fn opt0_with(wtw: &Matrix, opts: &Opt0Options, rng: &mut impl Rng) -> Opt0Re
         &mut objective,
         &x0,
         &lower,
-        &LbfgsOptions { max_iter: opts.max_iter, ..Default::default() },
+        &LbfgsOptions {
+            max_iter: opts.max_iter,
+            ..Default::default()
+        },
     );
     let pident = PIdentity::new(Matrix::from_vec(p, n, result.x));
-    Opt0Result { residual: result.value, pident }
+    Opt0Result {
+        residual: result.value,
+        pident,
+    }
 }
 
 #[cfg(test)]

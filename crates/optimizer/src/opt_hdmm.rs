@@ -145,7 +145,10 @@ mod tests {
     use hdmm_workload::{builders, Domain};
 
     fn quick() -> HdmmOptions {
-        HdmmOptions { restarts: 1, ..Default::default() }
+        HdmmOptions {
+            restarts: 1,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -199,8 +202,22 @@ mod tests {
     #[test]
     fn more_restarts_never_hurt() {
         let w = builders::prefix_2d(8, 8);
-        let one = opt_hdmm(&w, &HdmmOptions { restarts: 1, seed: 3, ..Default::default() });
-        let three = opt_hdmm(&w, &HdmmOptions { restarts: 3, seed: 3, ..Default::default() });
+        let one = opt_hdmm(
+            &w,
+            &HdmmOptions {
+                restarts: 1,
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        let three = opt_hdmm(
+            &w,
+            &HdmmOptions {
+                restarts: 3,
+                seed: 3,
+                ..Default::default()
+            },
+        );
         assert!(three.squared_error <= one.squared_error * 1.0000001);
     }
 }

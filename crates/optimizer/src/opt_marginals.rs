@@ -148,7 +148,10 @@ impl Objective for PinnedMarginalsObjective {
         let theta = self.expand(phi);
         let (f, g) = self.inner.value_grad(&theta);
         let g_full = *g.last().expect("non-empty gradient");
-        let grad = g[..g.len() - 1].iter().map(|gi| gi + self.c * g_full).collect();
+        let grad = g[..g.len() - 1]
+            .iter()
+            .map(|gi| gi + self.c * g_full)
+            .collect();
         (f, grad)
     }
 }
@@ -158,17 +161,19 @@ impl Objective for PinnedMarginalsObjective {
 /// workload statistics `T_a` — the optimal allocation heuristic), keeping
 /// the better local optimum. Both share the caller's RNG stream so restarts
 /// explore different random starts.
-pub fn opt_marginals(
-    grams: &WorkloadGrams,
-    rng: &mut impl Rng,
-) -> OptMarginalsResult {
+pub fn opt_marginals(grams: &WorkloadGrams, rng: &mut impl Rng) -> OptMarginalsResult {
     let domain = grams.domain().clone();
     let s = 1usize << domain.dims();
     let c = FULL_TABLE_FLOOR / (1.0 - FULL_TABLE_FLOOR);
-    let mut objective =
-        PinnedMarginalsObjective { inner: MarginalsObjective::new(grams), c };
+    let mut objective = PinnedMarginalsObjective {
+        inner: MarginalsObjective::new(grams),
+        c,
+    };
     let lower = vec![0.0; s - 1];
-    let opts = LbfgsOptions { max_iter: 200, ..Default::default() };
+    let opts = LbfgsOptions {
+        max_iter: 200,
+        ..Default::default()
+    };
 
     // Random start over the free weights.
     let x_random: Vec<f64> = (0..s - 1).map(|_| rng.gen::<f64>() + 0.01).collect();
@@ -208,8 +213,15 @@ pub fn opt_marginals(
     // different operator rather than selecting garbage.
     let strategy = MarginalsStrategy::new(domain, theta);
     let raw = strategy.sensitivity().powi(2) * strategy.residual_error(grams);
-    let squared_error = if raw.is_finite() && raw > 0.0 { raw } else { f64::INFINITY };
-    OptMarginalsResult { strategy, squared_error }
+    let squared_error = if raw.is_finite() && raw > 0.0 {
+        raw
+    } else {
+        f64::INFINITY
+    };
+    OptMarginalsResult {
+        strategy,
+        squared_error,
+    }
 }
 
 #[cfg(test)]

@@ -43,10 +43,13 @@ pub fn group_terms(grams: &WorkloadGrams, l: usize) -> Vec<Vec<usize>> {
                 sig |= 1 << i;
             }
         }
-        let pos = signature_order.iter().position(|&s| s == sig).unwrap_or_else(|| {
-            signature_order.push(sig);
-            signature_order.len() - 1
-        });
+        let pos = signature_order
+            .iter()
+            .position(|&s| s == sig)
+            .unwrap_or_else(|| {
+                signature_order.push(sig);
+                signature_order.len() - 1
+            });
         assignment.push(pos % l);
     }
     let groups = signature_order.len().min(l);
@@ -70,8 +73,10 @@ pub fn opt_plus(
     let mut residuals = Vec::with_capacity(partition.len());
 
     for term_indices in partition {
-        let terms: Vec<GramTerm> =
-            term_indices.iter().map(|&j| grams.terms()[j].clone()).collect();
+        let terms: Vec<GramTerm> = term_indices
+            .iter()
+            .map(|&j| grams.terms()[j].clone())
+            .collect();
         let sub = WorkloadGrams::from_terms(grams.domain().clone(), terms);
         let res = opt_kron(&sub, &OptKronOptions::new(ps.to_vec()), rng);
         residuals.push(res.residual);
@@ -142,11 +147,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let partition = group_terms(&grams, 2);
         let plus = opt_plus(&grams, &partition, &[2, 2], &mut rng);
-        let kron = crate::opt_kron::opt_kron(
-            &grams,
-            &OptKronOptions::new(vec![2, 2]),
-            &mut rng,
-        );
+        let kron = crate::opt_kron::opt_kron(&grams, &OptKronOptions::new(vec![2, 2]), &mut rng);
         assert!(
             plus.squared_error < kron.residual,
             "plus {} vs kron {}",

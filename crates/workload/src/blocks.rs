@@ -157,7 +157,7 @@ mod tests {
     fn all_range_counts() {
         let r = all_range(4);
         assert_eq!(r.rows(), 10); // 4·5/2
-        // Every row is a contiguous run of ones.
+                                  // Every row is a contiguous run of ones.
         for i in 0..r.rows() {
             let row = r.row(i);
             let first = row.iter().position(|&v| v == 1.0).unwrap();

@@ -35,7 +35,10 @@ pub fn permuted_range_1d(n: usize, rng: &mut impl Rng) -> Workload {
 pub fn grams_prefix_1d(n: usize) -> WorkloadGrams {
     WorkloadGrams::from_terms(
         Domain::one_dim(n),
-        vec![GramTerm { weight: 1.0, factors: vec![blocks::gram_prefix(n)] }],
+        vec![GramTerm {
+            weight: 1.0,
+            factors: vec![blocks::gram_prefix(n)],
+        }],
     )
 }
 
@@ -43,7 +46,10 @@ pub fn grams_prefix_1d(n: usize) -> WorkloadGrams {
 pub fn grams_all_range_1d(n: usize) -> WorkloadGrams {
     WorkloadGrams::from_terms(
         Domain::one_dim(n),
-        vec![GramTerm { weight: 1.0, factors: vec![blocks::gram_all_range(n)] }],
+        vec![GramTerm {
+            weight: 1.0,
+            factors: vec![blocks::gram_all_range(n)],
+        }],
     )
 }
 
@@ -51,7 +57,10 @@ pub fn grams_all_range_1d(n: usize) -> WorkloadGrams {
 pub fn grams_width_range_1d(n: usize, width: usize) -> WorkloadGrams {
     WorkloadGrams::from_terms(
         Domain::one_dim(n),
-        vec![GramTerm { weight: 1.0, factors: vec![blocks::gram_width_range(n, width)] }],
+        vec![GramTerm {
+            weight: 1.0,
+            factors: vec![blocks::gram_width_range(n, width)],
+        }],
     )
 }
 
@@ -68,12 +77,17 @@ pub fn grams_permuted_range_1d(n: usize, rng: &mut impl Rng) -> WorkloadGrams {
     });
     WorkloadGrams::from_terms(
         Domain::one_dim(n),
-        vec![GramTerm { weight: 1.0, factors: vec![permuted] }],
+        vec![GramTerm {
+            weight: 1.0,
+            factors: vec![permuted],
+        }],
     )
 }
 
 fn inverse(perm: &[usize], target: usize) -> usize {
-    perm.iter().position(|&p| p == target).expect("valid permutation")
+    perm.iter()
+        .position(|&p| p == target)
+        .expect("valid permutation")
 }
 
 // ---------------------------------------------------------------------------
@@ -82,12 +96,18 @@ fn inverse(perm: &[usize], target: usize) -> usize {
 
 /// `Prefix 2D` = `P ⊗ P`.
 pub fn prefix_2d(n1: usize, n2: usize) -> Workload {
-    Workload::product(Domain::new(&[n1, n2]), vec![blocks::prefix(n1), blocks::prefix(n2)])
+    Workload::product(
+        Domain::new(&[n1, n2]),
+        vec![blocks::prefix(n1), blocks::prefix(n2)],
+    )
 }
 
 /// `R ⊗ R`: all axis-aligned 2D range queries.
 pub fn all_range_2d(n1: usize, n2: usize) -> Workload {
-    Workload::product(Domain::new(&[n1, n2]), vec![blocks::all_range(n1), blocks::all_range(n2)])
+    Workload::product(
+        Domain::new(&[n1, n2]),
+        vec![blocks::all_range(n1), blocks::all_range(n2)],
+    )
 }
 
 /// `Prefix Identity` = `(P ⊗ I) ∪ (I ⊗ P)`.
@@ -116,7 +136,13 @@ pub fn range_total_union_2d(n1: usize, n2: usize) -> Workload {
 /// Gram-only 2D product of structured factors, for large grids.
 pub fn grams_product_2d(g1: Matrix, g2: Matrix) -> WorkloadGrams {
     let domain = Domain::new(&[g1.rows(), g2.rows()]);
-    WorkloadGrams::from_terms(domain, vec![GramTerm { weight: 1.0, factors: vec![g1, g2] }])
+    WorkloadGrams::from_terms(
+        domain,
+        vec![GramTerm {
+            weight: 1.0,
+            factors: vec![g1, g2],
+        }],
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -126,7 +152,10 @@ pub fn grams_product_2d(g1: Matrix, g2: Matrix) -> WorkloadGrams {
 /// `Prefix 3D` = `P ⊗ P ⊗ P` (Figure 1b).
 pub fn prefix_3d(n: usize) -> Workload {
     let d = Domain::new(&[n, n, n]);
-    Workload::product(d, vec![blocks::prefix(n), blocks::prefix(n), blocks::prefix(n)])
+    Workload::product(
+        d,
+        vec![blocks::prefix(n), blocks::prefix(n), blocks::prefix(n)],
+    )
 }
 
 /// `All 3-way Ranges`: for each triple of attributes, `R` on the triple and
@@ -251,9 +280,13 @@ mod tests {
     fn grams_match_materialized_workloads() {
         let n = 12;
         let a = WorkloadGrams::from_workload(&all_range_1d(n));
-        assert!(grams_all_range_1d(n).explicit().approx_eq(&a.explicit(), 1e-10));
+        assert!(grams_all_range_1d(n)
+            .explicit()
+            .approx_eq(&a.explicit(), 1e-10));
         let p = WorkloadGrams::from_workload(&prefix_1d(n));
-        assert!(grams_prefix_1d(n).explicit().approx_eq(&p.explicit(), 1e-10));
+        assert!(grams_prefix_1d(n)
+            .explicit()
+            .approx_eq(&p.explicit(), 1e-10));
     }
 
     #[test]

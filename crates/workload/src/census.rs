@@ -121,13 +121,37 @@ fn sf1_products() -> Vec<LogicalProduct> {
     // Threshold tabulations.
     push([ident(2), total(), total(), total(), age_thresholds()]);
     push([total(), ident(2), total(), total(), age_thresholds()]);
-    push([total(), total(), race_combinations(), total(), age_thresholds()]);
+    push([
+        total(),
+        total(),
+        race_combinations(),
+        total(),
+        age_thresholds(),
+    ]);
     // Singleton conjunctions (Example 2-style).
     push([sex_m.clone(), total(), total(), total(), age_u5.clone()]);
-    push([sex_m.clone(), hisp_yes.clone(), total(), total(), age_adult.clone()]);
+    push([
+        sex_m.clone(),
+        hisp_yes.clone(),
+        total(),
+        total(),
+        age_adult.clone(),
+    ]);
     push([total(), hisp_yes.clone(), total(), total(), age_u5.clone()]);
-    push([sex_m.clone(), total(), race_combinations(), total(), total()]);
-    push([total(), hisp_yes.clone(), race_combinations(), total(), total()]);
+    push([
+        sex_m.clone(),
+        total(),
+        race_combinations(),
+        total(),
+        total(),
+    ]);
+    push([
+        total(),
+        hisp_yes.clone(),
+        race_combinations(),
+        total(),
+        total(),
+    ]);
     push([sex_m, hisp_yes.clone(), total(), total(), total()]);
     // Deeper crosses.
     push([ident(2), ident(2), total(), ident(17), total()]);
@@ -149,7 +173,8 @@ pub fn sf1_plus_workload() -> Workload {
     let products = sf1_products()
         .into_iter()
         .map(|mut p| {
-            p.predicate_sets.push(PredicateSet::identity_and_total(STATES));
+            p.predicate_sets
+                .push(PredicateSet::identity_and_total(STATES));
             p
         })
         .collect();
@@ -188,7 +213,11 @@ mod tests {
         let plus = sf1_plus_workload();
         // The implicit representation must be dramatically smaller than the
         // (22TB-scale) explicit matrix — at least six orders of magnitude.
-        assert!(plus.implicit_size() < 3_000_000, "size {}", plus.implicit_size());
+        assert!(
+            plus.implicit_size() < 3_000_000,
+            "size {}",
+            plus.implicit_size()
+        );
         assert!(plus.explicit_size() / plus.implicit_size() > 1_000_000);
     }
 

@@ -15,8 +15,13 @@ impl Domain {
     /// Panics if any attribute has cardinality 0 or the list is empty.
     pub fn new(sizes: &[usize]) -> Self {
         assert!(!sizes.is_empty(), "domain needs at least one attribute");
-        assert!(sizes.iter().all(|&n| n > 0), "attribute cardinalities must be positive");
-        Domain { sizes: sizes.to_vec() }
+        assert!(
+            sizes.iter().all(|&n| n > 0),
+            "attribute cardinalities must be positive"
+        );
+        Domain {
+            sizes: sizes.to_vec(),
+        }
     }
 
     /// One-dimensional domain of size `n`.
@@ -47,7 +52,9 @@ impl Domain {
     /// Total domain size with overflow awareness (for very large synthetic
     /// scalability configurations).
     pub fn size_checked(&self) -> Option<usize> {
-        self.sizes.iter().try_fold(1usize, |acc, &n| acc.checked_mul(n))
+        self.sizes
+            .iter()
+            .try_fold(1usize, |acc, &n| acc.checked_mul(n))
     }
 
     /// Projects onto the attribute subset encoded by `mask` (bit `i` set keeps
@@ -60,7 +67,10 @@ impl Domain {
             .filter(|(i, _)| mask >> i & 1 == 1)
             .map(|(_, &n)| n)
             .collect();
-        assert!(!kept.is_empty(), "projection must keep at least one attribute");
+        assert!(
+            !kept.is_empty(),
+            "projection must keep at least one attribute"
+        );
         Domain { sizes: kept }
     }
 

@@ -44,7 +44,10 @@ impl WorkloadGrams {
                 factors: t.factors.iter().map(Matrix::gram).collect(),
             })
             .collect();
-        WorkloadGrams { domain: w.domain().clone(), terms }
+        WorkloadGrams {
+            domain: w.domain().clone(),
+            terms,
+        }
     }
 
     /// Builds directly from closed-form Gram blocks (large structured
@@ -160,14 +163,20 @@ mod tests {
         let domain = Domain::new(&[3]);
         let ok = WorkloadGrams::from_terms(
             domain.clone(),
-            vec![GramTerm { weight: 1.0, factors: vec![blocks::gram_prefix(3)] }],
+            vec![GramTerm {
+                weight: 1.0,
+                factors: vec![blocks::gram_prefix(3)],
+            }],
         );
         assert_eq!(ok.dims(), 1);
     }
 
     #[test]
     fn traces_and_sums() {
-        let g = GramTerm { weight: 1.0, factors: vec![blocks::identity(3).gram()] };
+        let g = GramTerm {
+            weight: 1.0,
+            factors: vec![blocks::identity(3).gram()],
+        };
         assert_eq!(g.traces_and_sums(), vec![(3.0, 3.0)]);
     }
 }

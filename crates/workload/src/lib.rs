@@ -19,10 +19,12 @@ pub mod blocks;
 pub mod builders;
 pub mod census;
 mod domain;
+mod fingerprint;
 mod gram;
 pub mod predicates;
 mod workload;
 
 pub use domain::Domain;
+pub use fingerprint::WorkloadFingerprint;
 pub use gram::{GramTerm, WorkloadGrams};
 pub use workload::{ProductTerm, Workload};

@@ -37,7 +37,9 @@ impl Predicate {
     /// Vectorizes against an attribute of size `n` (Definition 4, restricted
     /// to one attribute).
     pub fn vectorize(&self, n: usize) -> Vec<f64> {
-        (0..n).map(|v| if self.eval(v) { 1.0 } else { 0.0 }).collect()
+        (0..n)
+            .map(|v| if self.eval(v) { 1.0 } else { 0.0 })
+            .collect()
     }
 }
 
@@ -114,12 +116,18 @@ pub struct LogicalProduct {
 impl LogicalProduct {
     /// Unit-weight product.
     pub fn new(predicate_sets: Vec<PredicateSet>) -> Self {
-        LogicalProduct { weight: 1.0, predicate_sets }
+        LogicalProduct {
+            weight: 1.0,
+            predicate_sets,
+        }
     }
 
     /// Weighted product.
     pub fn weighted(weight: f64, predicate_sets: Vec<PredicateSet>) -> Self {
-        LogicalProduct { weight, predicate_sets }
+        LogicalProduct {
+            weight,
+            predicate_sets,
+        }
     }
 
     /// Number of queries `Π |Φᵢ|`.
@@ -184,7 +192,11 @@ impl LogicalWorkload {
             .products
             .iter()
             .map(|p| {
-                assert_eq!(p.predicate_sets.len(), domain.dims(), "product arity mismatch");
+                assert_eq!(
+                    p.predicate_sets.len(),
+                    domain.dims(),
+                    "product arity mismatch"
+                );
                 let factors = p
                     .predicate_sets
                     .iter()
@@ -210,7 +222,10 @@ mod tests {
     #[test]
     fn predicate_vectorization() {
         assert_eq!(Predicate::Eq(1).vectorize(3), vec![0.0, 1.0, 0.0]);
-        assert_eq!(Predicate::Range(1, 2).vectorize(4), vec![0.0, 1.0, 1.0, 0.0]);
+        assert_eq!(
+            Predicate::Range(1, 2).vectorize(4),
+            vec![0.0, 1.0, 1.0, 0.0]
+        );
         assert_eq!(Predicate::True.vectorize(2), vec![1.0, 1.0]);
         assert_eq!(Predicate::In(vec![0, 2]).vectorize(3), vec![1.0, 0.0, 1.0]);
     }
@@ -218,10 +233,18 @@ mod tests {
     #[test]
     fn predicate_set_matches_blocks() {
         use crate::blocks;
-        assert!(PredicateSet::identity(5).vectorize(5).approx_eq(&blocks::identity(5), 0.0));
-        assert!(PredicateSet::total().vectorize(4).approx_eq(&blocks::total(4), 0.0));
-        assert!(PredicateSet::prefix(6).vectorize(6).approx_eq(&blocks::prefix(6), 0.0));
-        assert!(PredicateSet::all_range(4).vectorize(4).approx_eq(&blocks::all_range(4), 0.0));
+        assert!(PredicateSet::identity(5)
+            .vectorize(5)
+            .approx_eq(&blocks::identity(5), 0.0));
+        assert!(PredicateSet::total()
+            .vectorize(4)
+            .approx_eq(&blocks::total(4), 0.0));
+        assert!(PredicateSet::prefix(6)
+            .vectorize(6)
+            .approx_eq(&blocks::prefix(6), 0.0));
+        assert!(PredicateSet::all_range(4)
+            .vectorize(4)
+            .approx_eq(&blocks::all_range(4), 0.0));
     }
 
     #[test]
@@ -233,7 +256,11 @@ mod tests {
         let joint: Vec<f64> = (0..d.size())
             .map(|idx| {
                 let t = d.unflatten(idx);
-                if p1.eval(t[0]) && p2.eval(t[1]) { 1.0 } else { 0.0 }
+                if p1.eval(t[0]) && p2.eval(t[1]) {
+                    1.0
+                } else {
+                    0.0
+                }
             })
             .collect();
         let kron = hdmm_linalg::kron_vec(&p1.vectorize(3), &p2.vectorize(4));

@@ -17,7 +17,10 @@ impl ProductTerm {
     /// Builds a weighted product term.
     pub fn new(weight: f64, factors: Vec<Matrix>) -> Self {
         assert!(weight > 0.0, "term weight must be positive");
-        assert!(!factors.is_empty(), "product term needs at least one factor");
+        assert!(
+            !factors.is_empty(),
+            "product term needs at least one factor"
+        );
         ProductTerm { weight, factors }
     }
 
@@ -58,10 +61,16 @@ impl ProductTerm {
 
     /// Explicit representation size in values (Π mᵢ · Π nᵢ), saturating.
     pub fn explicit_size(&self) -> usize {
-        let rows = self.factors.iter().try_fold(1usize, |a, f| a.checked_mul(f.rows()));
-        let cols = self.factors.iter().try_fold(1usize, |a, f| a.checked_mul(f.cols()));
+        let rows = self
+            .factors
+            .iter()
+            .try_fold(1usize, |a, f| a.checked_mul(f.rows()));
+        let cols = self
+            .factors
+            .iter()
+            .try_fold(1usize, |a, f| a.checked_mul(f.cols()));
         match (rows, cols) {
-            (Some(r), Some(c)) => r.checked_mul(c).unwrap_or(usize::MAX),
+            (Some(r), Some(c)) => r.saturating_mul(c),
             _ => usize::MAX,
         }
     }
@@ -83,7 +92,11 @@ impl Workload {
     pub fn new(domain: Domain, terms: Vec<ProductTerm>) -> Self {
         assert!(!terms.is_empty(), "workload needs at least one term");
         for t in &terms {
-            assert_eq!(t.factors.len(), domain.dims(), "term arity must match domain");
+            assert_eq!(
+                t.factors.len(),
+                domain.dims(),
+                "term arity must match domain"
+            );
             for (f, &n) in t.factors.iter().zip(domain.sizes()) {
                 assert_eq!(f.cols(), n, "factor columns must match attribute size");
             }

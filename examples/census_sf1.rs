@@ -30,7 +30,11 @@ fn main() {
     // SELECT.
     let t0 = std::time::Instant::now();
     let plan = Hdmm::with_restarts(2).plan(&workload);
-    println!("\nstrategy selection took {:.1?}; operator = {}", t0.elapsed(), plan.operator());
+    println!(
+        "\nstrategy selection took {:.1?}; operator = {}",
+        t0.elapsed(),
+        plan.operator()
+    );
 
     // Data-independent error comparison (Table 3's CPH row, in spirit).
     let grams = WorkloadGrams::from_workload(&workload);

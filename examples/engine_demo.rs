@@ -1,0 +1,94 @@
+//! End-to-end engine demo: a census-style serving loop.
+//!
+//! ```text
+//! cargo run --release --example engine_demo
+//! ```
+//!
+//! Shows the full request lifecycle of `hdmm-engine`:
+//! 1. the first request optimizes a strategy (cache miss) and spends ε;
+//! 2. the second request for the same workload hits the strategy cache;
+//! 3. a follow-up workload on the session costs zero additional ε;
+//! 4. an over-budget request fails with a typed `BudgetExhausted` error.
+
+use hdmm_core::{builders, Domain, EngineError, QueryEngine};
+use hdmm_engine::{Engine, EngineOptions};
+use hdmm_optimizer::HdmmOptions;
+use std::time::Instant;
+
+fn main() {
+    // A census-style person domain (sex × age-group × race-ish) with
+    // all 1- and 2-way marginals — the Table 5 regime.
+    let domain = Domain::new(&[2, 16, 8]);
+    let workload = builders::upto_kway_marginals(&domain, 2);
+    let x: Vec<f64> = (0..domain.size()).map(|i| ((i * 19) % 23) as f64).collect();
+
+    let engine = Engine::new(EngineOptions {
+        hdmm: HdmmOptions {
+            restarts: 2,
+            ..Default::default()
+        },
+        seed: 7,
+        ..Default::default()
+    });
+    engine
+        .register_dataset("census", domain.clone(), x, /*total ε=*/ 1.0)
+        .expect("registration is valid");
+
+    println!(
+        "domain {domain} · {} queries · total budget ε=1.0",
+        workload.query_count()
+    );
+    let decision = engine.explain(&workload);
+    println!("planner: {} — {}", decision.choice.tag(), decision.reason);
+
+    // 1. Cold request: SELECT runs (the dominant cost), MEASURE spends ε.
+    let t0 = Instant::now();
+    let first = engine
+        .serve("census", &workload, 0.4)
+        .expect("within budget");
+    println!(
+        "\n#1 cold:  {:>8.1?}  cache_hit={}  operator={}  rmse≈{:.3}",
+        t0.elapsed(),
+        first.cache_hit,
+        first.operator,
+        (first.expected_error / workload.query_count() as f64).sqrt(),
+    );
+
+    // 2. Warm request: the strategy comes from the cache.
+    let t1 = Instant::now();
+    let second = engine
+        .serve("census", &workload, 0.4)
+        .expect("within budget");
+    println!(
+        "#2 warm:  {:>8.1?}  cache_hit={}  (stats: {:?})",
+        t1.elapsed(),
+        second.cache_hit,
+        engine.cache_stats(),
+    );
+
+    // 3. Measure once, answer many: a different workload from the session.
+    let follow_up = builders::kway_marginals(&domain, 1);
+    let (_, spent, _) = engine.budget("census").expect("dataset exists");
+    let free = engine
+        .serve_from_session(second.session, &follow_up)
+        .expect("same domain");
+    let (_, spent_after, remaining) = engine.budget("census").expect("dataset exists");
+    println!(
+        "#3 session follow-up: {} answers, ε spent {spent} → {spent_after} (zero cost), \
+         remaining {remaining:.2}",
+        free.len(),
+    );
+
+    // 4. Over-budget request: typed rejection, nothing measured.
+    match engine.serve("census", &workload, 0.5) {
+        Err(EngineError::BudgetExhausted {
+            dataset,
+            requested,
+            remaining,
+        }) => println!(
+            "#4 over-budget: rejected typed — dataset={dataset} requested={requested} \
+             remaining={remaining:.2}"
+        ),
+        other => panic!("expected BudgetExhausted, got {other:?}"),
+    }
+}

@@ -48,5 +48,8 @@ fn main() {
         .sum::<f64>()
         / truth.len() as f64)
         .sqrt();
-    println!("\nobserved RMSE: {rmse:.2} (expectation {:.2})", plan.expected_rmse(eps));
+    println!(
+        "\nobserved RMSE: {rmse:.2} (expectation {:.2})",
+        plan.expected_rmse(eps)
+    );
 }

@@ -16,7 +16,10 @@ fn main() {
     let eps = 1.0;
 
     let workload = builders::prefix_2d(n, n);
-    println!("Prefix 2D workload on a {n}×{n} grid: {} queries", workload.query_count());
+    println!(
+        "Prefix 2D workload on a {n}×{n} grid: {} queries",
+        workload.query_count()
+    );
 
     let plan = Hdmm::with_restarts(2).plan(&workload);
     let hdmm_err = plan.squared_error_coefficient();

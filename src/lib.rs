@@ -1,6 +1,18 @@
-//! Workspace facade crate: hosts the top-level `examples/` and `tests/`.
+//! Workspace facade crate: hosts the top-level `examples/` and `tests/`, and
+//! re-exports every workspace crate under one import path.
 //!
 //! The implementation lives in the `hdmm-*` crates; see `hdmm-core` for the
-//! public API.
+//! planner API and `hdmm-engine` for the end-to-end serving engine.
 
+pub use hdmm_baselines as baselines;
 pub use hdmm_core as core;
+pub use hdmm_data as data;
+pub use hdmm_engine as engine;
+pub use hdmm_linalg as linalg;
+pub use hdmm_mechanism as mechanism;
+pub use hdmm_optimizer as optimizer;
+pub use hdmm_workload as workload;
+
+// The everyday surface, flattened: `hdmm::{Engine, Hdmm, Workload, …}`.
+pub use hdmm_core::{hdmm, Domain, EngineError, Hdmm, Plan, QueryEngine, Workload};
+pub use hdmm_engine::{Engine, EngineOptions};

@@ -126,7 +126,11 @@ fn one_call_api_runs_census_workload() {
 #[test]
 fn plan_is_deterministic_given_seed() {
     let w = builders::prefix_2d(8, 8);
-    let opts = hdmm_core::HdmmOptions { restarts: 1, seed: 42, ..Default::default() };
+    let opts = hdmm_core::HdmmOptions {
+        restarts: 1,
+        seed: 42,
+        ..Default::default()
+    };
     let a = Hdmm::with_options(opts.clone()).plan(&w);
     let b = Hdmm::with_options(opts).plan(&w);
     assert_eq!(a.squared_error_coefficient(), b.squared_error_coefficient());

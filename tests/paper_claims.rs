@@ -23,9 +23,15 @@ fn table4a_hdmm_never_loses_1d() {
     let slack = 1.02; // numerical tolerance on local optimization
 
     assert!(hdmm <= slack * identity_squared_error(&grams), "identity");
-    assert!(hdmm <= slack * privelet_error_1d(n, &range_energy), "wavelet");
+    assert!(
+        hdmm <= slack * privelet_error_1d(n, &range_energy),
+        "wavelet"
+    );
     assert!(hdmm <= slack * hb_1d(n, &range_energy).squared_error, "hb");
-    assert!(hdmm <= slack * greedy_h_energy(n, &range_energy).squared_error, "greedyh");
+    assert!(
+        hdmm <= slack * greedy_h_energy(n, &range_energy).squared_error,
+        "greedyh"
+    );
 }
 
 #[test]
@@ -34,7 +40,10 @@ fn table4a_ratio_ordering_matches_paper_at_1024() {
     // GreedyH 1.49. We assert the ordering and coarse magnitudes.
     let n = 1024;
     let grams = builders::grams_prefix_1d(n);
-    let opts = hdmm_core::HdmmOptions { restarts: 2, ..Default::default() };
+    let opts = hdmm_core::HdmmOptions {
+        restarts: 2,
+        ..Default::default()
+    };
     let hdmm = hdmm_core::optimizer::opt_hdmm_grams(&grams, &[n / 16], &opts).squared_error;
 
     let identity = identity_squared_error(&grams);
@@ -42,8 +51,16 @@ fn table4a_ratio_ordering_matches_paper_at_1024() {
     let hb = hb_1d(n, &prefix_energy).squared_error;
 
     let r = |other: f64| (other / hdmm).sqrt();
-    assert!(r(identity) > 2.5 && r(identity) < 4.5, "identity ratio {}", r(identity));
-    assert!(r(wavelet) > 1.2 && r(wavelet) < 2.6, "wavelet ratio {}", r(wavelet));
+    assert!(
+        r(identity) > 2.5 && r(identity) < 4.5,
+        "identity ratio {}",
+        r(identity)
+    );
+    assert!(
+        r(wavelet) > 1.2 && r(wavelet) < 2.6,
+        "wavelet ratio {}",
+        r(wavelet)
+    );
     assert!(r(hb) > 1.0 && r(hb) < 2.0, "hb ratio {}", r(hb));
     // Ordering: identity worst, HB best among baselines.
     assert!(r(identity) > r(wavelet) && r(wavelet) > r(hb));
@@ -57,7 +74,10 @@ fn permuted_range_only_hdmm_adapts() {
     let w = builders::permuted_range_1d(n, &mut rng);
     let grams = WorkloadGrams::from_workload(&w);
     let hdmm = {
-        let opts = hdmm_core::HdmmOptions { restarts: 2, ..Default::default() };
+        let opts = hdmm_core::HdmmOptions {
+            restarts: 2,
+            ..Default::default()
+        };
         hdmm_core::optimizer::opt_hdmm_grams(&grams, &[(n / 16).max(1)], &opts).squared_error
     };
     // Wavelet on the permuted workload: evaluate through the explicit gram.
@@ -87,12 +107,14 @@ fn table4b_2d_hdmm_beats_specialized_baselines() {
 fn table5_shape_low_k_favors_hdmm_high_k_favors_identity() {
     // Table 5: Identity ratio 43.89 at K=2, 1.00–1.07 at K≥6.
     let domain = Domain::new(&[10, 10, 10, 10]);
-    let opts = hdmm_core::HdmmOptions { restarts: 3, ..Default::default() };
+    let opts = hdmm_core::HdmmOptions {
+        restarts: 3,
+        ..Default::default()
+    };
 
     let low = builders::upto_kway_marginals(&domain, 1);
     let g_low = WorkloadGrams::from_workload(&low);
-    let hdmm_low =
-        hdmm_core::optimizer::opt_hdmm_grams(&g_low, &[1, 1, 1, 1], &opts).squared_error;
+    let hdmm_low = hdmm_core::optimizer::opt_hdmm_grams(&g_low, &[1, 1, 1, 1], &opts).squared_error;
     let ratio_low = (identity_squared_error(&g_low) / hdmm_low).sqrt();
 
     let high = builders::upto_kway_marginals(&domain, 4);

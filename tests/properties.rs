@@ -7,17 +7,18 @@ use proptest::prelude::*;
 
 /// A random small query matrix with entries in {0, 1}.
 fn query_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(proptest::bool::weighted(0.4), rows * cols).prop_map(
-        move |bits| {
-            Matrix::from_fn(rows, cols, |r, c| if bits[r * cols + c] { 1.0 } else { 0.0 })
-        },
-    )
+    proptest::collection::vec(proptest::bool::weighted(0.4), rows * cols).prop_map(move |bits| {
+        Matrix::from_fn(
+            rows,
+            cols,
+            |r, c| if bits[r * cols + c] { 1.0 } else { 0.0 },
+        )
+    })
 }
 
 /// A random data vector of non-negative counts.
 fn data_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(0u32..50, len)
-        .prop_map(|v| v.into_iter().map(f64::from).collect())
+    proptest::collection::vec(0u32..50, len).prop_map(|v| v.into_iter().map(f64::from).collect())
 }
 
 proptest! {
@@ -104,11 +105,18 @@ proptest! {
     ) {
         let gram = a.gram();
         // Skip rank-deficient draws (LSMR then returns the min-norm solution,
-        // which the plain normal equations don't produce).
-        prop_assume!(hdmm_linalg::Cholesky::new(&gram).is_ok());
-        let direct = hdmm_linalg::Cholesky::new(&gram)
-            .unwrap()
-            .solve_vec(&a.t_matvec(&b));
+        // which the plain normal equations don't produce), and near-singular
+        // ones where a numerically successful factorization still leaves the
+        // normal equations and LSMR far apart: require every Cholesky pivot
+        // to be comfortably above noise.
+        let ch = hdmm_linalg::Cholesky::new(&gram);
+        prop_assume!(ch.is_ok());
+        let ch_ok = ch.unwrap();
+        let min_pivot = (0..gram.rows())
+            .map(|i| ch_ok.factor()[(i, i)])
+            .fold(f64::INFINITY, f64::min);
+        prop_assume!(min_pivot > 1e-3);
+        let direct = ch_ok.solve_vec(&a.t_matvec(&b));
         let iter = lsmr(&DenseOp(&a), &b, &LsmrOptions::default());
         for (l, d) in iter.x.iter().zip(&direct) {
             prop_assert!((l - d).abs() < 1e-5, "{l} vs {d}");

@@ -8,7 +8,7 @@
 //! | [`greedy_h`] | GreedyH (from DAWA) | 1D workload-adapted hierarchies |
 //! | [`wavelet`] | Privelet (Haar wavelet) | 1D/2D range queries |
 //! | [`quadtree`] | QuadTree | 2D spatial hierarchies |
-//! | [`datacube`] | DataCube (Ding et al.) | marginals workloads |
+//! | [`datacube`](mod@datacube) | DataCube (Ding et al.) | marginals workloads |
 //! | [`general`] | full-space gradient search | MM/LRM stand-in |
 //! | [`dawa`] | DAWA two-stage | data-dependent 1D/2D |
 //! | [`privbayes`] | PrivBayes | data-dependent high-D |

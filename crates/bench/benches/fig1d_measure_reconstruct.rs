@@ -39,7 +39,7 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(0);
 
         // OPT_⊗-style product strategy.
-        let kron = Strategy::Kron(vec![factor(n), factor(n), factor(n)]);
+        let kron = Strategy::kron(vec![factor(n), factor(n), factor(n)]);
         let (_, kron_secs) = timed(|| {
             let m = measure(&kron, &x, 1.0, &mut rng);
             reconstruct(&kron, &m)
@@ -47,16 +47,12 @@ fn main() {
 
         // OPT_+-style union strategy (two groups → LSMR inference).
         let union = Strategy::Union(vec![
-            UnionGroup {
-                share: 0.5,
-                factors: vec![factor(n), blocks::total(n), blocks::total(n)],
-                term_indices: vec![0],
-            },
-            UnionGroup {
-                share: 0.5,
-                factors: vec![blocks::total(n), factor(n), factor(n)],
-                term_indices: vec![0],
-            },
+            UnionGroup::new(
+                0.5,
+                vec![factor(n), blocks::total(n), blocks::total(n)],
+                vec![0],
+            ),
+            UnionGroup::new(0.5, vec![blocks::total(n), factor(n), factor(n)], vec![0]),
         ]);
         let (_, union_secs) = timed(|| {
             let m = measure(&union, &x, 1.0, &mut rng);

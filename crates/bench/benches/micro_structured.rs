@@ -1,0 +1,143 @@
+//! Structured-vs-dense backend micro-benchmarks: matvec and Gram computation
+//! for the Prefix block across domain sizes 2⁸–2¹⁶.
+//!
+//! The structured path is O(n) per matvec (a cumulative sum) and O(n²) fill
+//! per Gram; the dense path is O(n²) per matvec after an O(n²)-memory
+//! materialization. Dense baselines stop at 2¹² — a dense Prefix block at
+//! 2¹⁴ alone is 2 GiB, which is exactly the allocation the structured
+//! backend exists to avoid (the cap is printed so the gap is explicit).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdmm_linalg::{Matrix, StructuredMatrix};
+use hdmm_workload::blocks;
+
+/// Largest domain exercised by the structured path.
+const MAX_POW: u32 = 16;
+/// Largest domain where the dense baseline is materialized (2 GiB at 2¹⁴).
+const DENSE_MAX_POW: u32 = 12;
+
+fn data(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 13) % 31) as f64).collect()
+}
+
+fn bench_matvec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structured_matvec_prefix");
+    group.sample_size(20);
+    for pow in (8..=MAX_POW).step_by(2) {
+        let n = 1usize << pow;
+        let block = blocks::prefix_block(n);
+        let x = data(n);
+        group.bench_with_input(BenchmarkId::new("structured", n), &n, |b, _| {
+            b.iter(|| block.matvec(&x));
+        });
+        if pow <= DENSE_MAX_POW {
+            let dense = blocks::prefix(n);
+            group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
+                b.iter(|| dense.matvec(&x));
+            });
+        }
+    }
+    group.finish();
+    println!(
+        "(dense baseline capped at n = 2^{DENSE_MAX_POW}: a dense Prefix block at 2^14 is 2 GiB)"
+    );
+}
+
+fn bench_gram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structured_gram_prefix");
+    group.sample_size(10);
+    for pow in [8u32, 10, 12] {
+        let n = 1usize << pow;
+        let block = blocks::prefix_block(n);
+        group.bench_with_input(BenchmarkId::new("closed_form", n), &n, |b, _| {
+            b.iter(|| block.gram_dense());
+        });
+        if pow <= 10 {
+            // The dense route first materializes the n×n query matrix, then
+            // pays O(n³) flops for the Gram product.
+            group.bench_with_input(BenchmarkId::new("dense_materialized", n), &n, |b, _| {
+                b.iter(|| blocks::prefix(n).gram());
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_kron_answer(c: &mut Criterion) {
+    // The serving path: answering a Prefix⊗Prefix workload on a 2D grid via
+    // structured vs dense mode contractions.
+    let mut group = c.benchmark_group("structured_kmatvec_prefix2d");
+    group.sample_size(10);
+    for &n in &[64usize, 256] {
+        let x = data(n * n);
+        let structured = StructuredMatrix::kron(vec![
+            StructuredMatrix::prefix(n),
+            StructuredMatrix::prefix(n),
+        ]);
+        group.bench_with_input(BenchmarkId::new("structured", n * n), &n, |b, _| {
+            b.iter(|| structured.matvec(&x));
+        });
+        let dense = StructuredMatrix::kron(vec![
+            StructuredMatrix::Dense(blocks::prefix(n)),
+            StructuredMatrix::Dense(blocks::prefix(n)),
+        ]);
+        group.bench_with_input(BenchmarkId::new("dense", n * n), &n, |b, _| {
+            b.iter(|| dense.matvec(&x));
+        });
+    }
+    group.finish();
+}
+
+/// Prints the headline throughput ratio the acceptance criterion asks for:
+/// structured vs dense matvec at the largest dense-feasible size, plus the
+/// structured-only timing at 2¹⁴.
+fn report_speedup(_c: &mut Criterion) {
+    use std::time::Instant;
+    let time = |f: &mut dyn FnMut()| {
+        // One warmup, then best of 5.
+        f();
+        (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    let n = 1usize << DENSE_MAX_POW;
+    let x = data(n);
+    let block = blocks::prefix_block(n);
+    let dense: Matrix = blocks::prefix(n);
+    let s = time(&mut || {
+        std::hint::black_box(block.matvec(&x));
+    });
+    let d = time(&mut || {
+        std::hint::black_box(dense.matvec(&x));
+    });
+    println!(
+        "\n# structured vs dense prefix matvec @ n=2^{DENSE_MAX_POW}: {:.0}x",
+        d / s
+    );
+
+    let n14 = 1usize << 14;
+    let x14 = data(n14);
+    let block14 = blocks::prefix_block(n14);
+    let s14 = time(&mut || {
+        std::hint::black_box(block14.matvec(&x14));
+    });
+    println!(
+        "# structured prefix matvec @ n=2^14: {:.1} µs (dense would be {:.0}x slower by flop count, 2 GiB resident)",
+        s14 * 1e6,
+        (n14 as f64) / ((1u64 << DENSE_MAX_POW) as f64) * d / s
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_matvec,
+    bench_gram,
+    bench_kron_answer,
+    report_speedup
+);
+criterion_main!(benches);

@@ -30,6 +30,17 @@ pub mod strategy {
         {
             Map { inner: self, f }
         }
+
+        /// Chains a dependent strategy: `f` builds a new strategy from each
+        /// generated value, and one value is drawn from it.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
     }
 
     /// The output of [`Strategy::prop_map`].
@@ -50,6 +61,44 @@ pub mod strategy {
             (self.f)(self.inner.generate(rng))
         }
     }
+
+    /// The output of [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            let v = self.inner.generate(rng);
+            (self.f)(v).generate(rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
 
     /// A strategy that always yields a clone of one value.
     #[derive(Debug, Clone)]
@@ -133,7 +182,7 @@ pub mod collection {
         VecStrategy { element, count }
     }
 
-    /// The output of [`vec`].
+    /// The output of [`vec`](fn@vec).
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

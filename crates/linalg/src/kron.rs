@@ -101,7 +101,7 @@ pub fn kmatvec_transpose(factors: &[&Matrix], y: &[f64]) -> Vec<f64> {
 
 /// Contracts factor `a` (m×n) along the middle mode of a (left, n, right)
 /// tensor: `next[l, r_out, r] = Σ_c a[r_out, c] · cur[l, c, r]`.
-fn apply_mode(
+pub(crate) fn apply_mode(
     a: &Matrix,
     cur: &[f64],
     next: &mut [f64],
@@ -130,7 +130,7 @@ fn apply_mode(
 }
 
 /// Same contraction with `aᵀ`: `next[l, c, r] = Σ_{r_in} a[r_in, c] · cur[l, r_in, r]`.
-fn apply_mode_transpose(
+pub(crate) fn apply_mode_transpose(
     a: &Matrix,
     cur: &[f64],
     next: &mut [f64],

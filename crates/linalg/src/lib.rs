@@ -1,4 +1,4 @@
-//! Dense linear algebra substrate for the HDMM reproduction.
+//! Linear algebra substrate for the HDMM reproduction.
 //!
 //! The paper's Python implementation leans on numpy/scipy; this crate provides
 //! the equivalents built from scratch: a row-major dense [`Matrix`], Cholesky
@@ -7,11 +7,34 @@
 //! matrix-free [`LinOp`], and Kronecker-product utilities (explicit products
 //! and the implicit `kmatvec` of Appendix A.5).
 //!
-//! Everything is `f64`. The matrices involved in HDMM strategy selection are
-//! per-attribute blocks (n ≤ a few thousand), so a straightforward, well-tested
-//! dense implementation with cache-aware loop ordering is the right tool.
+//! # The structured backend
+//!
+//! On top of the dense substrate sits the [`StructuredMatrix`] backend: an
+//! enum over `Dense`, `Sparse` ([`Csr`]), and closed-form `Identity`, `Total`,
+//! `Prefix`, `AllRange`, and `Kron` variants. HDMM's per-attribute building
+//! blocks are exactly these shapes, so workloads and strategies carry O(1)
+//! pattern descriptors instead of O(n²) entry tables:
+//!
+//! * `matvec`/`rmatvec` run in O(n) for `Identity`/`Total`/`Prefix` (a
+//!   cumulative sum) and O(output) for `AllRange` (prefix sums plus a
+//!   difference-array adjoint) — versus O(m·n) dense;
+//! * `gram_dense` fills the `n×n` Gram from the §5.2 closed forms without
+//!   ever materializing the `m×n` query matrix (for `AllRange`, m = n(n+1)/2);
+//! * `sensitivity` (the L1 operator norm of Definition 6) is O(1)–O(n);
+//! * [`kmatvec_structured`] dispatches each mode contraction of Algorithm 1
+//!   to the factor's fast kernel, so MEASURE/RECONSTRUCT over large attribute
+//!   domains allocate nothing quadratic;
+//! * [`StructuredMatrix::to_dense`] is the escape hatch for entry-wise
+//!   algorithms (small-n optimizer internals, tests).
+//!
+//! Everything is `f64`. The *dense* matrices involved in HDMM strategy
+//! selection are per-attribute blocks (n ≤ a few thousand), where a
+//! straightforward implementation with cache-aware loop ordering is the right
+//! tool; the structured variants are what make serving-scale domains
+//! (n = 2¹⁴ and beyond) affordable.
 
 mod cholesky;
+mod csr;
 mod eigen;
 mod kron;
 mod linop;
@@ -19,8 +42,10 @@ mod lsmr;
 mod lu;
 mod matrix;
 mod pinv;
+mod structured;
 
 pub use cholesky::Cholesky;
+pub use csr::Csr;
 pub use eigen::SymEigen;
 pub use kron::{kmatvec, kmatvec_transpose, kron, kron_all, kron_vec};
 pub use linop::{DenseOp, KronOp, LinOp, ScaledOp, StackedOp};
@@ -28,6 +53,9 @@ pub use lsmr::{lsmr, LsmrOptions, LsmrResult};
 pub use lu::Lu;
 pub use matrix::Matrix;
 pub use pinv::{pinv, pinv_psd};
+pub use structured::{
+    kmatvec_structured, kmatvec_transpose_structured, StructuredMatrix, SPARSE_DENSITY_THRESHOLD,
+};
 
 /// Errors produced by factorizations and solvers.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,0 +1,909 @@
+//! Structured matrix backend: closed-form representations of the
+//! highly-regular operators HDMM composes.
+//!
+//! The building blocks of real workloads and strategies — `Identity`,
+//! `Total`, `Prefix`, `AllRange`, sparse predicate sets, and Kronecker
+//! products of all of these — are far too regular to store densely. A
+//! [`StructuredMatrix`] keeps only the pattern parameters (`n`, a scale) or a
+//! CSR payload and implements the whole [`LinOp`](crate::LinOp) surface with
+//! closed-form fast paths:
+//!
+//! | variant      | storage | matvec         | gram           | sensitivity |
+//! |--------------|---------|----------------|----------------|-------------|
+//! | `Identity`   | O(1)    | O(n)           | O(1) (implicit)| `\|s\|`     |
+//! | `Total`      | O(1)    | O(n)           | O(n²) fill     | `\|s\|`     |
+//! | `Prefix`     | O(1)    | O(n) cumsum    | O(n²) fill     | `n·\|s\|`   |
+//! | `AllRange`   | O(1)    | O(m) via sums  | O(n²) fill     | closed form |
+//! | `Sparse`     | O(nnz)  | O(nnz)         | O(Σnnz_r²)     | col sums    |
+//! | `Dense`      | O(mn)   | O(mn)          | O(mn²)         | col sums    |
+//! | `Kron`       | Σ parts | mode products  | per factor     | product     |
+//!
+//! versus the dense path where a `Prefix` block on a domain of `2^14` costs
+//! 2 GiB just to exist and O(n²) flops per product. [`to_dense`] remains as
+//! the escape hatch for algorithms that genuinely need entries (small-n
+//! optimizer internals, tests).
+//!
+//! [`to_dense`]: StructuredMatrix::to_dense
+
+use crate::csr::Csr;
+use crate::kron::{apply_mode, apply_mode_transpose, kron};
+use crate::linop::LinOp;
+use crate::Matrix;
+
+/// Density at or below which [`StructuredMatrix::compress`] converts a dense
+/// matrix to CSR.
+pub const SPARSE_DENSITY_THRESHOLD: f64 = 0.25;
+
+/// A matrix in the cheapest faithful representation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StructuredMatrix {
+    /// An arbitrary dense matrix (the escape hatch).
+    Dense(Matrix),
+    /// A sparse matrix in CSR form.
+    Sparse(Csr),
+    /// `scale · I_n`.
+    Identity {
+        /// Domain size `n`.
+        n: usize,
+        /// Uniform scale.
+        scale: f64,
+    },
+    /// The total query: a single row of `scale` over `n` cells.
+    Total {
+        /// Domain size `n`.
+        n: usize,
+        /// Uniform scale.
+        scale: f64,
+    },
+    /// The prefix (CDF) workload: `scale` times the lower-triangular all-ones
+    /// `n×n` matrix; row `i` sums cells `0..=i`.
+    Prefix {
+        /// Domain size `n`.
+        n: usize,
+        /// Uniform scale.
+        scale: f64,
+    },
+    /// All `n(n+1)/2` interval queries `[i, j]`, rows ordered `(0,0), (0,1),
+    /// …, (0,n-1), (1,1), …` — the same order `blocks::all_range` emits.
+    AllRange {
+        /// Domain size `n`.
+        n: usize,
+        /// Uniform scale.
+        scale: f64,
+    },
+    /// An implicit Kronecker product of structured factors.
+    Kron(Vec<StructuredMatrix>),
+}
+
+use StructuredMatrix::*;
+
+impl StructuredMatrix {
+    /// An unscaled identity block.
+    pub fn identity(n: usize) -> Self {
+        Identity { n, scale: 1.0 }
+    }
+
+    /// An unscaled total block (`1×n` all ones).
+    pub fn total(n: usize) -> Self {
+        Total { n, scale: 1.0 }
+    }
+
+    /// An unscaled prefix block.
+    pub fn prefix(n: usize) -> Self {
+        Prefix { n, scale: 1.0 }
+    }
+
+    /// An unscaled all-range block.
+    pub fn all_range(n: usize) -> Self {
+        AllRange { n, scale: 1.0 }
+    }
+
+    /// A Kronecker product of structured factors, flattening nested products.
+    ///
+    /// # Panics
+    /// Panics if `factors` is empty.
+    pub fn kron(factors: Vec<StructuredMatrix>) -> Self {
+        assert!(!factors.is_empty(), "Kron requires at least one factor");
+        let mut flat = Vec::with_capacity(factors.len());
+        for f in factors {
+            match f {
+                Kron(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        if flat.len() == 1 {
+            flat.pop().expect("one factor")
+        } else {
+            Kron(flat)
+        }
+    }
+
+    /// Wraps a dense matrix, converting to CSR when its density is at most
+    /// [`SPARSE_DENSITY_THRESHOLD`].
+    pub fn compress(m: Matrix) -> Self {
+        let s = Csr::from_dense(&m);
+        if s.density() <= SPARSE_DENSITY_THRESHOLD {
+            Sparse(s)
+        } else {
+            Dense(m)
+        }
+    }
+
+    /// Output dimension (number of queries).
+    pub fn rows(&self) -> usize {
+        match self {
+            Dense(m) => m.rows(),
+            Sparse(s) => s.rows(),
+            Identity { n, .. } | Prefix { n, .. } => *n,
+            Total { .. } => 1,
+            AllRange { n, .. } => n * (n + 1) / 2,
+            Kron(fs) => fs.iter().map(StructuredMatrix::rows).product(),
+        }
+    }
+
+    /// Input dimension (domain size).
+    pub fn cols(&self) -> usize {
+        match self {
+            Dense(m) => m.cols(),
+            Sparse(s) => s.cols(),
+            Identity { n, .. } | Total { n, .. } | Prefix { n, .. } | AllRange { n, .. } => *n,
+            Kron(fs) => fs.iter().map(StructuredMatrix::cols).product(),
+        }
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows(), self.cols())
+    }
+
+    /// Stored values in this representation (the implicit-size accounting of
+    /// the paper's Example 6/7): closed-form variants count only their scale.
+    pub fn storage_size(&self) -> usize {
+        match self {
+            Dense(m) => m.rows() * m.cols(),
+            Sparse(s) => s.nnz(),
+            Identity { .. } | Total { .. } | Prefix { .. } | AllRange { .. } => 1,
+            Kron(fs) => fs.iter().map(StructuredMatrix::storage_size).sum(),
+        }
+    }
+
+    /// `A·x` through the cheapest path for the representation.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols(), "structured matvec dimension mismatch");
+        match self {
+            Dense(m) => m.matvec(x),
+            Sparse(s) => s.matvec(x),
+            Identity { scale, .. } => x.iter().map(|v| v * scale).collect(),
+            Total { scale, .. } => vec![scale * x.iter().sum::<f64>()],
+            Prefix { scale, .. } => {
+                let mut acc = 0.0;
+                x.iter()
+                    .map(|v| {
+                        acc += v;
+                        scale * acc
+                    })
+                    .collect()
+            }
+            AllRange { n, scale } => {
+                // y_(i,j) = scale·(S[j+1] − S[i]) with S the prefix sums.
+                let mut sums = Vec::with_capacity(n + 1);
+                sums.push(0.0);
+                let mut acc = 0.0;
+                for v in x {
+                    acc += v;
+                    sums.push(acc);
+                }
+                let mut y = Vec::with_capacity(n * (n + 1) / 2);
+                for i in 0..*n {
+                    for j in i..*n {
+                        y.push(scale * (sums[j + 1] - sums[i]));
+                    }
+                }
+                y
+            }
+            Kron(fs) => {
+                let refs: Vec<&StructuredMatrix> = fs.iter().collect();
+                kmatvec_structured(&refs, x)
+            }
+        }
+    }
+
+    /// `Aᵀ·y` through the cheapest path for the representation.
+    ///
+    /// # Panics
+    /// Panics if `y.len() != self.rows()`.
+    pub fn rmatvec(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            y.len(),
+            self.rows(),
+            "structured rmatvec dimension mismatch"
+        );
+        match self {
+            Dense(m) => m.t_matvec(y),
+            Sparse(s) => s.rmatvec(y),
+            Identity { scale, .. } => y.iter().map(|v| v * scale).collect(),
+            Total { n, scale } => vec![scale * y[0]; *n],
+            Prefix { scale, .. } => {
+                // (Pᵀy)_c = scale·Σ_{r≥c} y_r: reversed running sums.
+                let mut out = vec![0.0; y.len()];
+                let mut acc = 0.0;
+                for (o, v) in out.iter_mut().zip(y).rev() {
+                    acc += v;
+                    *o = scale * acc;
+                }
+                out
+            }
+            AllRange { n, scale } => {
+                // Difference-array trick: range (i, j) adds y_r on [i, j].
+                let mut diff = vec![0.0; n + 1];
+                let mut r = 0;
+                for i in 0..*n {
+                    for j in i..*n {
+                        let v = y[r];
+                        diff[i] += v;
+                        diff[j + 1] -= v;
+                        r += 1;
+                    }
+                }
+                let mut out = Vec::with_capacity(*n);
+                let mut acc = 0.0;
+                for d in &diff[..*n] {
+                    acc += d;
+                    out.push(scale * acc);
+                }
+                out
+            }
+            Kron(fs) => {
+                let refs: Vec<&StructuredMatrix> = fs.iter().collect();
+                kmatvec_transpose_structured(&refs, y)
+            }
+        }
+    }
+
+    /// The Gram matrix `AᵀA` as a dense `n×n` block, computed from closed
+    /// forms without materializing the queries (the §5.2 "WᵀW can be computed
+    /// directly" observation). `Kron` expands the explicit product of its
+    /// factor Grams — call it only when `Π nᵢ` is small.
+    pub fn gram_dense(&self) -> Matrix {
+        match self {
+            Dense(m) => m.gram(),
+            Sparse(s) => s.gram(),
+            Identity { n, scale } => Matrix::from_diag(&vec![scale * scale; *n]),
+            Total { n, scale } => Matrix::filled(*n, *n, scale * scale),
+            Prefix { n, scale } => {
+                let s2 = scale * scale;
+                Matrix::from_fn(*n, *n, |i, j| s2 * (*n - i.max(j)) as f64)
+            }
+            AllRange { n, scale } => {
+                let s2 = scale * scale;
+                Matrix::from_fn(*n, *n, |i, j| {
+                    s2 * ((i.min(j) + 1) * (*n - i.max(j))) as f64
+                })
+            }
+            Kron(fs) => {
+                let mut acc = Matrix::identity(1);
+                for f in fs {
+                    acc = kron(&acc, &f.gram_dense());
+                }
+                acc
+            }
+        }
+    }
+
+    /// `(AᵀA)⁺` as a structured matrix, for RECONSTRUCT's per-factor inverse
+    /// Grams: closed forms keep `Identity` O(1) and `Prefix` tridiagonal;
+    /// everything else goes through the dense spectral pseudo-inverse.
+    pub fn gram_pinv(&self) -> StructuredMatrix {
+        match self {
+            Identity { n, scale } => Identity {
+                n: *n,
+                scale: 1.0 / (scale * scale),
+            },
+            Prefix { n, scale } => {
+                // (PᵀP)⁻¹ = P⁻¹P⁻ᵀ/s² = DDᵀ/s²: tridiagonal with 2 on the
+                // diagonal (1 in the first row) and −1 off-diagonal.
+                let s2 = 1.0 / (scale * scale);
+                let n = *n;
+                let mut indptr = Vec::with_capacity(n + 1);
+                let mut indices = Vec::new();
+                let mut data = Vec::new();
+                indptr.push(0);
+                for i in 0..n {
+                    if i > 0 {
+                        indices.push(i - 1);
+                        data.push(-s2);
+                    }
+                    indices.push(i);
+                    data.push(if i == 0 { s2 } else { 2.0 * s2 });
+                    if i + 1 < n {
+                        indices.push(i + 1);
+                        data.push(-s2);
+                    }
+                    indptr.push(indices.len());
+                }
+                Sparse(Csr::new(n, n, indptr, indices, data))
+            }
+            Total { n, scale } => {
+                // (TᵀT)⁺ = 𝟙/(n²s²): the pseudo-inverse of the rank-1 Gram.
+                Dense(Matrix::filled(
+                    *n,
+                    *n,
+                    1.0 / (*n as f64 * *n as f64 * scale * scale),
+                ))
+            }
+            Kron(fs) => Kron(fs.iter().map(StructuredMatrix::gram_pinv).collect()),
+            other => {
+                let gram = other.gram_dense();
+                match crate::Cholesky::new(&gram) {
+                    Ok(ch) => Dense(ch.inverse()),
+                    Err(_) => {
+                        Dense(crate::pinv_psd(&gram).expect("factor gram eigendecomposition"))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Per-column sums of absolute values, in closed form where possible.
+    pub fn abs_col_sums(&self) -> Vec<f64> {
+        match self {
+            Dense(m) => m.abs_col_sums(),
+            Sparse(s) => s.abs_col_sums(),
+            Identity { n, scale } | Total { n, scale } => vec![scale.abs(); *n],
+            Prefix { n, scale } => (0..*n).map(|c| scale.abs() * (*n - c) as f64).collect(),
+            AllRange { n, scale } => (0..*n)
+                .map(|c| scale.abs() * ((c + 1) * (*n - c)) as f64)
+                .collect(),
+            Kron(fs) => {
+                let mut acc = vec![1.0];
+                for f in fs {
+                    acc = crate::kron::kron_vec(&acc, &f.abs_col_sums());
+                }
+                acc
+            }
+        }
+    }
+
+    /// The L1 operator norm `‖A‖₁` (the query-set sensitivity, Definition 6),
+    /// in O(1)–O(n) for closed-form variants.
+    pub fn sensitivity(&self) -> f64 {
+        match self {
+            Dense(m) => m.norm_l1_operator(),
+            Sparse(s) => s.norm_l1_operator(),
+            Identity { scale, .. } | Total { scale, .. } => scale.abs(),
+            Prefix { n, scale } => scale.abs() * *n as f64,
+            // Column c is covered by (c+1)(n−c) ranges; the maximum is at the
+            // middle of the domain.
+            AllRange { n, scale } => {
+                let c = (*n - 1) / 2;
+                scale.abs() * ((c + 1) * (*n - c)) as f64
+            }
+            Kron(fs) => fs.iter().map(StructuredMatrix::sensitivity).product(),
+        }
+    }
+
+    /// Trace of the Gram `tr(AᵀA) = ‖A‖²_F`, in closed form.
+    pub fn gram_trace(&self) -> f64 {
+        match self {
+            Dense(m) => m.frobenius_norm_sq(),
+            Sparse(s) => s.frobenius_norm_sq(),
+            Identity { n, scale } | Total { n, scale } => scale * scale * *n as f64,
+            // Σ_i (n − i) = n(n+1)/2.
+            Prefix { n, scale } => scale * scale * (*n * (*n + 1) / 2) as f64,
+            // Σ_i (i+1)(n−i).
+            AllRange { n, scale } => {
+                scale * scale * (0..*n).map(|i| ((i + 1) * (*n - i)) as f64).sum::<f64>()
+            }
+            Kron(fs) => fs.iter().map(StructuredMatrix::gram_trace).product(),
+        }
+    }
+
+    /// A scaled copy `alpha · A`, staying in the same representation.
+    pub fn scaled(&self, alpha: f64) -> StructuredMatrix {
+        match self {
+            Dense(m) => Dense(m.scaled(alpha)),
+            Sparse(s) => Sparse(s.scaled(alpha)),
+            Identity { n, scale } => Identity {
+                n: *n,
+                scale: scale * alpha,
+            },
+            Total { n, scale } => Total {
+                n: *n,
+                scale: scale * alpha,
+            },
+            Prefix { n, scale } => Prefix {
+                n: *n,
+                scale: scale * alpha,
+            },
+            AllRange { n, scale } => AllRange {
+                n: *n,
+                scale: scale * alpha,
+            },
+            Kron(fs) => {
+                // Fold the scalar into the first factor only.
+                let mut fs = fs.clone();
+                fs[0] = fs[0].scaled(alpha);
+                Kron(fs)
+            }
+        }
+    }
+
+    /// A sensitivity-1 copy (`A / ‖A‖₁`).
+    pub fn normalized(&self) -> StructuredMatrix {
+        let s = self.sensitivity();
+        if s == 0.0 || s == 1.0 {
+            return self.clone();
+        }
+        self.scaled(1.0 / s)
+    }
+
+    /// Materializes the dense equivalent — the escape hatch for entry-wise
+    /// algorithms. Quadratic (or worse) in the domain; avoid on hot paths.
+    pub fn to_dense(&self) -> Matrix {
+        match self {
+            Dense(m) => m.clone(),
+            Sparse(s) => s.to_dense(),
+            Identity { n, scale } => Matrix::from_diag(&vec![*scale; *n]),
+            Total { n, scale } => Matrix::filled(1, *n, *scale),
+            Prefix { n, scale } => {
+                Matrix::from_fn(*n, *n, |r, c| if c <= r { *scale } else { 0.0 })
+            }
+            AllRange { n, scale } => {
+                let mut out = Matrix::zeros(n * (n + 1) / 2, *n);
+                let mut row = 0;
+                for i in 0..*n {
+                    for j in i..*n {
+                        for c in i..=j {
+                            out[(row, c)] = *scale;
+                        }
+                        row += 1;
+                    }
+                }
+                out
+            }
+            Kron(fs) => {
+                let mut acc = Matrix::identity(1);
+                for f in fs {
+                    acc = kron(&acc, &f.to_dense());
+                }
+                acc
+            }
+        }
+    }
+
+    /// True when every row is a point query or the total query — the §7.1
+    /// `p = 1` convention's predicate test, answered without materializing.
+    pub fn is_total_or_identity(&self) -> bool {
+        match self {
+            Identity { scale, .. } | Total { scale, .. } => *scale == 1.0,
+            Prefix { n, scale } | AllRange { n, scale } => *n == 1 && *scale == 1.0,
+            Dense(m) => dense_is_total_or_identity(m),
+            Sparse(s) => s.rows_are_total_or_identity(),
+            Kron(_) => false,
+        }
+    }
+}
+
+fn dense_is_total_or_identity(w: &Matrix) -> bool {
+    (0..w.rows()).all(|r| {
+        let row = w.row(r);
+        let ones = row.iter().filter(|&&v| v == 1.0).count();
+        let zeros = row.iter().filter(|&&v| v == 0.0).count();
+        ones + zeros == row.len() && (ones == 1 || ones == row.len())
+    })
+}
+
+impl From<Matrix> for StructuredMatrix {
+    fn from(m: Matrix) -> Self {
+        Dense(m)
+    }
+}
+
+impl From<Csr> for StructuredMatrix {
+    fn from(s: Csr) -> Self {
+        Sparse(s)
+    }
+}
+
+impl LinOp for StructuredMatrix {
+    fn rows(&self) -> usize {
+        StructuredMatrix::rows(self)
+    }
+    fn cols(&self) -> usize {
+        StructuredMatrix::cols(self)
+    }
+    fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        StructuredMatrix::matvec(self, x)
+    }
+    fn rmatvec(&self, y: &[f64]) -> Vec<f64> {
+        StructuredMatrix::rmatvec(self, y)
+    }
+}
+
+/// Implicit Kronecker matrix–vector product `(A₁ ⊗ … ⊗ A_d)·x` over
+/// structured factors: the mode contraction of Algorithm 1 dispatches to each
+/// factor's closed-form kernel, so an `Identity` mode is a scaled copy and a
+/// `Prefix` mode a strided cumulative sum instead of an O(m·n) dense product.
+pub fn kmatvec_structured(factors: &[&StructuredMatrix], x: &[f64]) -> Vec<f64> {
+    let expected: usize = factors.iter().map(|f| f.cols()).product();
+    assert_eq!(x.len(), expected, "kmatvec input length mismatch");
+    // Flatten nested Kron factors so every mode is a leaf kernel.
+    let flat = flatten(factors);
+    let mut cur = x.to_vec();
+    let mut right = 1usize;
+    for a in flat.iter().rev() {
+        let (m, n) = a.shape();
+        let left = cur.len() / (n * right);
+        let mut next = vec![0.0; left * m * right];
+        apply_mode_structured(a, &cur, &mut next, left, m, n, right);
+        cur = next;
+        right *= m;
+    }
+    cur
+}
+
+/// Implicit transposed product `(A₁ ⊗ … ⊗ A_d)ᵀ·y` over structured factors.
+pub fn kmatvec_transpose_structured(factors: &[&StructuredMatrix], y: &[f64]) -> Vec<f64> {
+    let expected: usize = factors.iter().map(|f| f.rows()).product();
+    assert_eq!(y.len(), expected, "kmatvec_transpose input length mismatch");
+    let flat = flatten(factors);
+    let mut cur = y.to_vec();
+    let mut right = 1usize;
+    for a in flat.iter().rev() {
+        let (m, n) = a.shape();
+        let left = cur.len() / (m * right);
+        let mut next = vec![0.0; left * n * right];
+        apply_mode_transpose_structured(a, &cur, &mut next, left, m, n, right);
+        cur = next;
+        right *= n;
+    }
+    cur
+}
+
+fn flatten<'a>(factors: &[&'a StructuredMatrix]) -> Vec<&'a StructuredMatrix> {
+    let mut flat = Vec::with_capacity(factors.len());
+    for &f in factors {
+        match f {
+            Kron(inner) => flat.extend(flatten(&inner.iter().collect::<Vec<_>>())),
+            leaf => flat.push(leaf),
+        }
+    }
+    flat
+}
+
+/// Contracts structured factor `a` (m×n) along the middle mode of a
+/// `(left, n, right)` tensor: `next[l, r_out, r] = Σ_c a[r_out, c]·cur[l, c, r]`.
+fn apply_mode_structured(
+    a: &StructuredMatrix,
+    cur: &[f64],
+    next: &mut [f64],
+    left: usize,
+    m: usize,
+    n: usize,
+    right: usize,
+) {
+    match a {
+        Dense(d) => apply_mode(d, cur, next, left, m, n, right),
+        Identity { scale, .. } => {
+            for (d, s) in next.iter_mut().zip(cur) {
+                *d = s * scale;
+            }
+        }
+        Total { scale, .. } => {
+            for l in 0..left {
+                let dst = &mut next[l * right..(l + 1) * right];
+                for c in 0..n {
+                    let src = &cur[l * n * right + c * right..l * n * right + (c + 1) * right];
+                    for (d, s) in dst.iter_mut().zip(src) {
+                        *d += s * scale;
+                    }
+                }
+            }
+        }
+        Prefix { scale, .. } => {
+            let mut acc = vec![0.0; right];
+            for l in 0..left {
+                acc.iter_mut().for_each(|v| *v = 0.0);
+                let base = l * n * right;
+                for c in 0..n {
+                    let src = &cur[base + c * right..base + (c + 1) * right];
+                    let dst = &mut next[base + c * right..base + (c + 1) * right];
+                    for ((a, d), s) in acc.iter_mut().zip(dst).zip(src) {
+                        *a += s;
+                        *d = *a * scale;
+                    }
+                }
+            }
+        }
+        AllRange { n: nn, scale } => {
+            // Strided prefix sums, then every output row is one subtraction.
+            let nn = *nn;
+            let mut sums = vec![0.0; (nn + 1) * right];
+            for l in 0..left {
+                let cur_base = l * n * right;
+                for c in 0..nn {
+                    for r in 0..right {
+                        sums[(c + 1) * right + r] =
+                            sums[c * right + r] + cur[cur_base + c * right + r];
+                    }
+                }
+                let next_base = l * m * right;
+                let mut row = 0;
+                for i in 0..nn {
+                    for j in i..nn {
+                        let dst = &mut next[next_base + row * right..next_base + (row + 1) * right];
+                        for (r, d) in dst.iter_mut().enumerate() {
+                            *d = scale * (sums[(j + 1) * right + r] - sums[i * right + r]);
+                        }
+                        row += 1;
+                    }
+                }
+            }
+        }
+        Sparse(s) => {
+            for l in 0..left {
+                let cur_base = l * n * right;
+                let next_base = l * m * right;
+                for rr in 0..m {
+                    let dst = &mut next[next_base + rr * right..next_base + (rr + 1) * right];
+                    for (c, v) in s.row_entries(rr) {
+                        let src = &cur[cur_base + c * right..cur_base + (c + 1) * right];
+                        for (d, sv) in dst.iter_mut().zip(src) {
+                            *d += v * sv;
+                        }
+                    }
+                }
+            }
+        }
+        Kron(_) => unreachable!("Kron factors are flattened before mode application"),
+    }
+}
+
+/// Same contraction with `aᵀ`: `next[l, c, r] = Σ_{r_in} a[r_in, c]·cur[l, r_in, r]`.
+fn apply_mode_transpose_structured(
+    a: &StructuredMatrix,
+    cur: &[f64],
+    next: &mut [f64],
+    left: usize,
+    m: usize,
+    n: usize,
+    right: usize,
+) {
+    match a {
+        Dense(d) => apply_mode_transpose(d, cur, next, left, m, n, right),
+        Identity { scale, .. } => {
+            for (d, s) in next.iter_mut().zip(cur) {
+                *d = s * scale;
+            }
+        }
+        Total { scale, .. } => {
+            for l in 0..left {
+                let src = &cur[l * right..(l + 1) * right];
+                for c in 0..n {
+                    let dst = &mut next[l * n * right + c * right..l * n * right + (c + 1) * right];
+                    for (d, s) in dst.iter_mut().zip(src) {
+                        *d = s * scale;
+                    }
+                }
+            }
+        }
+        Prefix { scale, .. } => {
+            // (Pᵀ)·: reversed running sums along the mode.
+            let mut acc = vec![0.0; right];
+            for l in 0..left {
+                acc.iter_mut().for_each(|v| *v = 0.0);
+                let base = l * n * right;
+                for c in (0..n).rev() {
+                    let src = &cur[base + c * right..base + (c + 1) * right];
+                    let dst = &mut next[base + c * right..base + (c + 1) * right];
+                    for ((a, d), s) in acc.iter_mut().zip(dst).zip(src) {
+                        *a += s;
+                        *d = *a * scale;
+                    }
+                }
+            }
+        }
+        AllRange { n: nn, scale } => {
+            // Difference arrays along the mode, one strided lane per r.
+            let nn = *nn;
+            let mut diff = vec![0.0; (nn + 1) * right];
+            for l in 0..left {
+                diff.iter_mut().for_each(|v| *v = 0.0);
+                let cur_base = l * m * right;
+                let mut row = 0;
+                for i in 0..nn {
+                    for j in i..nn {
+                        let src = &cur[cur_base + row * right..cur_base + (row + 1) * right];
+                        for (r, s) in src.iter().enumerate() {
+                            diff[i * right + r] += s;
+                            diff[(j + 1) * right + r] -= s;
+                        }
+                        row += 1;
+                    }
+                }
+                let next_base = l * nn * right;
+                let mut acc = vec![0.0; right];
+                for c in 0..nn {
+                    let dst = &mut next[next_base + c * right..next_base + (c + 1) * right];
+                    for (r, d) in dst.iter_mut().enumerate() {
+                        acc[r] += diff[c * right + r];
+                        *d = scale * acc[r];
+                    }
+                }
+            }
+        }
+        Sparse(s) => {
+            for l in 0..left {
+                let cur_base = l * m * right;
+                let next_base = l * n * right;
+                for rr in 0..m {
+                    let src = &cur[cur_base + rr * right..cur_base + (rr + 1) * right];
+                    for (c, v) in s.row_entries(rr) {
+                        let dst = &mut next[next_base + c * right..next_base + (c + 1) * right];
+                        for (d, sv) in dst.iter_mut().zip(src) {
+                            *d += v * sv;
+                        }
+                    }
+                }
+            }
+        }
+        Kron(_) => unreachable!("Kron factors are flattened before mode application"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kron::kron_all;
+
+    fn variants(n: usize) -> Vec<StructuredMatrix> {
+        let dense = Matrix::from_fn(3, n, |r, c| ((r * n + c) % 5) as f64 - 2.0);
+        vec![
+            StructuredMatrix::identity(n).scaled(1.5),
+            StructuredMatrix::total(n).scaled(0.5),
+            StructuredMatrix::prefix(n).scaled(2.0),
+            StructuredMatrix::all_range(n),
+            Sparse(Csr::from_dense(&dense)),
+            Dense(dense),
+        ]
+    }
+
+    fn vec_of(len: usize, seed: u64) -> Vec<f64> {
+        (0..len)
+            .map(|i| (((i as u64).wrapping_mul(seed | 1) >> 3) % 11) as f64 - 5.0)
+            .collect()
+    }
+
+    #[test]
+    fn matvec_rmatvec_match_dense() {
+        for v in variants(6) {
+            let d = v.to_dense();
+            let x = vec_of(v.cols(), 7);
+            let y = vec_of(v.rows(), 13);
+            let fast = v.matvec(&x);
+            let slow = d.matvec(&x);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((a - b).abs() < 1e-10, "{v:?}: {a} vs {b}");
+            }
+            let fast_t = v.rmatvec(&y);
+            let slow_t = d.t_matvec(&y);
+            for (a, b) in fast_t.iter().zip(&slow_t) {
+                assert!((a - b).abs() < 1e-10, "{v:?}ᵀ: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn gram_sensitivity_trace_match_dense() {
+        for v in variants(5) {
+            let d = v.to_dense();
+            assert!(v.gram_dense().approx_eq(&d.gram(), 1e-10), "{v:?}");
+            assert!(
+                (v.sensitivity() - d.norm_l1_operator()).abs() < 1e-10,
+                "{v:?}"
+            );
+            assert!(
+                (v.gram_trace() - d.frobenius_norm_sq()).abs() < 1e-10,
+                "{v:?}"
+            );
+            let cs = v.abs_col_sums();
+            for (a, b) in cs.iter().zip(&d.abs_col_sums()) {
+                assert!((a - b).abs() < 1e-10, "{v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn kron_composite_matches_explicit() {
+        let k = StructuredMatrix::kron(vec![
+            StructuredMatrix::prefix(3),
+            StructuredMatrix::total(4),
+            StructuredMatrix::identity(2).scaled(0.5),
+        ]);
+        let dense_factors = [
+            StructuredMatrix::prefix(3).to_dense(),
+            StructuredMatrix::total(4).to_dense(),
+            StructuredMatrix::identity(2).scaled(0.5).to_dense(),
+        ];
+        let explicit = kron_all(&dense_factors.iter().collect::<Vec<_>>());
+        assert_eq!(k.shape(), explicit.shape());
+        let x = vec_of(k.cols(), 3);
+        let y = vec_of(k.rows(), 5);
+        for (a, b) in k.matvec(&x).iter().zip(&explicit.matvec(&x)) {
+            assert!((a - b).abs() < 1e-10);
+        }
+        for (a, b) in k.rmatvec(&y).iter().zip(&explicit.t_matvec(&y)) {
+            assert!((a - b).abs() < 1e-10);
+        }
+        assert!((k.sensitivity() - explicit.norm_l1_operator()).abs() < 1e-10);
+        assert!(k.gram_dense().approx_eq(&explicit.gram(), 1e-10));
+    }
+
+    #[test]
+    fn nested_kron_flattens() {
+        let k = StructuredMatrix::kron(vec![
+            StructuredMatrix::kron(vec![
+                StructuredMatrix::identity(2),
+                StructuredMatrix::total(3),
+            ]),
+            StructuredMatrix::prefix(2),
+        ]);
+        match &k {
+            Kron(fs) => assert_eq!(fs.len(), 3),
+            other => panic!("expected flattened Kron, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gram_pinv_closed_forms() {
+        for v in [
+            StructuredMatrix::identity(4).scaled(0.5),
+            StructuredMatrix::prefix(5).scaled(0.2),
+            StructuredMatrix::total(3).scaled(2.0),
+            StructuredMatrix::all_range(4),
+        ] {
+            let pinv = v.gram_pinv().to_dense();
+            let gram = v.gram_dense();
+            // Moore–Penrose on the (symmetric PSD) Gram: G·G⁺·G = G.
+            let ggg = gram.matmul(&pinv).matmul(&gram);
+            assert!(ggg.approx_eq(&gram, 1e-8), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn compress_picks_sparse_for_sparse_inputs() {
+        assert!(matches!(
+            StructuredMatrix::compress(Matrix::identity(16)),
+            Sparse(_)
+        ));
+        assert!(matches!(
+            StructuredMatrix::compress(Matrix::ones(4, 4)),
+            Dense(_)
+        ));
+    }
+
+    #[test]
+    fn normalized_has_unit_sensitivity() {
+        for v in variants(7) {
+            let n = v.normalized();
+            assert!((n.sensitivity() - 1.0).abs() < 1e-12, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn storage_size_is_constant_for_closed_forms() {
+        assert_eq!(StructuredMatrix::prefix(1 << 14).storage_size(), 1);
+        assert_eq!(StructuredMatrix::all_range(1 << 14).storage_size(), 1);
+        assert_eq!(
+            StructuredMatrix::kron(vec![
+                StructuredMatrix::prefix(8),
+                StructuredMatrix::identity(8),
+            ])
+            .storage_size(),
+            2
+        );
+    }
+}

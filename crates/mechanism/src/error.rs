@@ -12,7 +12,7 @@
 //! sum (Thm 6), so everything below touches only `nᵢ × nᵢ` blocks.
 
 use crate::{Strategy, UnionGroup};
-use hdmm_linalg::{pinv_psd, Cholesky, Matrix};
+use hdmm_linalg::{pinv_psd, Cholesky, Matrix, StructuredMatrix};
 use hdmm_workload::WorkloadGrams;
 
 /// Pseudo-inverse of a strategy factor's Gram `AᵀA`: fast Cholesky inverse
@@ -23,6 +23,12 @@ pub fn gram_pinv(a: &Matrix) -> Matrix {
         Ok(ch) => ch.inverse(),
         Err(_) => pinv_psd(&gram).expect("factor gram eigendecomposition"),
     }
+}
+
+/// Dense `(AᵀA)⁺` of a structured strategy factor, via its closed-form Gram
+/// pseudo-inverse where one exists.
+fn gram_pinv_structured(a: &StructuredMatrix) -> Matrix {
+    a.gram_pinv().to_dense()
 }
 
 /// `‖W A⁺‖²_F = tr[(AᵀA)⁺·(WᵀW)]` for explicit `A` and explicit Gram `WᵀW`.
@@ -96,8 +102,10 @@ pub fn squared_error(grams: &WorkloadGrams, strategy: &Strategy) -> f64 {
             sens * sens * acc
         }
         Strategy::Kron(factors) => {
-            let sens: f64 = factors.iter().map(Matrix::norm_l1_operator).product();
-            sens * sens * residual_kron(grams, factors)
+            assert_eq!(factors.len(), grams.dims(), "strategy arity mismatch");
+            let sens: f64 = factors.iter().map(StructuredMatrix::sensitivity).product();
+            let pinvs: Vec<Matrix> = factors.iter().map(gram_pinv_structured).collect();
+            sens * sens * residual_kron_cached(grams, &pinvs)
         }
         Strategy::Marginals(m) => {
             let s = m.sensitivity();
@@ -115,8 +123,12 @@ fn squared_error_union(grams: &WorkloadGrams, groups: &[UnionGroup]) -> f64 {
     );
     let mut total = 0.0;
     for g in groups {
-        let sens: f64 = g.factors.iter().map(Matrix::norm_l1_operator).product();
-        let pinvs: Vec<Matrix> = g.factors.iter().map(gram_pinv).collect();
+        let sens: f64 = g
+            .factors
+            .iter()
+            .map(StructuredMatrix::sensitivity)
+            .product();
+        let pinvs: Vec<Matrix> = g.factors.iter().map(gram_pinv_structured).collect();
         let mut residual = 0.0;
         for &j in &g.term_indices {
             let term = &grams.terms()[j];
@@ -235,25 +247,29 @@ mod tests {
         // Two groups, each perfectly matched to one workload term.
         let w = builders::range_total_union_2d(3, 3);
         let grams = WorkloadGrams::from_workload(&w);
-        let g1 = UnionGroup {
-            share: 0.5,
-            factors: vec![
+        let g1 = UnionGroup::new(
+            0.5,
+            vec![
                 blocks::prefix(3).scaled(1.0 / 3.0), // sensitivity 1
                 blocks::total(3),
             ],
-            term_indices: vec![0],
-        };
-        let g2 = UnionGroup {
-            share: 0.5,
-            factors: vec![blocks::total(3), blocks::prefix(3).scaled(1.0 / 3.0)],
-            term_indices: vec![1],
-        };
+            vec![0],
+        );
+        let g2 = UnionGroup::new(
+            0.5,
+            vec![blocks::total(3), blocks::prefix(3).scaled(1.0 / 3.0)],
+            vec![1],
+        );
         let err = squared_error(&grams, &Strategy::Union(vec![g1.clone(), g2]));
         // By symmetry each group contributes the same amount; verify against
         // the single-group formula with share 1 scaled by 4 (=1/0.5²).
         let single = {
-            let sens: f64 = g1.factors.iter().map(Matrix::norm_l1_operator).product();
-            let pinvs: Vec<Matrix> = g1.factors.iter().map(gram_pinv).collect();
+            let sens: f64 = g1
+                .factors
+                .iter()
+                .map(StructuredMatrix::sensitivity)
+                .product();
+            let pinvs: Vec<Matrix> = g1.factors.iter().map(gram_pinv_structured).collect();
             let t = &grams.terms()[0];
             let prod: f64 = t
                 .factors

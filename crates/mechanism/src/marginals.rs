@@ -13,7 +13,7 @@
 //!   to one sparse triangular solve with `3^d` nonzeros;
 //! * `‖M(θ)‖₁ = Σθ_a` (each marginal has unit column norms).
 
-use hdmm_linalg::{kmatvec, kmatvec_transpose, Matrix};
+use hdmm_linalg::{kmatvec_structured, kmatvec_transpose_structured, Matrix, StructuredMatrix};
 use hdmm_workload::{Domain, WorkloadGrams};
 
 /// Subset algebra over the `2^d` marginals of a domain.
@@ -146,9 +146,9 @@ impl MarginalsAlgebra {
                 continue;
             }
             let q = self.marginal_factors(a);
-            let refs: Vec<&Matrix> = q.iter().collect();
-            let ax = kmatvec(&refs, x);
-            let back = kmatvec_transpose(&refs, &ax);
+            let refs: Vec<&StructuredMatrix> = q.iter().collect();
+            let ax = kmatvec_structured(&refs, x);
+            let back = kmatvec_transpose_structured(&refs, &ax);
             for (o, b) in out.iter_mut().zip(&back) {
                 *o += va * b;
             }
@@ -157,15 +157,16 @@ impl MarginalsAlgebra {
     }
 
     /// The factors of the marginal query matrix `Q_a` (Identity on set bits,
-    /// Total elsewhere).
-    pub fn marginal_factors(&self, a: usize) -> Vec<Matrix> {
+    /// Total elsewhere), as O(1) structured descriptors — measuring a
+    /// marginal never allocates a dense `nᵢ × nᵢ` identity block.
+    pub fn marginal_factors(&self, a: usize) -> Vec<StructuredMatrix> {
         (0..self.domain.dims())
             .map(|i| {
                 let n = self.domain.attr_size(i);
                 if a >> i & 1 == 1 {
-                    Matrix::identity(n)
+                    StructuredMatrix::identity(n)
                 } else {
-                    Matrix::ones(1, n)
+                    StructuredMatrix::total(n)
                 }
             })
             .collect()
@@ -421,7 +422,11 @@ mod tests {
         let alg = MarginalsAlgebra::new(&domain);
         let mut blocks_vec = Vec::new();
         for (a, &t) in theta.iter().enumerate() {
-            let q = alg.marginal_factors(a);
+            let q: Vec<Matrix> = alg
+                .marginal_factors(a)
+                .iter()
+                .map(StructuredMatrix::to_dense)
+                .collect();
             let refs: Vec<&Matrix> = q.iter().collect();
             blocks_vec.push(hdmm_linalg::kron_all(&refs).scaled(t));
         }

@@ -5,7 +5,8 @@ use crate::error::gram_pinv;
 use crate::laplace::add_laplace_noise;
 use crate::{MarginalsAlgebra, Strategy};
 use hdmm_linalg::{
-    kmatvec, kmatvec_transpose, lsmr, KronOp, LinOp, LsmrOptions, Matrix, ScaledOp, StackedOp,
+    kmatvec_structured, kmatvec_transpose_structured, lsmr, LinOp, LsmrOptions, ScaledOp,
+    StackedOp, StructuredMatrix,
 };
 use hdmm_workload::Workload;
 use rand::Rng;
@@ -53,10 +54,10 @@ pub fn measure(strategy: &Strategy, x: &[f64], eps: f64, rng: &mut impl Rng) -> 
             }]
         }
         Strategy::Kron(factors) => {
-            let sens: f64 = factors.iter().map(Matrix::norm_l1_operator).product();
+            let sens: f64 = factors.iter().map(StructuredMatrix::sensitivity).product();
             let scale = sens / eps;
-            let refs: Vec<&Matrix> = factors.iter().collect();
-            let mut noisy = kmatvec(&refs, x);
+            let refs: Vec<&StructuredMatrix> = factors.iter().collect();
+            let mut noisy = kmatvec_structured(&refs, x);
             add_laplace_noise(&mut noisy, scale, rng);
             vec![MeasuredBlock {
                 noisy,
@@ -72,8 +73,8 @@ pub fn measure(strategy: &Strategy, x: &[f64], eps: f64, rng: &mut impl Rng) -> 
                     continue;
                 }
                 let q = algebra.marginal_factors(a);
-                let refs: Vec<&Matrix> = q.iter().collect();
-                let mut noisy = kmatvec(&refs, x);
+                let refs: Vec<&StructuredMatrix> = q.iter().collect();
+                let mut noisy = kmatvec_structured(&refs, x);
                 for v in &mut noisy {
                     *v *= theta;
                 }
@@ -90,10 +91,14 @@ pub fn measure(strategy: &Strategy, x: &[f64], eps: f64, rng: &mut impl Rng) -> 
             groups
                 .iter()
                 .map(|g| {
-                    let sens: f64 = g.factors.iter().map(Matrix::norm_l1_operator).product();
+                    let sens: f64 = g
+                        .factors
+                        .iter()
+                        .map(StructuredMatrix::sensitivity)
+                        .product();
                     let scale = sens / (g.share * eps);
-                    let refs: Vec<&Matrix> = g.factors.iter().collect();
-                    let mut noisy = kmatvec(&refs, x);
+                    let refs: Vec<&StructuredMatrix> = g.factors.iter().collect();
+                    let mut noisy = kmatvec_structured(&refs, x);
                     add_laplace_noise(&mut noisy, scale, rng);
                     MeasuredBlock {
                         noisy,
@@ -110,7 +115,10 @@ pub fn measure(strategy: &Strategy, x: &[f64], eps: f64, rng: &mut impl Rng) -> 
 /// measurements (post-processing; consumes no privacy budget).
 ///
 /// * explicit: `x̄ = A⁺y`;
-/// * Kronecker: `(⊗Aᵢ)⁺ = ⊗Aᵢ⁺` applied with `kmatvec` (§7.2);
+/// * Kronecker: `(⊗Aᵢ)⁺y = ⊗(AᵢᵀAᵢ)⁺ · (⊗Aᵢᵀ)y` through two structured
+///   `kmatvec` passes (§7.2) — the per-factor work is the `nᵢ × nᵢ` inverse
+///   Gram (closed-form for Identity/Prefix), never the `nᵢ × mᵢ`
+///   pseudo-inverse;
 /// * marginals: `M⁺y = G(v)·Mᵀy` through the subset algebra (§7.2);
 /// * union: no closed-form pseudo-inverse — noise-whitened LSMR over the
 ///   stacked implicit operator (§7.2, reference \[14\]).
@@ -123,9 +131,12 @@ pub fn reconstruct(strategy: &Strategy, meas: &Measurements) -> Vec<f64> {
         }
         Strategy::Kron(factors) => {
             let y = &meas.blocks[0].noisy;
-            let pinvs: Vec<Matrix> = factors.iter().map(|f| gram_pinv(f).matmul_t(f)).collect();
-            let refs: Vec<&Matrix> = pinvs.iter().collect();
-            kmatvec(&refs, y)
+            let refs: Vec<&StructuredMatrix> = factors.iter().collect();
+            let aty = kmatvec_transpose_structured(&refs, y);
+            let gram_pinvs: Vec<StructuredMatrix> =
+                factors.iter().map(StructuredMatrix::gram_pinv).collect();
+            let pinv_refs: Vec<&StructuredMatrix> = gram_pinvs.iter().collect();
+            kmatvec_structured(&pinv_refs, &aty)
         }
         Strategy::Marginals(m) => {
             let algebra = MarginalsAlgebra::new(&m.domain);
@@ -141,8 +152,8 @@ pub fn reconstruct(strategy: &Strategy, meas: &Measurements) -> Vec<f64> {
                     .next()
                     .expect("one block per positive-weight marginal");
                 let q = algebra.marginal_factors(a);
-                let refs: Vec<&Matrix> = q.iter().collect();
-                let back = kmatvec_transpose(&refs, &block.noisy);
+                let refs: Vec<&StructuredMatrix> = q.iter().collect();
+                let back = kmatvec_transpose_structured(&refs, &block.noisy);
                 for (acc, b) in mty.iter_mut().zip(&back) {
                     *acc += theta * b;
                 }
@@ -152,14 +163,15 @@ pub fn reconstruct(strategy: &Strategy, meas: &Measurements) -> Vec<f64> {
             algebra.g_apply(&v, &mty)
         }
         Strategy::Union(groups) => {
-            // Whiten each block by its noise scale and solve jointly.
+            // Whiten each block by its noise scale and solve jointly over the
+            // stacked structured Kronecker operators.
             let mut ops: Vec<Box<dyn LinOp>> = Vec::with_capacity(groups.len());
             let mut rhs = Vec::new();
             for (g, block) in groups.iter().zip(&meas.blocks) {
                 let w = 1.0 / block.noise_scale;
                 ops.push(Box::new(ScaledOp {
                     alpha: w,
-                    inner: KronOp::new(g.factors.clone()),
+                    inner: StructuredMatrix::kron(g.factors.clone()),
                 }));
                 rhs.extend(block.noisy.iter().map(|v| v * w));
             }
@@ -211,7 +223,7 @@ mod tests {
     fn kron_pipeline_is_unbiased_at_high_eps() {
         let w = builders::prefix_2d(4, 5);
         let x = data(20);
-        let strat = Strategy::Kron(vec![
+        let strat = Strategy::kron(vec![
             blocks::prefix(4).scaled(0.25),
             blocks::prefix(5).scaled(0.2),
         ]);
@@ -242,16 +254,16 @@ mod tests {
         let w = builders::range_total_union_2d(4, 4);
         let x = data(16);
         let strat = Strategy::Union(vec![
-            UnionGroup {
-                share: 0.5,
-                factors: vec![blocks::prefix(4).scaled(0.25), blocks::total(4)],
-                term_indices: vec![0],
-            },
-            UnionGroup {
-                share: 0.5,
-                factors: vec![blocks::total(4), blocks::prefix(4).scaled(0.25)],
-                term_indices: vec![1],
-            },
+            UnionGroup::new(
+                0.5,
+                vec![blocks::prefix(4).scaled(0.25), blocks::total(4)],
+                vec![0],
+            ),
+            UnionGroup::new(
+                0.5,
+                vec![blocks::total(4), blocks::prefix(4).scaled(0.25)],
+                vec![1],
+            ),
         ]);
         let mut rng = StdRng::seed_from_u64(2);
         let meas = measure(&strat, &x, 1e7, &mut rng);
@@ -272,7 +284,7 @@ mod tests {
         let w = builders::prefix_1d(n);
         let grams = hdmm_workload::WorkloadGrams::from_workload(&w);
         let x = data(n);
-        let strat = Strategy::Explicit(Matrix::identity(n));
+        let strat = Strategy::Explicit(hdmm_linalg::Matrix::identity(n));
         let eps = 1.0;
         let analytic = crate::error::expected_total_squared_error(&grams, &strat, eps);
 
@@ -306,16 +318,8 @@ mod tests {
     #[test]
     fn union_noise_scales_by_share() {
         let strat = Strategy::Union(vec![
-            UnionGroup {
-                share: 0.25,
-                factors: vec![Matrix::identity(3)],
-                term_indices: vec![0],
-            },
-            UnionGroup {
-                share: 0.75,
-                factors: vec![Matrix::identity(3)],
-                term_indices: vec![0],
-            },
+            UnionGroup::new(0.25, vec![StructuredMatrix::identity(3)], vec![0]),
+            UnionGroup::new(0.75, vec![StructuredMatrix::identity(3)], vec![0]),
         ]);
         let meas = measure(&strat, &data(3), 1.0, &mut StdRng::seed_from_u64(4));
         assert!((meas.blocks[0].noise_scale - 4.0).abs() < 1e-12);

@@ -1,7 +1,7 @@
 //! Implicit strategy representations (the SELECT outputs of §6–7).
 
 use crate::MarginalsStrategy;
-use hdmm_linalg::Matrix;
+use hdmm_linalg::{Matrix, StructuredMatrix};
 use hdmm_workload::Domain;
 
 /// One group of a union-of-products strategy (the `OPT_+` output, Def. 11).
@@ -10,18 +10,36 @@ pub struct UnionGroup {
     /// Fraction of the privacy budget spent on this group (shares sum to 1).
     pub share: f64,
     /// Kronecker factors of this group's product strategy (sensitivity 1 each).
-    pub factors: Vec<Matrix>,
+    pub factors: Vec<StructuredMatrix>,
     /// Indices of the workload terms this group is responsible for answering.
     pub term_indices: Vec<usize>,
 }
 
-/// A measurement strategy in implicit form.
+impl UnionGroup {
+    /// Builds a group from any mix of dense and structured factors.
+    pub fn new<M: Into<StructuredMatrix>>(
+        share: f64,
+        factors: Vec<M>,
+        term_indices: Vec<usize>,
+    ) -> Self {
+        UnionGroup {
+            share,
+            factors: factors.into_iter().map(Into::into).collect(),
+            term_indices,
+        }
+    }
+}
+
+/// A measurement strategy in implicit form. Kronecker factors are kept as
+/// [`StructuredMatrix`] so structured strategies (Identity fallback, prefix
+/// hierarchies, sparse p-Identity blocks) measure and reconstruct through
+/// closed-form kernels instead of dense products.
 #[derive(Debug, Clone)]
 pub enum Strategy {
     /// A single explicit query matrix (1D / small domains).
     Explicit(Matrix),
     /// A Kronecker product `A₁ ⊗ … ⊗ A_d` (the `OPT_⊗` output).
-    Kron(Vec<Matrix>),
+    Kron(Vec<StructuredMatrix>),
     /// A union of product strategies with a budget split (the `OPT_+` output).
     Union(Vec<UnionGroup>),
     /// Weighted marginals `M(θ)` (the `OPT_M` output).
@@ -29,6 +47,21 @@ pub enum Strategy {
 }
 
 impl Strategy {
+    /// A Kronecker strategy from any mix of dense and structured factors;
+    /// dense factors are CSR-compressed when sparse enough (p-Identity
+    /// matrices are mostly the diagonal block).
+    pub fn kron<M: Into<StructuredMatrix>>(factors: Vec<M>) -> Strategy {
+        Strategy::Kron(
+            factors
+                .into_iter()
+                .map(|f| match f.into() {
+                    StructuredMatrix::Dense(m) => StructuredMatrix::compress(m),
+                    other => other,
+                })
+                .collect(),
+        )
+    }
+
     /// The L1 sensitivity of the strategy queries.
     ///
     /// * explicit: max absolute column sum;
@@ -40,14 +73,14 @@ impl Strategy {
     pub fn sensitivity(&self) -> f64 {
         match self {
             Strategy::Explicit(a) => a.norm_l1_operator(),
-            Strategy::Kron(factors) => factors.iter().map(Matrix::norm_l1_operator).product(),
+            Strategy::Kron(factors) => factors.iter().map(StructuredMatrix::sensitivity).product(),
             Strategy::Marginals(m) => m.sensitivity(),
             Strategy::Union(groups) => groups
                 .iter()
                 .map(|g| {
                     g.factors
                         .iter()
-                        .map(Matrix::norm_l1_operator)
+                        .map(StructuredMatrix::sensitivity)
                         .product::<f64>()
                 })
                 .fold(0.0, f64::max),
@@ -62,22 +95,15 @@ impl Strategy {
                 let s = a.norm_l1_operator();
                 Strategy::Explicit(a.scaled(1.0 / s))
             }
-            Strategy::Kron(factors) => Strategy::Kron(
-                factors
-                    .into_iter()
-                    .map(|f| {
-                        let s = f.norm_l1_operator();
-                        f.scaled(1.0 / s)
-                    })
-                    .collect(),
-            ),
+            Strategy::Kron(factors) => {
+                Strategy::Kron(factors.into_iter().map(|f| f.normalized()).collect())
+            }
             Strategy::Union(groups) => Strategy::Union(
                 groups
                     .into_iter()
                     .map(|mut g| {
                         for f in &mut g.factors {
-                            let s = f.norm_l1_operator();
-                            *f = f.scaled(1.0 / s);
+                            *f = f.normalized();
                         }
                         g
                     })
@@ -95,10 +121,15 @@ impl Strategy {
     pub fn query_count(&self) -> usize {
         match self {
             Strategy::Explicit(a) => a.rows(),
-            Strategy::Kron(factors) => factors.iter().map(Matrix::rows).product(),
+            Strategy::Kron(factors) => factors.iter().map(StructuredMatrix::rows).product(),
             Strategy::Union(groups) => groups
                 .iter()
-                .map(|g| g.factors.iter().map(Matrix::rows).product::<usize>())
+                .map(|g| {
+                    g.factors
+                        .iter()
+                        .map(StructuredMatrix::rows)
+                        .product::<usize>()
+                })
                 .sum(),
             Strategy::Marginals(m) => {
                 let d = m.domain.dims();
@@ -128,13 +159,14 @@ impl Strategy {
     }
 
     /// The Identity strategy over a domain — the universal fallback
-    /// (line 1 of Algorithm 2).
+    /// (line 1 of Algorithm 2). O(1) storage per attribute: the structured
+    /// backend never materializes the `nᵢ × nᵢ` identity blocks.
     pub fn identity(domain: &Domain) -> Strategy {
         Strategy::Kron(
             domain
                 .sizes()
                 .iter()
-                .map(|&n| Matrix::identity(n))
+                .map(|&n| StructuredMatrix::identity(n))
                 .collect(),
         )
     }
@@ -148,7 +180,7 @@ mod tests {
     fn kron_sensitivity_multiplies() {
         let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0]]); // ‖·‖₁ = 2
         let b = Matrix::identity(3); // ‖·‖₁ = 1
-        let s = Strategy::Kron(vec![a, b]);
+        let s = Strategy::kron(vec![a, b]);
         assert_eq!(s.sensitivity(), 2.0);
     }
 
@@ -157,14 +189,37 @@ mod tests {
         let a = Matrix::from_rows(&[&[2.0, 0.0], &[2.0, 2.0]]);
         let s = Strategy::Explicit(a).normalized();
         assert!((s.sensitivity() - 1.0).abs() < 1e-12);
+        let k = Strategy::Kron(vec![StructuredMatrix::prefix(5).scaled(3.0)]).normalized();
+        assert!((k.sensitivity() - 1.0).abs() < 1e-12);
     }
 
     #[test]
-    fn identity_strategy_shape() {
+    fn identity_strategy_shape_and_storage() {
         let d = Domain::new(&[2, 3]);
         let s = Strategy::identity(&d);
         assert_eq!(s.query_count(), 6);
         assert_eq!(s.sensitivity(), 1.0);
+        match &s {
+            Strategy::Kron(fs) => {
+                assert!(fs
+                    .iter()
+                    .all(|f| matches!(f, StructuredMatrix::Identity { .. })));
+            }
+            other => panic!("expected Kron identity, got {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn kron_constructor_compresses_sparse_factors() {
+        // A mostly-diagonal factor ends up CSR, a dense one stays dense.
+        let s = Strategy::kron(vec![Matrix::identity(16), Matrix::ones(4, 4)]);
+        match s {
+            Strategy::Kron(fs) => {
+                assert!(matches!(fs[0], StructuredMatrix::Sparse(_)));
+                assert!(matches!(fs[1], StructuredMatrix::Dense(_)));
+            }
+            other => panic!("expected Kron, got {}", other.kind()),
+        }
     }
 
     #[test]

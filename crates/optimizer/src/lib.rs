@@ -2,15 +2,15 @@
 //!
 //! * [`lbfgs`] — projected L-BFGS with box constraints (the scipy `L-BFGS-B`
 //!   stand-in every routine below is built on);
-//! * [`opt0`] — `OPT_0`, gradient optimization over p-Identity strategies
+//! * [`opt0`](mod@opt0) — `OPT_0`, gradient optimization over p-Identity strategies
 //!   with the O(pn²) Woodbury objective/gradient (§5.2, Theorem 4/8);
-//! * [`opt_kron`] — `OPT_⊗` for (unions of) Kronecker product workloads via
+//! * [`opt_kron`](mod@opt_kron) — `OPT_⊗` for (unions of) Kronecker product workloads via
 //!   per-attribute decomposition and block coordinate descent (§6.1–6.2);
-//! * [`opt_plus`] — `OPT_+`, union-of-products strategies with optimal
+//! * [`opt_plus`](mod@opt_plus) — `OPT_+`, union-of-products strategies with optimal
 //!   budget shares (Definition 11);
-//! * [`opt_marginals`] — `OPT_M`, weighted-marginals strategies with the
+//! * [`opt_marginals`](mod@opt_marginals) — `OPT_M`, weighted-marginals strategies with the
 //!   O(4^d) subset-algebra objective (§6.3, Appendix A.4);
-//! * [`opt_hdmm`] — Algorithm 2: run all operators with restarts, keep the
+//! * [`opt_hdmm`](mod@opt_hdmm) — Algorithm 2: run all operators with restarts, keep the
 //!   best;
 //! * [`planner`] — structural plan selection (§7.1 decision rules): pick one
 //!   operator from workload shape instead of running all of Algorithm 2.

@@ -10,7 +10,7 @@ use crate::opt_kron::{opt_kron, OptKronOptions};
 use crate::opt_marginals::opt_marginals;
 use crate::opt_plus::{group_terms, opt_plus};
 use hdmm_mechanism::Strategy;
-use hdmm_workload::{blocks, Workload, WorkloadGrams};
+use hdmm_workload::{Workload, WorkloadGrams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -62,7 +62,7 @@ pub fn default_ps(workload: &Workload) -> Vec<usize> {
             let simple = workload
                 .terms()
                 .iter()
-                .all(|t| blocks::is_total_or_identity(&t.factors[i]));
+                .all(|t| t.factors[i].is_total_or_identity());
             if simple {
                 1
             } else {
@@ -103,7 +103,7 @@ pub fn opt_hdmm_grams(grams: &WorkloadGrams, ps: &[usize], opts: &HdmmOptions) -
         let kron = opt_kron(grams, &OptKronOptions::new(ps.to_vec()), &mut rng);
         if valid(kron.residual) && kron.residual < best.squared_error {
             best = Selected {
-                strategy: Strategy::Kron(kron.factors()),
+                strategy: Strategy::kron(kron.factors()),
                 squared_error: kron.residual,
                 operator: "kron",
             };
@@ -142,7 +142,7 @@ pub fn opt_hdmm_grams(grams: &WorkloadGrams, ps: &[usize], opts: &HdmmOptions) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hdmm_workload::{builders, Domain};
+    use hdmm_workload::{blocks, builders, Domain};
 
     fn quick() -> HdmmOptions {
         HdmmOptions {

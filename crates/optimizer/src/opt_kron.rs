@@ -194,7 +194,7 @@ mod tests {
         let grams = WorkloadGrams::from_workload(&w);
         let mut rng = StdRng::seed_from_u64(2);
         let res = opt_kron(&grams, &OptKronOptions::new(vec![1, 1]), &mut rng);
-        let strat = hdmm_mechanism::Strategy::Kron(res.factors());
+        let strat = hdmm_mechanism::Strategy::kron(res.factors());
         let err = hdmm_mechanism::error::squared_error(&grams, &strat);
         // The residual is tracked incrementally across coordinate-descent
         // sweeps; allow the small float drift that accumulates relative to

@@ -98,10 +98,8 @@ pub fn opt_plus(
         .iter()
         .zip(partition)
         .zip(&shares)
-        .map(|((res, term_indices), &share)| UnionGroup {
-            share,
-            factors: res.factors(),
-            term_indices: term_indices.clone(),
+        .map(|((res, term_indices), &share)| {
+            UnionGroup::new(share, res.factors(), term_indices.clone())
         })
         .collect();
 

@@ -18,8 +18,9 @@ use crate::opt_hdmm::{opt_hdmm_grams, HdmmOptions, Selected};
 use crate::opt_kron::{opt_kron, OptKronOptions};
 use crate::opt_marginals::opt_marginals;
 use crate::opt_plus::{group_terms, opt_plus};
+use hdmm_linalg::StructuredMatrix;
 use hdmm_mechanism::Strategy;
-use hdmm_workload::{blocks, Workload, WorkloadGrams};
+use hdmm_workload::{Workload, WorkloadGrams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -62,16 +63,29 @@ pub struct PlanDecision {
 
 /// True when every column of the factor is the same vector — exactly the
 /// terms whose Gram `G = c·𝟙` the union partitioner treats as Total-like
-/// (`G_ij = wᵢ·wⱼ` is constant iff all columns `wᵢ` coincide).
-fn is_total_like(factor: &hdmm_linalg::Matrix) -> bool {
-    for c in 1..factor.cols() {
-        for r in 0..factor.rows() {
-            if (factor[(r, c)] - factor[(r, 0)]).abs() > 1e-12 {
-                return false;
+/// (`G_ij = wᵢ·wⱼ` is constant iff all columns `wᵢ` coincide). Structured
+/// variants answer from their descriptor; only `Dense`/`Sparse` inspect
+/// entries.
+fn is_total_like(factor: &StructuredMatrix) -> bool {
+    let dense_check = |m: &hdmm_linalg::Matrix| {
+        for c in 1..m.cols() {
+            for r in 0..m.rows() {
+                if (m[(r, c)] - m[(r, 0)]).abs() > 1e-12 {
+                    return false;
+                }
             }
         }
+        true
+    };
+    match factor {
+        StructuredMatrix::Total { .. } => true,
+        StructuredMatrix::Identity { n, .. }
+        | StructuredMatrix::Prefix { n, .. }
+        | StructuredMatrix::AllRange { n, .. } => *n == 1,
+        StructuredMatrix::Dense(m) => dense_check(m),
+        StructuredMatrix::Sparse(s) => s.columns_all_equal(),
+        StructuredMatrix::Kron(fs) => fs.iter().all(is_total_like),
     }
-    true
 }
 
 /// Inspects the workload's structure and picks the operator the paper's
@@ -89,7 +103,7 @@ pub fn select_optimizer(workload: &Workload, opts: &HdmmOptions) -> PlanDecision
     let all_marginal = workload
         .terms()
         .iter()
-        .all(|t| t.factors.iter().all(blocks::is_total_or_identity));
+        .all(|t| t.factors.iter().all(StructuredMatrix::is_total_or_identity));
     if all_marginal && d <= opts.marginals_max_dims {
         return PlanDecision {
             choice: OptimizerChoice::Marginals,
@@ -182,7 +196,7 @@ pub fn optimize_with_choice(
                 let res = opt_kron(grams, &OptKronOptions::new(ps.to_vec()), &mut rng);
                 if valid(res.residual) && res.residual < best.squared_error {
                     best = Selected {
-                        strategy: Strategy::Kron(res.factors()),
+                        strategy: Strategy::kron(res.factors()),
                         squared_error: res.residual,
                         operator: "kron",
                     };
@@ -205,7 +219,7 @@ pub fn optimize_with_choice(
                     let res = opt_kron(grams, &OptKronOptions::new(ps.to_vec()), &mut rng);
                     if valid(res.residual) && res.residual < best.squared_error {
                         best = Selected {
-                            strategy: Strategy::Kron(res.factors()),
+                            strategy: Strategy::kron(res.factors()),
                             squared_error: res.residual,
                             operator: "kron",
                         };

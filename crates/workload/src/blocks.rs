@@ -5,14 +5,57 @@
 //! in the evaluation (`WidthRange`, permuted ranges). Each block is an
 //! `m × n` 0/1 matrix over a single attribute of size `n`.
 //!
+//! The `*_block` constructors return [`StructuredMatrix`] descriptors — O(1)
+//! for the closed-form patterns, CSR for width-limited ranges — and are what
+//! [`crate::builders`] emits, so workload construction never allocates a
+//! dense `m × n` table. The plain functions materialize dense equivalents for
+//! entry-wise consumers (baselines, tests).
+//!
 //! Closed-form Gram matrices are provided for the structured blocks so that
 //! large-domain error computations never materialize the `m × n` query matrix
 //! (the paper's "for highly structured workloads, WᵀW can be computed directly
 //! without materializing W", §5.2).
 
-use hdmm_linalg::Matrix;
+use hdmm_linalg::{Csr, Matrix, StructuredMatrix};
 use rand::seq::SliceRandom;
 use rand::Rng;
+
+/// `Identity` block in structured form: O(1) storage.
+pub fn identity_block(n: usize) -> StructuredMatrix {
+    StructuredMatrix::identity(n)
+}
+
+/// `Total` block in structured form: O(1) storage.
+pub fn total_block(n: usize) -> StructuredMatrix {
+    StructuredMatrix::total(n)
+}
+
+/// `Prefix` block in structured form: O(1) storage, O(n) matvec.
+pub fn prefix_block(n: usize) -> StructuredMatrix {
+    StructuredMatrix::prefix(n)
+}
+
+/// `AllRange` block in structured form: O(1) storage for the
+/// `n(n+1)/2 × n` query set.
+pub fn all_range_block(n: usize) -> StructuredMatrix {
+    StructuredMatrix::all_range(n)
+}
+
+/// `WidthRange` block in CSR form: `width·(n−width+1)` stored values instead
+/// of `n·(n−width+1)`.
+pub fn width_range_block(n: usize, width: usize) -> StructuredMatrix {
+    assert!(width >= 1 && width <= n, "width must be in [1, n]");
+    let m = n - width + 1;
+    let mut indptr = Vec::with_capacity(m + 1);
+    let mut indices = Vec::with_capacity(m * width);
+    indptr.push(0);
+    for r in 0..m {
+        indices.extend(r..r + width);
+        indptr.push(indices.len());
+    }
+    let data = vec![1.0; indices.len()];
+    StructuredMatrix::Sparse(Csr::new(m, n, indptr, indices, data))
+}
 
 /// `Identity` predicate set: one point query per domain element.
 pub fn identity(n: usize) -> Matrix {
@@ -207,6 +250,36 @@ mod tests {
         let w = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
         let p = apply_permutation(&w, &[2, 0, 1]);
         assert_eq!(p.row(0), &[2.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn structured_blocks_match_dense() {
+        for n in [1, 2, 5, 9] {
+            assert!(identity_block(n).to_dense().approx_eq(&identity(n), 0.0));
+            assert!(total_block(n).to_dense().approx_eq(&total(n), 0.0));
+            assert!(prefix_block(n).to_dense().approx_eq(&prefix(n), 0.0));
+            assert!(all_range_block(n).to_dense().approx_eq(&all_range(n), 0.0));
+        }
+        for (n, w) in [(8, 3), (10, 1), (6, 6)] {
+            assert!(width_range_block(n, w)
+                .to_dense()
+                .approx_eq(&width_range(n, w), 0.0));
+        }
+    }
+
+    #[test]
+    fn structured_grams_match_closed_forms() {
+        for n in [1, 4, 7] {
+            assert!(prefix_block(n)
+                .gram_dense()
+                .approx_eq(&gram_prefix(n), 1e-12));
+            assert!(all_range_block(n)
+                .gram_dense()
+                .approx_eq(&gram_all_range(n), 1e-12));
+        }
+        assert!(width_range_block(9, 4)
+            .gram_dense()
+            .approx_eq(&gram_width_range(9, 4), 1e-12));
     }
 
     #[test]

@@ -11,18 +11,18 @@ use rand::Rng;
 /// `Prefix 1D`: the CDF workload `P` — the paper's compact proxy for all
 /// range queries.
 pub fn prefix_1d(n: usize) -> Workload {
-    Workload::one_dim(blocks::prefix(n))
+    Workload::one_dim(blocks::prefix_block(n))
 }
 
 /// `All Range`: every interval query.
 pub fn all_range_1d(n: usize) -> Workload {
-    Workload::one_dim(blocks::all_range(n))
+    Workload::one_dim(blocks::all_range_block(n))
 }
 
 /// `Width 32 Range` (any width): ranges summing exactly `width` contiguous
 /// cells.
 pub fn width_range_1d(n: usize, width: usize) -> Workload {
-    Workload::one_dim(blocks::width_range(n, width))
+    Workload::one_dim(blocks::width_range_block(n, width))
 }
 
 /// `Permuted Range`: all range queries right-multiplied by a random
@@ -98,7 +98,7 @@ fn inverse(perm: &[usize], target: usize) -> usize {
 pub fn prefix_2d(n1: usize, n2: usize) -> Workload {
     Workload::product(
         Domain::new(&[n1, n2]),
-        vec![blocks::prefix(n1), blocks::prefix(n2)],
+        vec![blocks::prefix_block(n1), blocks::prefix_block(n2)],
     )
 }
 
@@ -106,7 +106,7 @@ pub fn prefix_2d(n1: usize, n2: usize) -> Workload {
 pub fn all_range_2d(n1: usize, n2: usize) -> Workload {
     Workload::product(
         Domain::new(&[n1, n2]),
-        vec![blocks::all_range(n1), blocks::all_range(n2)],
+        vec![blocks::all_range_block(n1), blocks::all_range_block(n2)],
     )
 }
 
@@ -115,8 +115,8 @@ pub fn prefix_identity_2d(n1: usize, n2: usize) -> Workload {
     Workload::new(
         Domain::new(&[n1, n2]),
         vec![
-            ProductTerm::product(vec![blocks::prefix(n1), blocks::identity(n2)]),
-            ProductTerm::product(vec![blocks::identity(n1), blocks::prefix(n2)]),
+            ProductTerm::product(vec![blocks::prefix_block(n1), blocks::identity_block(n2)]),
+            ProductTerm::product(vec![blocks::identity_block(n1), blocks::prefix_block(n2)]),
         ],
     )
 }
@@ -127,8 +127,8 @@ pub fn range_total_union_2d(n1: usize, n2: usize) -> Workload {
     Workload::new(
         Domain::new(&[n1, n2]),
         vec![
-            ProductTerm::product(vec![blocks::all_range(n1), blocks::total(n2)]),
-            ProductTerm::product(vec![blocks::total(n1), blocks::all_range(n2)]),
+            ProductTerm::product(vec![blocks::all_range_block(n1), blocks::total_block(n2)]),
+            ProductTerm::product(vec![blocks::total_block(n1), blocks::all_range_block(n2)]),
         ],
     )
 }
@@ -154,7 +154,11 @@ pub fn prefix_3d(n: usize) -> Workload {
     let d = Domain::new(&[n, n, n]);
     Workload::product(
         d,
-        vec![blocks::prefix(n), blocks::prefix(n), blocks::prefix(n)],
+        vec![
+            blocks::prefix_block(n),
+            blocks::prefix_block(n),
+            blocks::prefix_block(n),
+        ],
     )
 }
 
@@ -167,12 +171,12 @@ pub fn all_3way_ranges(domain: &Domain) -> Workload {
     for a in 0..d {
         for b in (a + 1)..d {
             for c in (b + 1)..d {
-                let factors = (0..d)
+                let factors: Vec<_> = (0..d)
                     .map(|i| {
                         if i == a || i == b || i == c {
-                            blocks::all_range(domain.attr_size(i))
+                            blocks::all_range_block(domain.attr_size(i))
                         } else {
-                            blocks::total(domain.attr_size(i))
+                            blocks::total_block(domain.attr_size(i))
                         }
                     })
                     .collect();
@@ -190,12 +194,12 @@ pub fn all_3way_ranges(domain: &Domain) -> Workload {
 /// The single marginal on the attribute subset encoded by `mask`
 /// (bit `i` ⇒ Identity on attribute `i`, else Total).
 pub fn marginal_term(domain: &Domain, mask: usize) -> ProductTerm {
-    let factors = (0..domain.dims())
+    let factors: Vec<_> = (0..domain.dims())
         .map(|i| {
             if mask >> i & 1 == 1 {
-                blocks::identity(domain.attr_size(i))
+                blocks::identity_block(domain.attr_size(i))
             } else {
-                blocks::total(domain.attr_size(i))
+                blocks::total_block(domain.attr_size(i))
             }
         })
         .collect();
@@ -243,15 +247,15 @@ pub fn range_marginals(domain: &Domain, numeric: &[bool], max_way: Option<usize>
                 continue;
             }
         }
-        let factors = (0..d)
+        let factors: Vec<_> = (0..d)
             .map(|i| {
                 let n = domain.attr_size(i);
                 if mask >> i & 1 == 0 {
-                    blocks::total(n)
+                    blocks::total_block(n)
                 } else if numeric[i] {
-                    blocks::all_range(n)
+                    blocks::all_range_block(n)
                 } else {
-                    blocks::identity(n)
+                    blocks::identity_block(n)
                 }
             })
             .collect();

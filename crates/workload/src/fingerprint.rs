@@ -14,7 +14,7 @@
 //! (a duplicated term changes the sorted sequence, unlike an XOR fold).
 
 use crate::Workload;
-use hdmm_linalg::Matrix;
+use hdmm_linalg::{Matrix, StructuredMatrix};
 
 const FNV_OFFSET_LO: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_OFFSET_HI: u64 = 0x6c62_272e_07bb_0142;
@@ -86,12 +86,66 @@ fn hash_matrix(h: &mut Fnv, m: &Matrix) {
     }
 }
 
-fn term_digest(offset: u64, weight: f64, factors: &[Matrix]) -> u64 {
+/// Hashes a structured factor by its representation: closed-form variants
+/// hash their O(1) descriptor, so fingerprinting a `Prefix` block on a
+/// domain of 2¹⁴ touches three words instead of 2²⁸ entries. The digest is
+/// representation-sensitive — a `Dense` copy of a `Prefix` block hashes
+/// differently — which is sound for caching (worst case a duplicate SELECT)
+/// because builders construct blocks deterministically.
+fn hash_structured(h: &mut Fnv, f: &StructuredMatrix) {
+    match f {
+        StructuredMatrix::Dense(m) => {
+            h.write_u64(0);
+            hash_matrix(h, m);
+        }
+        StructuredMatrix::Sparse(s) => {
+            h.write_u64(1);
+            h.write_u64(s.rows() as u64);
+            h.write_u64(s.cols() as u64);
+            for r in 0..s.rows() {
+                for (c, v) in s.row_entries(r) {
+                    h.write_u64(r as u64);
+                    h.write_u64(c as u64);
+                    h.write_f64(v);
+                }
+            }
+        }
+        StructuredMatrix::Identity { n, scale } => {
+            h.write_u64(2);
+            h.write_u64(*n as u64);
+            h.write_f64(*scale);
+        }
+        StructuredMatrix::Total { n, scale } => {
+            h.write_u64(3);
+            h.write_u64(*n as u64);
+            h.write_f64(*scale);
+        }
+        StructuredMatrix::Prefix { n, scale } => {
+            h.write_u64(4);
+            h.write_u64(*n as u64);
+            h.write_f64(*scale);
+        }
+        StructuredMatrix::AllRange { n, scale } => {
+            h.write_u64(5);
+            h.write_u64(*n as u64);
+            h.write_f64(*scale);
+        }
+        StructuredMatrix::Kron(fs) => {
+            h.write_u64(6);
+            h.write_u64(fs.len() as u64);
+            for inner in fs {
+                hash_structured(h, inner);
+            }
+        }
+    }
+}
+
+fn term_digest(offset: u64, weight: f64, factors: &[StructuredMatrix]) -> u64 {
     let mut h = Fnv::new(offset);
     h.write_f64(weight);
     h.write_u64(factors.len() as u64);
     for f in factors {
-        hash_matrix(&mut h, f);
+        hash_structured(&mut h, f);
     }
     h.0
 }
@@ -197,6 +251,16 @@ mod tests {
         let d = Domain::new(&[2, 3]);
         let w2 = Workload::product(d, vec![blocks::identity(2), blocks::identity(3)]);
         assert_ne!(w1.fingerprint(), w2.fingerprint());
+    }
+
+    #[test]
+    fn structured_fingerprints_are_stable_and_representation_sensitive() {
+        let structured = || Workload::one_dim(blocks::prefix_block(8));
+        assert_eq!(structured().fingerprint(), structured().fingerprint());
+        // A dense copy of the same logical block is a different (still valid)
+        // cache key: worst case one duplicate SELECT, never a wrong hit.
+        let dense = Workload::one_dim(blocks::prefix(8));
+        assert_ne!(structured().fingerprint(), dense.fingerprint());
     }
 
     #[test]

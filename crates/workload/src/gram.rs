@@ -34,14 +34,21 @@ pub struct WorkloadGrams {
 }
 
 impl WorkloadGrams {
-    /// Computes Gram blocks from a workload.
+    /// Computes Gram blocks from a workload. Structured factors use their
+    /// closed-form Grams, so the per-attribute `nᵢ × nᵢ` block costs O(nᵢ²)
+    /// fill instead of an O(mᵢ·nᵢ²) dense product — and the `mᵢ × nᵢ` query
+    /// matrix (m = n(n+1)/2 for `AllRange`) is never materialized.
     pub fn from_workload(w: &Workload) -> Self {
         let terms = w
             .terms()
             .iter()
             .map(|t| GramTerm {
                 weight: t.weight,
-                factors: t.factors.iter().map(Matrix::gram).collect(),
+                factors: t
+                    .factors
+                    .iter()
+                    .map(hdmm_linalg::StructuredMatrix::gram_dense)
+                    .collect(),
             })
             .collect();
         WorkloadGrams {

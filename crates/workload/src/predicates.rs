@@ -197,11 +197,13 @@ impl LogicalWorkload {
                     domain.dims(),
                     "product arity mismatch"
                 );
-                let factors = p
+                // Vectorized predicate sets are mostly zeros (point and
+                // range predicates); compress picks CSR when it pays off.
+                let factors: Vec<hdmm_linalg::StructuredMatrix> = p
                     .predicate_sets
                     .iter()
                     .zip(domain.sizes())
-                    .map(|(set, &n)| set.vectorize(n))
+                    .map(|(set, &n)| hdmm_linalg::StructuredMatrix::compress(set.vectorize(n)))
                     .collect();
                 ProductTerm::new(p.weight, factors)
             })

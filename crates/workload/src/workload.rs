@@ -1,50 +1,61 @@
 //! Union-of-products workloads (Definition 3 and §4.3, `ImpVec` output form).
 
 use crate::Domain;
-use hdmm_linalg::{kmatvec, kron_all, Matrix};
+use hdmm_linalg::{kmatvec_structured, kron_all, Matrix, StructuredMatrix};
 
 /// One weighted product `w·(W₁ ⊗ … ⊗ W_d)`: a per-attribute query matrix for
-/// each attribute of the domain.
+/// each attribute of the domain, kept in structured form so regular blocks
+/// (Identity, Total, Prefix, AllRange, sparse predicate sets) never densify.
 #[derive(Debug, Clone)]
 pub struct ProductTerm {
     /// Query weight `w` (repetition / accuracy preference, §3.3).
     pub weight: f64,
     /// Per-attribute query matrices; `factors[i].cols() == domain.attr_size(i)`.
-    pub factors: Vec<Matrix>,
+    pub factors: Vec<StructuredMatrix>,
 }
 
 impl ProductTerm {
-    /// Builds a weighted product term.
-    pub fn new(weight: f64, factors: Vec<Matrix>) -> Self {
+    /// Builds a weighted product term. Accepts dense [`Matrix`] factors (kept
+    /// as `Dense`) or [`StructuredMatrix`] factors directly.
+    pub fn new<M: Into<StructuredMatrix>>(weight: f64, factors: Vec<M>) -> Self {
         assert!(weight > 0.0, "term weight must be positive");
         assert!(
             !factors.is_empty(),
             "product term needs at least one factor"
         );
-        ProductTerm { weight, factors }
+        ProductTerm {
+            weight,
+            factors: factors.into_iter().map(Into::into).collect(),
+        }
     }
 
     /// Unit-weight product term.
-    pub fn product(factors: Vec<Matrix>) -> Self {
+    pub fn product<M: Into<StructuredMatrix>>(factors: Vec<M>) -> Self {
         Self::new(1.0, factors)
     }
 
     /// Number of queries `Π mᵢ` in this product.
     pub fn query_count(&self) -> usize {
-        self.factors.iter().map(Matrix::rows).product()
+        self.factors.iter().map(StructuredMatrix::rows).product()
     }
 
     /// Materializes `w·(W₁ ⊗ … ⊗ W_d)` (tests / small domains only).
     pub fn explicit(&self) -> Matrix {
-        let refs: Vec<&Matrix> = self.factors.iter().collect();
+        let dense: Vec<Matrix> = self
+            .factors
+            .iter()
+            .map(StructuredMatrix::to_dense)
+            .collect();
+        let refs: Vec<&Matrix> = dense.iter().collect();
         kron_all(&refs).scaled(self.weight)
     }
 
     /// Answers this term's queries on data vector `x` via the implicit
-    /// Kronecker matrix–vector product.
+    /// Kronecker matrix–vector product, dispatching each mode to its
+    /// structured fast path.
     pub fn answer(&self, x: &[f64]) -> Vec<f64> {
-        let refs: Vec<&Matrix> = self.factors.iter().collect();
-        let mut y = kmatvec(&refs, x);
+        let refs: Vec<&StructuredMatrix> = self.factors.iter().collect();
+        let mut y = kmatvec_structured(&refs, x);
         if self.weight != 1.0 {
             for v in &mut y {
                 *v *= self.weight;
@@ -53,10 +64,14 @@ impl ProductTerm {
         y
     }
 
-    /// Implicit representation size in stored values (Σ mᵢ·nᵢ), the quantity
-    /// behind the paper's Example 6/7 size comparisons.
+    /// Implicit representation size in stored values (Σ per-factor storage;
+    /// closed-form blocks count 1), the quantity behind the paper's
+    /// Example 6/7 size comparisons.
     pub fn implicit_size(&self) -> usize {
-        self.factors.iter().map(|f| f.rows() * f.cols()).sum()
+        self.factors
+            .iter()
+            .map(StructuredMatrix::storage_size)
+            .sum()
     }
 
     /// Explicit representation size in values (Π mᵢ · Π nᵢ), saturating.
@@ -105,12 +120,13 @@ impl Workload {
     }
 
     /// Single-product workload.
-    pub fn product(domain: Domain, factors: Vec<Matrix>) -> Self {
+    pub fn product<M: Into<StructuredMatrix>>(domain: Domain, factors: Vec<M>) -> Self {
         Self::new(domain, vec![ProductTerm::product(factors)])
     }
 
-    /// One-dimensional workload from an explicit query matrix.
-    pub fn one_dim(w: Matrix) -> Self {
+    /// One-dimensional workload from a query matrix (dense or structured).
+    pub fn one_dim(w: impl Into<StructuredMatrix>) -> Self {
+        let w = w.into();
         let domain = Domain::one_dim(w.cols());
         Self::new(domain, vec![ProductTerm::product(vec![w])])
     }
@@ -193,7 +209,7 @@ impl Workload {
                 t.weight
                     * t.factors
                         .iter()
-                        .map(Matrix::norm_l1_operator)
+                        .map(StructuredMatrix::sensitivity)
                         .product::<f64>()
             })
             .sum()

@@ -1,0 +1,162 @@
+//! Property tests: every `StructuredMatrix` variant agrees with its
+//! `to_dense()` equivalent on matvec, rmatvec, Gram, column sums, and
+//! sensitivity — including Kronecker compositions — so the structured fast
+//! paths can replace dense blocks anywhere without changing semantics.
+
+use hdmm_linalg::{
+    kmatvec_structured, kmatvec_transpose_structured, kron_all, Csr, Matrix, StructuredMatrix,
+};
+use proptest::prelude::*;
+
+/// A random structured variant over a domain of size `n` (2..=7), paired
+/// with a generated scale in (0.2, 2.2).
+fn variant(n: usize) -> impl Strategy<Value = StructuredMatrix> {
+    (
+        0usize..6,
+        0.2f64..2.2,
+        proptest::collection::vec(proptest::bool::weighted(0.35), 3 * n),
+    )
+        .prop_map(move |(kind, scale, bits)| match kind {
+            0 => StructuredMatrix::identity(n).scaled(scale),
+            1 => StructuredMatrix::total(n).scaled(scale),
+            2 => StructuredMatrix::prefix(n).scaled(scale),
+            3 => StructuredMatrix::all_range(n).scaled(scale),
+            4 => {
+                let dense = Matrix::from_fn(3, n, |r, c| if bits[r * n + c] { scale } else { 0.0 });
+                StructuredMatrix::Sparse(Csr::from_dense(&dense))
+            }
+            _ => StructuredMatrix::Dense(Matrix::from_fn(3, n, |r, c| {
+                if bits[r * n + c] {
+                    scale
+                } else {
+                    -1.0
+                }
+            })),
+        })
+}
+
+fn data_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0u32..50, len).prop_map(|v| v.into_iter().map(f64::from).collect())
+}
+
+fn assert_close(a: &[f64], b: &[f64], tol: f64) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        prop_assert!((x - y).abs() <= tol * x.abs().max(1.0), "{x} vs {y}");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// matvec and rmatvec agree with the dense equivalent for every variant.
+    #[test]
+    fn structured_matvec_matches_dense(
+        v in (2usize..8).prop_flat_map(variant),
+        seed in 0u64..1000,
+    ) {
+        let d = v.to_dense();
+        let x: Vec<f64> = (0..v.cols()).map(|i| ((i as u64 + seed) % 7) as f64).collect();
+        let y: Vec<f64> = (0..v.rows()).map(|i| ((i as u64 * 3 + seed) % 5) as f64).collect();
+        assert_close(&v.matvec(&x), &d.matvec(&x), 1e-10)?;
+        assert_close(&v.rmatvec(&y), &d.t_matvec(&y), 1e-10)?;
+    }
+
+    /// Gram, column sums, sensitivity, and Gram trace match the dense path.
+    #[test]
+    fn structured_gram_and_sensitivity_match_dense(
+        v in (2usize..8).prop_flat_map(variant),
+    ) {
+        let d = v.to_dense();
+        prop_assert!(v.gram_dense().approx_eq(&d.gram(), 1e-9));
+        assert_close(&v.abs_col_sums(), &d.abs_col_sums(), 1e-10)?;
+        prop_assert!((v.sensitivity() - d.norm_l1_operator()).abs() < 1e-9);
+        prop_assert!((v.gram_trace() - d.frobenius_norm_sq()).abs()
+            < 1e-9 * d.frobenius_norm_sq().max(1.0));
+    }
+
+    /// The closed-form Gram pseudo-inverses satisfy G·G⁺·G = G. (Dense and
+    /// sparse variants go through the generic Cholesky/spectral fallback,
+    /// whose accuracy on near-singular random 0/1 grams is a conditioning
+    /// question, not a closed-form one — covered by the linalg pinv tests.)
+    #[test]
+    fn structured_gram_pinv_is_moore_penrose(
+        kind in 0usize..4,
+        n in 2usize..9,
+        scale in 0.2f64..2.2,
+    ) {
+        let v = match kind {
+            0 => StructuredMatrix::identity(n),
+            1 => StructuredMatrix::total(n),
+            2 => StructuredMatrix::prefix(n),
+            _ => StructuredMatrix::all_range(n),
+        }
+        .scaled(scale);
+        let gram = v.gram_dense();
+        let pinv = v.gram_pinv().to_dense();
+        let ggg = gram.matmul(&pinv).matmul(&gram);
+        prop_assert!(ggg.approx_eq(&gram, 1e-7 * (1.0 + gram.max_abs())));
+    }
+
+    /// Kronecker compositions of arbitrary variants match the explicit
+    /// Kronecker product on both products and the adjoint identity.
+    #[test]
+    fn structured_kron_matches_explicit(
+        a in (2usize..5).prop_flat_map(variant),
+        b in (2usize..5).prop_flat_map(variant),
+        x in data_vec(16),
+        y in data_vec(30),
+    ) {
+        let k = StructuredMatrix::kron(vec![a.clone(), b.clone()]);
+        let explicit = kron_all(&[&a.to_dense(), &b.to_dense()]);
+        prop_assert_eq!(k.shape(), explicit.shape());
+        let x = &x[..k.cols().min(x.len())];
+        prop_assume!(x.len() == k.cols());
+        let y = &y[..k.rows().min(y.len())];
+        prop_assume!(y.len() == k.rows());
+
+        let refs = [&a, &b];
+        assert_close(&kmatvec_structured(&refs, x), &explicit.matvec(x), 1e-9)?;
+        assert_close(
+            &kmatvec_transpose_structured(&refs, y),
+            &explicit.t_matvec(y),
+            1e-9,
+        )?;
+        prop_assert!((k.sensitivity()
+            - a.sensitivity() * b.sensitivity()).abs() < 1e-9);
+        prop_assert!(k.gram_dense().approx_eq(&explicit.gram(), 1e-8));
+    }
+
+    /// Adjoint consistency `⟨Ax, y⟩ = ⟨x, Aᵀy⟩` holds for three-factor
+    /// structured Kronecker operators.
+    #[test]
+    fn structured_kron_adjoint_identity(
+        a in (2usize..4).prop_flat_map(variant),
+        b in (2usize..4).prop_flat_map(variant),
+        c in (2usize..4).prop_flat_map(variant),
+        seed in 0u64..1000,
+    ) {
+        let refs = [&a, &b, &c];
+        let cols: usize = refs.iter().map(|f| f.cols()).product();
+        let rows: usize = refs.iter().map(|f| f.rows()).product();
+        let x: Vec<f64> = (0..cols).map(|i| ((i as u64 * 7 + seed) % 9) as f64).collect();
+        let y: Vec<f64> = (0..rows).map(|i| ((i as u64 * 5 + seed) % 11) as f64).collect();
+        let ax = kmatvec_structured(&refs, &x);
+        let aty = kmatvec_transpose_structured(&refs, &y);
+        let lhs: f64 = ax.iter().zip(&y).map(|(p, q)| p * q).sum();
+        let rhs: f64 = x.iter().zip(&aty).map(|(p, q)| p * q).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-8 * lhs.abs().max(1.0));
+    }
+
+    /// `compress` roundtrips: the chosen representation is semantically
+    /// identical to the input.
+    #[test]
+    fn compress_preserves_semantics(
+        bits in proptest::collection::vec(proptest::bool::weighted(0.2), 30),
+    ) {
+        let dense = Matrix::from_fn(5, 6, |r, c| if bits[r * 6 + c] { 1.0 } else { 0.0 });
+        let compressed = StructuredMatrix::compress(dense.clone());
+        prop_assert!(compressed.to_dense().approx_eq(&dense, 0.0));
+    }
+}

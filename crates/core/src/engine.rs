@@ -72,6 +72,19 @@ pub enum EngineError {
         /// The duplicated name.
         name: String,
     },
+    /// Shared engine state was poisoned by a panicking request and could not
+    /// be recovered (also returned when a serving worker dies mid-request).
+    StatePoisoned {
+        /// Which piece of state, for operators.
+        what: String,
+    },
+    /// The server's bounded request queue is full — backpressure, retry later.
+    QueueFull {
+        /// The queue's capacity, for sizing decisions.
+        capacity: usize,
+    },
+    /// The server is shutting down and no longer accepts requests.
+    Shutdown,
 }
 
 impl std::fmt::Display for EngineError {
@@ -95,6 +108,13 @@ impl std::fmt::Display for EngineError {
             EngineError::DatasetExists { name } => {
                 write!(f, "dataset '{name}' is already registered")
             }
+            EngineError::StatePoisoned { what } => {
+                write!(f, "engine state poisoned: {what}")
+            }
+            EngineError::QueueFull { capacity } => {
+                write!(f, "request queue is full (capacity {capacity}); retry later")
+            }
+            EngineError::Shutdown => write!(f, "engine server is shutting down"),
         }
     }
 }
@@ -122,7 +142,10 @@ impl EngineError {
 }
 
 /// Tracks ε spend for one dataset under sequential composition.
-pub trait BudgetAccountant {
+///
+/// `Send` because a serving engine moves ledgers across worker threads;
+/// mutation stays exclusive (`&mut self`), so no `Sync` bound is needed.
+pub trait BudgetAccountant: Send {
     /// The total budget granted at registration.
     fn total_budget(&self) -> f64;
 
@@ -140,7 +163,10 @@ pub trait BudgetAccountant {
 }
 
 /// A measure-once/answer-many handle over one reconstructed estimate.
-pub trait PrivateSession {
+///
+/// `Send + Sync` so sessions can be shared (behind `Arc`) between the
+/// serving threads that answer follow-up workloads concurrently.
+pub trait PrivateSession: Send + Sync {
     /// The domain the measurement was taken over.
     fn domain(&self) -> &Domain;
 
@@ -170,7 +196,11 @@ pub struct QueryResponse {
 }
 
 /// The end-to-end request lifecycle of a private query-answering service.
-pub trait QueryEngine {
+///
+/// `Send + Sync` is part of the contract: an engine is shared behind an
+/// `Arc` by a pool of serving threads, so every implementation must be safe
+/// to call concurrently (the methods take `&self` for the same reason).
+pub trait QueryEngine: Send + Sync {
     /// Serves one batched linear-query request against a registered dataset:
     /// select (cache-aware), spend, measure, reconstruct, answer.
     fn serve(

@@ -34,6 +34,14 @@ impl EpsAccountant {
     pub fn dataset(&self) -> &str {
         &self.dataset
     }
+
+    /// Releases a reservation made with [`BudgetAccountant::try_spend`] whose
+    /// measurement was never taken (reserve-before-measure keeps concurrent
+    /// requests from jointly overspending; a refused measurement gives the ε
+    /// back because no noise was drawn against it).
+    pub(crate) fn refund(&mut self, eps: f64) {
+        self.spent = (self.spent - eps).max(0.0);
+    }
 }
 
 impl BudgetAccountant for EpsAccountant {

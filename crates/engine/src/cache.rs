@@ -7,10 +7,24 @@
 //! common case for a serving system issuing the same dashboards and reports —
 //! skip re-optimization entirely. Since selection never touches data or
 //! budget, a cached strategy is privacy-neutral to reuse.
+//!
+//! ## Concurrency
+//!
+//! The map is sharded across [`RwLock`]s and a hit takes only a *read* lock
+//! on one shard: recency is an atomic stamp per entry and the hit/miss
+//! counters are atomics, so concurrent cache-hit traffic never contends — not
+//! with other hits, and not with a miss inserting into a different shard.
+//! Only `insert` (which follows a multi-second SELECT, so it is rare by
+//! construction) takes a write lock. Eviction is LRU on the global stamp
+//! order: capacity is enforced across all shards, not per shard.
 
+use crate::sync::{read_recover, write_recover};
 use hdmm_core::{Plan, WorkloadFingerprint};
-use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
 
 /// Counters describing cache effectiveness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -27,16 +41,31 @@ pub struct CacheStats {
     pub capacity: usize,
 }
 
-/// An LRU map from workload fingerprint to optimized plan.
+#[derive(Debug)]
+struct CacheEntry {
+    plan: Arc<Plan>,
+    /// Logical-clock stamp of the last touch; the globally smallest stamp is
+    /// the LRU entry.
+    last_used: AtomicU64,
+}
+
+/// Number of shards; hits on different fingerprints rarely collide, and even
+/// same-shard hits share a read lock.
+const SHARDS: usize = 8;
+
+/// A sharded LRU map from workload fingerprint to optimized plan.
+///
+/// All methods take `&self`: the cache is safely shared by reference across
+/// serving threads.
 #[derive(Debug)]
 pub struct StrategyCache {
+    shards: [RwLock<HashMap<WorkloadFingerprint, CacheEntry>>; SHARDS],
     capacity: usize,
-    map: HashMap<WorkloadFingerprint, Arc<Plan>>,
-    /// Recency queue; front is the least recently used key.
-    order: VecDeque<WorkloadFingerprint>,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
+    len: AtomicUsize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl StrategyCache {
@@ -47,62 +76,114 @@ impl StrategyCache {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
         StrategyCache {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
             capacity,
-            map: HashMap::new(),
-            order: VecDeque::new(),
-            hits: 0,
-            misses: 0,
-            evictions: 0,
+            len: AtomicUsize::new(0),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
-    /// Looks up a plan, updating recency and hit/miss counters.
-    pub fn get(&mut self, key: &WorkloadFingerprint) -> Option<Arc<Plan>> {
-        match self.map.get(key).cloned() {
-            Some(plan) => {
-                self.hits += 1;
-                self.touch(key);
-                Some(plan)
+    fn shard(
+        &self,
+        key: &WorkloadFingerprint,
+    ) -> &RwLock<HashMap<WorkloadFingerprint, CacheEntry>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    fn stamp(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Looks up a plan, updating recency and hit/miss counters. Read-lock
+    /// only: cache hits never block each other.
+    pub fn get(&self, key: &WorkloadFingerprint) -> Option<Arc<Plan>> {
+        let shard = read_recover(self.shard(key));
+        match shard.get(key) {
+            Some(entry) => {
+                entry.last_used.store(self.stamp(), Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.plan))
             }
             None => {
-                self.misses += 1;
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
-    /// Inserts a plan, evicting the least recently used entry when full.
-    pub fn insert(&mut self, key: WorkloadFingerprint, plan: Arc<Plan>) {
-        if self.map.insert(key.clone(), plan).is_some() {
-            // Concurrent planners may race on the same miss; keep one entry.
-            self.touch(&key);
-            return;
-        }
-        self.order.push_back(key);
-        while self.map.len() > self.capacity {
-            if let Some(oldest) = self.order.pop_front() {
-                if self.map.remove(&oldest).is_some() {
-                    self.evictions += 1;
+    /// Looks up a plan without touching recency or counters — for re-checks
+    /// on paths that already recorded their miss (single-flight leaders).
+    pub fn peek(&self, key: &WorkloadFingerprint) -> Option<Arc<Plan>> {
+        read_recover(self.shard(key))
+            .get(key)
+            .map(|e| Arc::clone(&e.plan))
+    }
+
+    /// Inserts a plan, evicting least-recently-used entries when over
+    /// capacity (LRU across all shards).
+    pub fn insert(&self, key: WorkloadFingerprint, plan: Arc<Plan>) {
+        let stamp = self.stamp();
+        let grew = {
+            let mut shard = write_recover(self.shard(&key));
+            match shard.entry(key) {
+                Entry::Occupied(mut e) => {
+                    // Concurrent planners may race on the same miss; keep one
+                    // entry, refreshed.
+                    let entry = e.get_mut();
+                    entry.plan = plan;
+                    entry.last_used.store(stamp, Ordering::Relaxed);
+                    false
+                }
+                Entry::Vacant(v) => {
+                    v.insert(CacheEntry {
+                        plan,
+                        last_used: AtomicU64::new(stamp),
+                    });
+                    true
                 }
             }
+        };
+        if grew && self.len.fetch_add(1, Ordering::SeqCst) + 1 > self.capacity {
+            self.evict_lru();
         }
     }
 
-    /// Moves `key` to the most-recently-used position.
-    fn touch(&mut self, key: &WorkloadFingerprint) {
-        if let Some(pos) = self.order.iter().position(|k| k == key) {
-            let k = self.order.remove(pos).expect("position is in range");
-            self.order.push_back(k);
+    /// Removes globally-oldest entries until within capacity. Insert-path
+    /// only, so the O(len) scan runs in the shadow of a full SELECT.
+    fn evict_lru(&self) {
+        while self.len.load(Ordering::SeqCst) > self.capacity {
+            let mut oldest: Option<(usize, WorkloadFingerprint, u64)> = None;
+            for (i, shard) in self.shards.iter().enumerate() {
+                for (k, e) in read_recover(shard).iter() {
+                    let ts = e.last_used.load(Ordering::Relaxed);
+                    if oldest.as_ref().is_none_or(|(_, _, best)| ts < *best) {
+                        oldest = Some((i, k.clone(), ts));
+                    }
+                }
+            }
+            let Some((i, key, _)) = oldest else {
+                break; // racing evictors emptied the cache under us
+            };
+            if write_recover(&self.shards[i]).remove(&key).is_some() {
+                self.len.fetch_sub(1, Ordering::SeqCst);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            // If another thread removed it first, loop and rescan.
         }
     }
 
     /// Current effectiveness counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits,
-            misses: self.misses,
-            evictions: self.evictions,
-            len: self.map.len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len: self.len.load(Ordering::SeqCst),
             capacity: self.capacity,
         }
     }
@@ -119,7 +200,7 @@ mod tests {
 
     #[test]
     fn hit_after_insert() {
-        let mut cache = StrategyCache::new(4);
+        let cache = StrategyCache::new(4);
         let w = builders::prefix_1d(8);
         let fp = w.fingerprint();
         assert!(cache.get(&fp).is_none());
@@ -131,7 +212,7 @@ mod tests {
 
     #[test]
     fn lru_eviction_order() {
-        let mut cache = StrategyCache::new(2);
+        let cache = StrategyCache::new(2);
         let w1 = builders::prefix_1d(4);
         let w2 = builders::prefix_1d(5);
         let w3 = builders::prefix_1d(6);
@@ -148,11 +229,52 @@ mod tests {
 
     #[test]
     fn reinsert_does_not_duplicate() {
-        let mut cache = StrategyCache::new(2);
+        let cache = StrategyCache::new(2);
         let w = builders::prefix_1d(4);
         cache.insert(w.fingerprint(), plan_of(&w));
         cache.insert(w.fingerprint(), plan_of(&w));
         assert_eq!(cache.stats().len, 1);
         assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn peek_affects_neither_counters_nor_recency() {
+        let cache = StrategyCache::new(2);
+        let w1 = builders::prefix_1d(4);
+        let w2 = builders::prefix_1d(5);
+        let w3 = builders::prefix_1d(6);
+        cache.insert(w1.fingerprint(), plan_of(&w1));
+        cache.insert(w2.fingerprint(), plan_of(&w2));
+        // Peeking w1 must NOT refresh it: w1 stays the LRU entry.
+        assert!(cache.peek(&w1.fingerprint()).is_some());
+        cache.insert(w3.fingerprint(), plan_of(&w3));
+        assert!(cache.peek(&w1.fingerprint()).is_none(), "w1 was evicted");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0), "peek counts nothing");
+    }
+
+    #[test]
+    fn concurrent_hits_and_inserts_keep_counters_consistent() {
+        let cache = Arc::new(StrategyCache::new(16));
+        let workloads: Vec<Workload> = (4..12).map(builders::prefix_1d).collect();
+        for w in &workloads {
+            cache.insert(w.fingerprint(), plan_of(w));
+        }
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cache = Arc::clone(&cache);
+                let workloads = &workloads;
+                s.spawn(move || {
+                    for i in 0..100 {
+                        let w = &workloads[(t + i) % workloads.len()];
+                        assert!(cache.get(&w.fingerprint()).is_some());
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 400);
+        assert_eq!(stats.len, 8);
+        assert_eq!(stats.evictions, 0);
     }
 }

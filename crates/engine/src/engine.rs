@@ -1,19 +1,45 @@
 //! The engine: request lifecycle over registered datasets.
+//!
+//! ## Concurrency architecture
+//!
+//! Engine state is sharded so the hot path never funnels through a global
+//! mutex:
+//!
+//! * the **dataset registry** is an `RwLock<HashMap>` of immutable-after-
+//!   registration entries — serving takes a brief read lock to clone a
+//!   handle, and only registration writes;
+//! * per-dataset **mutable state** (ε ledger, RNG stream) sits behind its own
+//!   short-critical-section mutexes, so datasets never contend with each
+//!   other and MEASURE/RECONSTRUCT run without holding any lock at all;
+//! * the **strategy cache** is internally sharded with read-lock hits
+//!   ([`StrategyCache`]);
+//! * concurrent cache misses on one fingerprint deduplicate through a
+//!   [`SingleFlight`] map — one SELECT runs, everyone shares the `Arc<Plan>`;
+//! * **sessions** are sharded by id with a global FIFO eviction queue.
+//!
+//! Lock poisoning is recovered rather than propagated: every critical
+//! section leaves its state consistent (single map operations, validated
+//! single-field ledger updates), so a panicking request cannot wedge the
+//! engine — see [`crate::sync`].
 
 use crate::accountant::EpsAccountant;
-use crate::cache::{CacheStats, StrategyCache};
+use crate::cache::StrategyCache;
 use crate::session::Session;
+use crate::singleflight::{FlightOutcome, SingleFlight};
+use crate::sync::{lock_recover, read_recover, write_recover};
+use crate::telemetry::{EngineMetrics, Telemetry};
 use hdmm_core::{
     BudgetAccountant, Domain, EngineError, HdmmOptions, Plan, PrivateSession, QueryEngine,
-    QueryResponse, SessionId, Workload, WorkloadGrams,
+    QueryResponse, SessionId, Workload, WorkloadFingerprint, WorkloadGrams,
 };
-use hdmm_mechanism::try_run_mechanism;
+use hdmm_mechanism::try_run_mechanism_observed;
 use hdmm_optimizer::planner::{optimize_with_choice, select_optimizer, OptimizerChoice};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -25,8 +51,10 @@ pub struct EngineOptions {
     /// Maximum number of retained sessions; the oldest is dropped when full
     /// (each session holds a domain-sized estimate, so this bounds memory).
     pub session_capacity: usize,
-    /// Seed of the engine's measurement RNG stream: two engines with the same
-    /// seed serving the same request sequence produce identical answers.
+    /// Master seed: each dataset derives its own RNG stream from this seed
+    /// and its name, so answers are deterministic per (seed, dataset,
+    /// per-dataset request order) regardless of thread interleaving across
+    /// datasets.
     pub seed: u64,
     /// Run full Algorithm 2 on every plan instead of the structural planner
     /// (slower, occasionally lower error; mirrors the paper's offline mode).
@@ -45,51 +73,92 @@ impl Default for EngineOptions {
     }
 }
 
+/// One registered dataset. `domain` and `x` are immutable after registration
+/// and read lock-free; only the ledger and the RNG stream mutate, each behind
+/// its own short-lived mutex.
 struct DatasetState {
     domain: Domain,
     x: Vec<f64>,
-    accountant: EpsAccountant,
+    accountant: Mutex<EpsAccountant>,
+    /// Per-dataset seeded stream: one `u64` is drawn per request to seed a
+    /// request-local RNG, so a dataset's answer sequence depends only on its
+    /// own request order, never on what other datasets' threads are doing.
+    rng: Mutex<StdRng>,
 }
 
-/// FIFO-bounded session registry.
+/// Number of session shards; ids are sequential, so round-robin spreads load.
+const SESSION_SHARDS: usize = 8;
+
+/// FIFO-bounded session registry, sharded by id for contention-free lookup.
 struct SessionStore {
-    map: HashMap<SessionId, Arc<Session>>,
-    order: VecDeque<SessionId>,
+    shards: [RwLock<HashMap<SessionId, Arc<Session>>>; SESSION_SHARDS],
+    /// Global insertion order for FIFO eviction; ids closed early are left
+    /// stale and skipped when they reach the front.
+    order: Mutex<VecDeque<SessionId>>,
+    len: AtomicUsize,
     capacity: usize,
 }
 
 impl SessionStore {
-    fn insert(&mut self, session: Arc<Session>) {
-        let id = session.id();
-        self.map.insert(id, session);
-        self.order.push_back(id);
-        while self.map.len() > self.capacity {
-            if let Some(oldest) = self.order.pop_front() {
-                self.map.remove(&oldest);
-            }
+    fn new(capacity: usize) -> Self {
+        SessionStore {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            order: Mutex::new(VecDeque::new()),
+            len: AtomicUsize::new(0),
+            capacity: capacity.max(1),
         }
     }
 
-    fn remove(&mut self, id: SessionId) -> Option<Arc<Session>> {
-        // `order` is lazily cleaned: a stale id left behind is skipped when
-        // it reaches the front because `map.remove` then returns `None`.
-        self.map.remove(&id)
+    fn shard(&self, id: SessionId) -> &RwLock<HashMap<SessionId, Arc<Session>>> {
+        &self.shards[(id.0 as usize) % SESSION_SHARDS]
+    }
+
+    fn get(&self, id: SessionId) -> Option<Arc<Session>> {
+        read_recover(self.shard(id)).get(&id).cloned()
+    }
+
+    fn insert(&self, session: Arc<Session>) {
+        let id = session.id();
+        write_recover(self.shard(id)).insert(id, session);
+        self.len.fetch_add(1, Ordering::SeqCst);
+        let mut order = lock_recover(&self.order);
+        order.push_back(id);
+        while self.len.load(Ordering::SeqCst) > self.capacity {
+            let Some(oldest) = order.pop_front() else {
+                break;
+            };
+            if write_recover(self.shard(oldest)).remove(&oldest).is_some() {
+                self.len.fetch_sub(1, Ordering::SeqCst);
+            }
+            // A stale id (closed explicitly) already decremented `len`.
+        }
+    }
+
+    fn remove(&self, id: SessionId) -> Option<Arc<Session>> {
+        let removed = write_recover(self.shard(id)).remove(&id);
+        if removed.is_some() {
+            self.len.fetch_sub(1, Ordering::SeqCst);
+        }
+        removed
     }
 }
 
 /// An end-to-end private query-answering engine.
 ///
-/// Owns registered datasets (each with its own ε ledger and its own lock, so
-/// measurements on different datasets proceed concurrently), a strategy cache
-/// keyed by canonical workload fingerprints, and a bounded registry of the
-/// sessions produced by completed measurements. Shareable across threads
-/// behind an `Arc`.
+/// Owns registered datasets (each with its own ε ledger and seeded RNG
+/// stream, so measurements on different datasets proceed concurrently and
+/// deterministically), an internally sharded strategy cache keyed by
+/// canonical workload fingerprints with single-flight miss deduplication, a
+/// bounded sharded registry of the sessions produced by completed
+/// measurements, and a lock-free telemetry registry. Shareable across
+/// threads behind an `Arc`; every method takes `&self`.
 pub struct Engine {
     options: EngineOptions,
-    cache: Mutex<StrategyCache>,
-    datasets: Mutex<HashMap<String, Arc<Mutex<DatasetState>>>>,
-    sessions: Mutex<SessionStore>,
-    rng: Mutex<StdRng>,
+    cache: StrategyCache,
+    inflight: SingleFlight<WorkloadFingerprint, Arc<Plan>>,
+    datasets: RwLock<HashMap<String, Arc<DatasetState>>>,
+    sessions: SessionStore,
+    telemetry: Telemetry,
     next_session: AtomicU64,
 }
 
@@ -97,15 +166,12 @@ impl Engine {
     /// An engine with explicit options.
     pub fn new(options: EngineOptions) -> Self {
         Engine {
-            cache: Mutex::new(StrategyCache::new(options.cache_capacity)),
-            rng: Mutex::new(StdRng::seed_from_u64(options.seed)),
-            sessions: Mutex::new(SessionStore {
-                map: HashMap::new(),
-                order: VecDeque::new(),
-                capacity: options.session_capacity.max(1),
-            }),
+            cache: StrategyCache::new(options.cache_capacity),
+            inflight: SingleFlight::new(),
+            sessions: SessionStore::new(options.session_capacity),
+            telemetry: Telemetry::default(),
             options,
-            datasets: Mutex::new(HashMap::new()),
+            datasets: RwLock::new(HashMap::new()),
             next_session: AtomicU64::new(1),
         }
     }
@@ -116,6 +182,17 @@ impl Engine {
             seed,
             ..Default::default()
         })
+    }
+
+    /// Derives the dataset's RNG seed from the master seed and its name
+    /// (FNV-1a), so streams are stable across runs and distinct per dataset.
+    fn dataset_seed(&self, name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^ self.options.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
     }
 
     /// Registers a dataset: its domain, data vector (cell counts in row-major
@@ -138,18 +215,20 @@ impl Engine {
                 got: x.len(),
             });
         }
-        let mut datasets = self.lock_datasets();
+        let seed = self.dataset_seed(&name);
+        let mut datasets = write_recover(&self.datasets);
         if datasets.contains_key(&name) {
             return Err(EngineError::DatasetExists { name });
         }
-        let accountant = EpsAccountant::new(name.clone(), total_eps);
+        let accountant = Mutex::new(EpsAccountant::new(name.clone(), total_eps));
         datasets.insert(
             name,
-            Arc::new(Mutex::new(DatasetState {
+            Arc::new(DatasetState {
                 domain,
                 x,
                 accountant,
-            })),
+                rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            }),
         );
         Ok(())
     }
@@ -160,22 +239,19 @@ impl Engine {
         &self,
         name: &str,
         workload: &Workload,
-    ) -> Result<Arc<Mutex<DatasetState>>, EngineError> {
-        let handle =
-            self.lock_datasets()
-                .get(name)
-                .cloned()
-                .ok_or_else(|| EngineError::UnknownDataset {
-                    name: name.to_string(),
-                })?;
-        let ds = handle.lock().expect("dataset lock poisoned");
-        if workload.domain() != &ds.domain {
+    ) -> Result<Arc<DatasetState>, EngineError> {
+        let handle = read_recover(&self.datasets)
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownDataset {
+                name: name.to_string(),
+            })?;
+        if workload.domain() != &handle.domain {
             return Err(EngineError::DomainMismatch {
-                expected: ds.domain.clone(),
+                expected: handle.domain.clone(),
                 got: workload.domain().clone(),
             });
         }
-        drop(ds);
         Ok(handle)
     }
 
@@ -183,16 +259,33 @@ impl Engine {
     /// cache first. The boolean is `true` on a cache hit. Selection is pure —
     /// no data, no budget — so this is safe to call speculatively (e.g. to
     /// pre-warm the cache before traffic arrives).
+    ///
+    /// Concurrent misses on the same fingerprint are deduplicated: one caller
+    /// runs SELECT while the others wait and share the resulting plan
+    /// (counted in [`crate::TelemetrySnapshot::dedup_waits`]).
     pub fn plan(&self, workload: &Workload) -> (Arc<Plan>, bool) {
         let fingerprint = workload.fingerprint();
-        if let Some(plan) = self.lock_cache().get(&fingerprint) {
+        if let Some(plan) = self.cache.get(&fingerprint) {
             return (plan, true);
         }
-        // Optimize outside the cache lock: SELECT can take seconds while
-        // cached requests should keep flowing. Concurrent misses on the same
-        // fingerprint duplicate work but converge on one entry.
-        let plan = Arc::new(self.optimize(workload));
-        self.lock_cache().insert(fingerprint, Arc::clone(&plan));
+        // SELECT can take seconds while cached requests keep flowing: the
+        // optimization runs outside every lock, under single-flight dedup.
+        let (plan, outcome) = self.inflight.run(&fingerprint, || {
+            // A completed flight may have populated the cache between our
+            // miss and leader election; don't optimize twice.
+            if let Some(plan) = self.cache.peek(&fingerprint) {
+                return plan;
+            }
+            let _inflight = self.telemetry.select_started();
+            let t = Instant::now();
+            let plan = Arc::new(self.optimize(workload));
+            self.telemetry.record_select(t.elapsed());
+            self.cache.insert(fingerprint.clone(), Arc::clone(&plan));
+            plan
+        });
+        if outcome == FlightOutcome::Joined {
+            self.telemetry.record_dedup_wait();
+        }
         (plan, false)
     }
 
@@ -220,17 +313,15 @@ impl Engine {
 
     /// Looks up a session produced by a previous [`QueryEngine::serve`] call.
     pub fn session(&self, id: SessionId) -> Result<Arc<Session>, EngineError> {
-        self.lock_sessions()
-            .map
-            .get(&id)
-            .cloned()
+        self.sessions
+            .get(id)
             .ok_or(EngineError::UnknownSession { id })
     }
 
     /// Drops a session, releasing its domain-sized estimate immediately
     /// instead of waiting for capacity eviction.
     pub fn close_session(&self, id: SessionId) -> Result<(), EngineError> {
-        self.lock_sessions()
+        self.sessions
             .remove(id)
             .map(|_| ())
             .ok_or(EngineError::UnknownSession { id })
@@ -238,37 +329,144 @@ impl Engine {
 
     /// (total, spent, remaining) ε for a dataset.
     pub fn budget(&self, dataset: &str) -> Result<(f64, f64, f64), EngineError> {
-        let handle = self.lock_datasets().get(dataset).cloned().ok_or_else(|| {
-            EngineError::UnknownDataset {
+        let handle = read_recover(&self.datasets)
+            .get(dataset)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownDataset {
                 name: dataset.to_string(),
-            }
-        })?;
-        let ds = handle.lock().expect("dataset lock poisoned");
-        let a = &ds.accountant;
+            })?;
+        let a = lock_recover(&handle.accountant);
         Ok((a.total_budget(), a.spent(), a.remaining()))
     }
 
     /// Strategy-cache effectiveness counters.
-    pub fn cache_stats(&self) -> CacheStats {
-        self.lock_cache().stats()
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.cache.stats()
     }
 
-    fn lock_cache(&self) -> std::sync::MutexGuard<'_, StrategyCache> {
-        self.cache.lock().expect("strategy cache lock poisoned")
+    /// One-call observability: strategy-cache counters plus per-phase latency
+    /// histograms (select/measure/reconstruct/answer) and serving counters.
+    pub fn metrics(&self) -> EngineMetrics {
+        EngineMetrics {
+            cache: self.cache.stats(),
+            telemetry: self.telemetry.snapshot(),
+        }
     }
 
-    fn lock_datasets(
+    /// The live telemetry registry (histograms keep accumulating; use
+    /// [`Engine::metrics`] for a consistent snapshot).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    fn serve_inner(
         &self,
-    ) -> std::sync::MutexGuard<'_, HashMap<String, Arc<Mutex<DatasetState>>>> {
-        self.datasets
-            .lock()
-            .expect("dataset registry lock poisoned")
-    }
+        dataset: &str,
+        workload: &Workload,
+        eps: f64,
+    ) -> Result<QueryResponse, EngineError> {
+        // Cheap validation first (microseconds, short registry read lock) so
+        // a typo'd dataset or mismatched domain never pays for SELECT or
+        // occupies a cache slot.
+        let handle = self.resolve_dataset(dataset, workload)?;
 
-    fn lock_sessions(&self) -> std::sync::MutexGuard<'_, SessionStore> {
-        self.sessions
-            .lock()
-            .expect("session registry lock poisoned")
+        // SELECT (cache-aware, single-flight) — pure, no data, no budget.
+        let (plan, cache_hit) = self.plan(workload);
+
+        // One u64 off the dataset's stream seeds a per-request RNG: the
+        // dataset lock is held for nanoseconds, and the answer sequence is
+        // deterministic per (engine seed, dataset, request order) no matter
+        // how threads interleave across datasets.
+        let mut rng = {
+            let mut ds_rng = lock_recover(&handle.rng);
+            StdRng::seed_from_u64(ds_rng.gen::<u64>())
+        };
+
+        // Reserve the budget *before* measuring (all-or-nothing): concurrent
+        // requests on one dataset can both measure at once, and optimistic
+        // spend-after-measure could let both draw noise when only one fits
+        // the remaining ε. The ledger lock is held only for the reservation.
+        // The guard refunds on *any* non-success exit — typed error or
+        // panic — since either way no noise was drawn against the ε.
+        lock_recover(&handle.accountant).try_spend(eps)?;
+        let reservation = RefundOnFailure {
+            accountant: &handle.accountant,
+            eps,
+            armed: true,
+        };
+
+        // MEASURE + RECONSTRUCT + answer, lock-free: `x` is immutable and the
+        // reservation already guaranteed the budget. `remaining = eps` keeps
+        // the mechanism's own validation consistent with the reservation.
+        let result = try_run_mechanism_observed(
+            workload,
+            plan.strategy(),
+            &handle.x,
+            eps,
+            eps,
+            &mut rng,
+            &self.telemetry,
+        )
+        .map_err(|e| EngineError::from_mechanism(e, dataset))?;
+        // Noise was drawn: the ε is genuinely spent, keep the reservation.
+        reservation.commit();
+
+        let id = SessionId(self.next_session.fetch_add(1, Ordering::Relaxed));
+        let session = Arc::new(Session::new(
+            id,
+            dataset.to_string(),
+            handle.domain.clone(),
+            result.x_hat,
+            eps,
+        ));
+        self.sessions.insert(session);
+
+        Ok(QueryResponse {
+            answers: result.answers,
+            session: id,
+            eps_spent: eps,
+            cache_hit,
+            operator: plan.operator(),
+            expected_error: plan.expected_error(eps),
+        })
+    }
+}
+
+/// Refunds a budget reservation whose measurement never completed — a typed
+/// error return or a panic unwinding through `serve_inner`. Disarmed by
+/// [`RefundOnFailure::commit`] once noise has actually been drawn.
+struct RefundOnFailure<'a> {
+    accountant: &'a Mutex<EpsAccountant>,
+    eps: f64,
+    armed: bool,
+}
+
+impl RefundOnFailure<'_> {
+    fn commit(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for RefundOnFailure<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            lock_recover(self.accountant).refund(self.eps);
+        }
+    }
+}
+
+/// Counts every request exactly once, panics included: a request that
+/// unwinds (answered as a typed error by the server's catch-guard) must show
+/// up in `requests`/`failures`, or fleets suffering panic-inducing workloads
+/// would report `failures=0`.
+struct RecordRequestOnDrop<'a> {
+    telemetry: &'a Telemetry,
+    outcome: Option<bool>,
+}
+
+impl Drop for RecordRequestOnDrop<'_> {
+    fn drop(&mut self) {
+        self.telemetry.record_request(self.outcome.unwrap_or(false));
     }
 }
 
@@ -279,52 +477,13 @@ impl QueryEngine for Engine {
         workload: &Workload,
         eps: f64,
     ) -> Result<QueryResponse, EngineError> {
-        // Cheap validation first (microseconds, short registry lock) so a
-        // typo'd dataset or mismatched domain never pays for SELECT or
-        // occupies a cache slot.
-        let handle = self.resolve_dataset(dataset, workload)?;
-
-        // SELECT (cache-aware) — pure, no data, no budget.
-        let (plan, cache_hit) = self.plan(workload);
-
-        // One u64 off the engine stream seeds a per-request RNG, keeping the
-        // answer sequence deterministic per engine seed without holding the
-        // engine-wide RNG lock through the measurement.
-        let mut rng = {
-            let mut engine_rng = self.rng.lock().expect("engine rng lock poisoned");
-            StdRng::seed_from_u64(engine_rng.gen::<u64>())
+        let mut record = RecordRequestOnDrop {
+            telemetry: &self.telemetry,
+            outcome: None,
         };
-
-        // MEASURE + RECONSTRUCT under the remaining budget; the mechanism
-        // layer re-validates eps and the budget bound with typed errors.
-        // Only this dataset's lock is held, so other datasets keep serving.
-        let mut ds = handle.lock().expect("dataset lock poisoned");
-        let remaining = ds.accountant.remaining();
-        let result = try_run_mechanism(workload, plan.strategy(), &ds.x, eps, remaining, &mut rng)
-            .map_err(|e| EngineError::from_mechanism(e, dataset))?;
-        ds.accountant
-            .try_spend(eps)
-            .expect("spend was validated by the measurement");
-
-        let id = SessionId(self.next_session.fetch_add(1, Ordering::Relaxed));
-        let session = Arc::new(Session::new(
-            id,
-            dataset.to_string(),
-            ds.domain.clone(),
-            result.x_hat,
-            eps,
-        ));
-        drop(ds);
-        self.lock_sessions().insert(session);
-
-        Ok(QueryResponse {
-            answers: result.answers,
-            session: id,
-            eps_spent: eps,
-            cache_hit,
-            operator: plan.operator(),
-            expected_error: plan.expected_error(eps),
-        })
+        let result = self.serve_inner(dataset, workload, eps);
+        record.outcome = Some(result.is_ok());
+        result
     }
 
     fn serve_from_session(
@@ -466,6 +625,8 @@ mod tests {
             (0, 0),
             "rejected requests must not reach SELECT: {stats:?}"
         );
+        let t = engine.metrics().telemetry;
+        assert_eq!((t.requests, t.failures), (2, 2));
     }
 
     #[test]
@@ -480,5 +641,117 @@ mod tests {
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10), "different seeds should perturb the noise");
+    }
+
+    #[test]
+    fn dataset_streams_are_independent_of_cross_dataset_order() {
+        // Serving d1 then d2 and d2 then d1 must produce identical answers
+        // per dataset: each dataset draws from its own seeded stream.
+        let w = builders::prefix_1d(8);
+        let serve_both = |first: &str, second: &str| {
+            let engine = quick_engine(5);
+            for name in ["d1", "d2"] {
+                engine
+                    .register_dataset(name, Domain::one_dim(8), vec![2.0; 8], 10.0)
+                    .unwrap();
+            }
+            let a = engine.serve(first, &w, 1.0).unwrap().answers;
+            let b = engine.serve(second, &w, 1.0).unwrap().answers;
+            (a, b)
+        };
+        let (d1_first, d2_second) = serve_both("d1", "d2");
+        let (d2_first, d1_second) = serve_both("d2", "d1");
+        assert_eq!(d1_first, d1_second, "d1's stream ignores d2's traffic");
+        assert_eq!(d2_second, d2_first, "d2's stream ignores d1's traffic");
+        assert_ne!(d1_first, d2_first, "streams are distinct per dataset");
+    }
+
+    #[test]
+    fn metrics_expose_phase_latencies_and_select_counts() {
+        let engine = quick_engine(0);
+        engine
+            .register_dataset("d", Domain::one_dim(16), vec![1.0; 16], 10.0)
+            .unwrap();
+        let w = builders::prefix_1d(16);
+        engine.serve("d", &w, 1.0).unwrap();
+        engine.serve("d", &w, 1.0).unwrap();
+        let m = engine.metrics();
+        assert_eq!(m.cache.hits, 1);
+        assert_eq!(m.telemetry.selects_run, 1, "second serve hit the cache");
+        assert_eq!(m.telemetry.select.count, 1);
+        assert_eq!(m.telemetry.measure.count, 2);
+        assert_eq!(m.telemetry.reconstruct.count, 2);
+        assert_eq!(m.telemetry.answer.count, 2);
+        assert_eq!(m.telemetry.requests, 2);
+        assert_eq!(m.telemetry.inflight_selects, 0);
+    }
+
+    #[test]
+    fn budget_reservation_refunds_when_measurement_unwinds() {
+        let acc = Mutex::new(EpsAccountant::new("d", 1.0));
+        lock_recover(&acc).try_spend(0.6).unwrap();
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _reservation = RefundOnFailure {
+                accountant: &acc,
+                eps: 0.6,
+                armed: true,
+            };
+            panic!("measurement died mid-flight");
+        }));
+        assert!(unwound.is_err());
+        assert!(
+            lock_recover(&acc).spent().abs() < 1e-12,
+            "a panicked request must not leak its ε reservation"
+        );
+        // The success path keeps the spend.
+        lock_recover(&acc).try_spend(0.4).unwrap();
+        RefundOnFailure {
+            accountant: &acc,
+            eps: 0.4,
+            armed: true,
+        }
+        .commit();
+        assert!((lock_recover(&acc).spent() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn panicking_requests_are_counted_as_failures() {
+        let telemetry = Telemetry::default();
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _record = RecordRequestOnDrop {
+                telemetry: &telemetry,
+                outcome: None,
+            };
+            panic!("request died before returning");
+        }));
+        assert!(unwound.is_err());
+        let t = telemetry.snapshot();
+        assert_eq!((t.requests, t.failures), (1, 1));
+    }
+
+    #[test]
+    fn concurrent_serves_on_one_dataset_never_overspend() {
+        // 8 threads race 0.25-ε requests against a total budget of 1.0: the
+        // reserve-before-measure ledger admits exactly 4.
+        let engine = quick_engine(0);
+        engine
+            .register_dataset("d", Domain::one_dim(8), vec![1.0; 8], 1.0)
+            .unwrap();
+        let w = builders::prefix_1d(8);
+        engine.plan(&w); // pre-warm so the race is over the ledger, not SELECT
+        let successes: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let engine = &engine;
+                    let w = &w;
+                    s.spawn(move || engine.serve("d", w, 0.25).is_ok() as usize)
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(successes, 4, "exactly total/eps requests fit the budget");
+        let (_, spent, remaining) = engine.budget("d").unwrap();
+        assert!((spent - 1.0).abs() < 1e-9, "spent {spent}");
+        assert!(remaining < 1e-9);
     }
 }

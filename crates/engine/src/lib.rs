@@ -19,6 +19,15 @@
 //!   decision rules prescribe (`OPT_0` for 1-D, `OPT_M` for marginals,
 //!   `OPT_+` for structured unions, `OPT_⊗` otherwise), instead of running
 //!   all of Algorithm 2 per request.
+//! * **Concurrent serving core** — engine state is sharded (`RwLock`
+//!   registry of immutable datasets, read-lock strategy-cache hits, sharded
+//!   sessions) so cache-hit traffic never contends; concurrent misses on one
+//!   fingerprint deduplicate through a [`SingleFlight`] map (one SELECT, a
+//!   shared `Arc<Plan>` for everyone); and [`EngineServer`] fronts the engine
+//!   with a bounded queue and a pool of std worker threads.
+//! * **Telemetry** — lock-free per-phase latency histograms
+//!   (select/measure/reconstruct/answer) and serving counters, exported in
+//!   one call via [`Engine::metrics`].
 //!
 //! ## Quickstart
 //!
@@ -65,12 +74,19 @@
 mod accountant;
 mod cache;
 mod engine;
+mod server;
 mod session;
+mod singleflight;
+mod sync;
+mod telemetry;
 
 pub use accountant::EpsAccountant;
 pub use cache::{CacheStats, StrategyCache};
 pub use engine::{Engine, EngineOptions};
+pub use server::{EngineServer, ServerOptions, Ticket};
 pub use session::Session;
+pub use singleflight::{FlightOutcome, SingleFlight};
+pub use telemetry::{EngineMetrics, PhaseHistogram, PhaseSnapshot, Telemetry, TelemetrySnapshot};
 
 pub use hdmm_core::{
     BudgetAccountant, EngineError, PrivateSession, QueryEngine, QueryResponse, SessionId,

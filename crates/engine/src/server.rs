@@ -1,0 +1,283 @@
+//! A thread-pool request front-end over the engine.
+//!
+//! [`EngineServer`] accepts requests on a bounded queue and serves them on a
+//! fixed pool of std threads — no async runtime, just `mpsc` channels, which
+//! is all a CPU-bound workload needs. The bounded queue provides
+//! backpressure (a full queue is a typed [`EngineError::QueueFull`], never an
+//! unbounded pile-up), and shutdown is graceful: accepted requests drain
+//! before the workers exit.
+//!
+//! The pool's value comes from the engine's concurrency architecture: a slow
+//! cache-miss SELECT occupies one worker while the remaining workers keep
+//! serving cache-hit traffic, and concurrent misses on one fingerprint
+//! deduplicate down to a single optimization.
+
+use crate::engine::Engine;
+use crate::sync::lock_recover;
+use hdmm_core::{EngineError, QueryEngine, QueryResponse, Workload};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Worker threads serving requests.
+    pub workers: usize,
+    /// Requests that may wait in the queue before [`EngineServer::submit`]
+    /// reports backpressure.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+            queue_capacity: 256,
+        }
+    }
+}
+
+struct Job {
+    dataset: String,
+    workload: Workload,
+    eps: f64,
+    responder: SyncSender<Result<QueryResponse, EngineError>>,
+}
+
+/// A handle to one submitted request; redeem it with [`Ticket::join`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<Result<QueryResponse, EngineError>>,
+}
+
+impl Ticket {
+    /// Blocks until the request completes and returns its response. If the
+    /// serving worker died mid-request (a panic that even the worker's
+    /// catch-guard could not answer), the loss is reported as a typed
+    /// [`EngineError::StatePoisoned`] instead of hanging forever.
+    pub fn join(self) -> Result<QueryResponse, EngineError> {
+        self.rx.recv().unwrap_or_else(|_| {
+            Err(EngineError::StatePoisoned {
+                what: "serving worker dropped the response channel".to_string(),
+            })
+        })
+    }
+}
+
+/// A bounded-queue, fixed-pool serving front-end. Dropping the server (or
+/// calling [`EngineServer::shutdown`]) stops intake, drains accepted
+/// requests, and joins the workers.
+pub struct EngineServer {
+    engine: Arc<Engine>,
+    /// `None` after shutdown; dropping the sender is what tells workers to
+    /// finish draining and exit.
+    tx: Mutex<Option<SyncSender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    queue_capacity: usize,
+}
+
+impl EngineServer {
+    /// Starts `options.workers` serving threads over `engine`.
+    pub fn start(engine: Arc<Engine>, options: ServerOptions) -> Self {
+        let workers = options.workers.max(1);
+        let queue_capacity = options.queue_capacity.max(1);
+        let (tx, rx) = mpsc::sync_channel::<Job>(queue_capacity);
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let engine = Arc::clone(&engine);
+                std::thread::Builder::new()
+                    .name(format!("hdmm-serve-{i}"))
+                    .spawn(move || worker_loop(&engine, &rx))
+                    .expect("spawning a serving thread")
+            })
+            .collect();
+        EngineServer {
+            engine,
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(handles),
+            queue_capacity,
+        }
+    }
+
+    /// The engine this server fronts (for registration, metrics, sessions).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Enqueues one request. Returns a [`Ticket`] immediately, or a typed
+    /// error if the queue is full ([`EngineError::QueueFull`] — backpressure,
+    /// retry later) or the server is shutting down.
+    pub fn submit(
+        &self,
+        dataset: &str,
+        workload: &Workload,
+        eps: f64,
+    ) -> Result<Ticket, EngineError> {
+        let (responder, rx) = mpsc::sync_channel(1);
+        let job = Job {
+            dataset: dataset.to_string(),
+            workload: workload.clone(),
+            eps,
+            responder,
+        };
+        let guard = lock_recover(&self.tx);
+        let Some(tx) = guard.as_ref() else {
+            return Err(EngineError::Shutdown);
+        };
+        match tx.try_send(job) {
+            Ok(()) => Ok(Ticket { rx }),
+            Err(TrySendError::Full(_)) => Err(EngineError::QueueFull {
+                capacity: self.queue_capacity,
+            }),
+            Err(TrySendError::Disconnected(_)) => Err(EngineError::Shutdown),
+        }
+    }
+
+    /// Submits a batch and joins every ticket: one result per request, in
+    /// request order. Requests refused at submission (queue full, shutdown)
+    /// report their typed error in place; accepted ones run concurrently
+    /// across the pool.
+    pub fn serve_batch<'a>(
+        &self,
+        requests: impl IntoIterator<Item = (&'a str, &'a Workload, f64)>,
+    ) -> Vec<Result<QueryResponse, EngineError>> {
+        let tickets: Vec<Result<Ticket, EngineError>> = requests
+            .into_iter()
+            .map(|(dataset, workload, eps)| self.submit(dataset, workload, eps))
+            .collect();
+        tickets
+            .into_iter()
+            .map(|t| t.and_then(Ticket::join))
+            .collect()
+    }
+
+    /// Graceful shutdown: stops intake, drains every accepted request, and
+    /// joins the worker threads. Also runs on drop.
+    pub fn shutdown(self) {
+        // Drop runs `finish` — this method exists so callers can make the
+        // blocking point explicit.
+    }
+
+    fn finish(&self) {
+        // Dropping the sender disconnects the channel; workers keep popping
+        // buffered jobs until it reports empty-and-disconnected.
+        drop(lock_recover(&self.tx).take());
+        let handles = std::mem::take(&mut *lock_recover(&self.workers));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for EngineServer {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+fn worker_loop(engine: &Engine, rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the receiver lock only to pop; serving runs unlocked so the
+        // other workers keep pulling jobs.
+        let job = match lock_recover(rx).recv() {
+            Ok(job) => job,
+            Err(_) => return, // disconnected and drained: graceful exit
+        };
+        // A panicking request (pathological workload, poisoned plan) must not
+        // shrink the pool: answer it as a typed error and keep serving. The
+        // engine is unwind-safe here because all its shared state recovers
+        // from poisoning (see `engine::lock_recover`).
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            engine.serve(&job.dataset, &job.workload, job.eps)
+        }))
+        .unwrap_or_else(|panic| {
+            let what = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "request panicked".to_string());
+            Err(EngineError::StatePoisoned { what })
+        });
+        // A caller that dropped its ticket is not an error.
+        let _ = job.responder.send(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineOptions;
+    use hdmm_core::{builders, Domain, HdmmOptions};
+
+    fn server(workers: usize, queue: usize) -> EngineServer {
+        let engine = Arc::new(Engine::new(EngineOptions {
+            hdmm: HdmmOptions {
+                restarts: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        }));
+        engine
+            .register_dataset("d", Domain::one_dim(16), vec![1.0; 16], 1e9)
+            .unwrap();
+        EngineServer::start(
+            engine,
+            ServerOptions {
+                workers,
+                queue_capacity: queue,
+            },
+        )
+    }
+
+    #[test]
+    fn submit_join_roundtrip() {
+        let srv = server(2, 8);
+        let w = builders::prefix_1d(16);
+        let resp = srv.submit("d", &w, 0.5).unwrap().join().unwrap();
+        assert_eq!(resp.answers.len(), w.query_count());
+        srv.shutdown();
+    }
+
+    #[test]
+    fn batch_preserves_request_order_and_types_errors() {
+        let srv = server(4, 16);
+        let w = builders::prefix_1d(16);
+        let wrong = builders::prefix_1d(8);
+        let results = srv.serve_batch([
+            ("d", &w, 0.1),
+            ("nope", &w, 0.1),
+            ("d", &wrong, 0.1),
+            ("d", &w, 0.1),
+        ]);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(EngineError::UnknownDataset { .. })
+        ));
+        assert!(matches!(
+            results[2],
+            Err(EngineError::DomainMismatch { .. })
+        ));
+        assert!(results[3].is_ok());
+        srv.shutdown();
+    }
+
+    #[test]
+    fn shutdown_refuses_further_submissions() {
+        let srv = server(1, 4);
+        let w = builders::prefix_1d(16);
+        let ticket = srv.submit("d", &w, 0.1).unwrap();
+        srv.finish(); // drains the accepted request, then joins workers
+        assert!(ticket.join().is_ok(), "accepted request was drained");
+        assert!(matches!(
+            srv.submit("d", &w, 0.1),
+            Err(EngineError::Shutdown)
+        ));
+    }
+}

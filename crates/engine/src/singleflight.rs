@@ -1,0 +1,246 @@
+//! Single-flight execution: concurrent calls for one key compute once.
+//!
+//! SELECT is an expensive pure function of the workload, so when K requests
+//! miss the strategy cache on the same fingerprint simultaneously, running K
+//! optimizations wastes K−1 of them — they all produce the same plan. A
+//! [`SingleFlight`] map elects the first arrival as *leader*; it computes
+//! while the other K−1 block on a condvar and receive a clone of the result.
+//!
+//! Panic safety: if the leader's computation panics, the flight is marked
+//! abandoned and every waiter wakes and re-elects a new leader, so one
+//! poisoned request never wedges the key (the panic itself propagates only on
+//! the leader's thread).
+
+use crate::sync::recover;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How a call obtained its value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightOutcome {
+    /// This call ran the computation.
+    Led,
+    /// This call waited for a concurrent leader and shares its result.
+    Joined,
+}
+
+enum FlightState<V> {
+    Pending,
+    Done(V),
+    /// The leader panicked; waiters must re-elect.
+    Abandoned,
+}
+
+struct Flight<V> {
+    state: Mutex<FlightState<V>>,
+    cv: Condvar,
+}
+
+/// Per-key in-flight deduplication map.
+pub struct SingleFlight<K, V> {
+    inflight: Mutex<HashMap<K, Arc<Flight<V>>>>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> SingleFlight<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        SingleFlight {
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of keys currently in flight.
+    pub fn len(&self) -> usize {
+        recover(self.inflight.lock()).len()
+    }
+
+    /// Whether no key is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Runs `compute` for `key`, deduplicating against concurrent calls: the
+    /// first caller computes, everyone else blocks and receives a clone.
+    pub fn run(&self, key: &K, compute: impl Fn() -> V) -> (V, FlightOutcome) {
+        loop {
+            let (flight, is_leader) = {
+                let mut map = recover(self.inflight.lock());
+                match map.get(key) {
+                    Some(f) => (Arc::clone(f), false),
+                    None => {
+                        let f = Arc::new(Flight {
+                            state: Mutex::new(FlightState::Pending),
+                            cv: Condvar::new(),
+                        });
+                        map.insert(key.clone(), Arc::clone(&f));
+                        (f, true)
+                    }
+                }
+            };
+
+            if is_leader {
+                let guard = AbandonOnPanic {
+                    sf: self,
+                    key,
+                    flight: &flight,
+                    armed: true,
+                };
+                let value = compute();
+                // Publish before deregistering so no caller can slip between
+                // flight removal and value availability.
+                *recover(flight.state.lock()) = FlightState::Done(value.clone());
+                guard.disarm_and_remove();
+                flight.cv.notify_all();
+                return (value, FlightOutcome::Led);
+            }
+
+            let mut state = recover(flight.state.lock());
+            loop {
+                match &*state {
+                    FlightState::Done(v) => return (v.clone(), FlightOutcome::Joined),
+                    FlightState::Abandoned => break, // re-elect a leader
+                    FlightState::Pending => state = recover(flight.cv.wait(state)),
+                }
+            }
+        }
+    }
+
+    fn remove(&self, key: &K) {
+        recover(self.inflight.lock()).remove(key);
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Default for SingleFlight<K, V> {
+    fn default() -> Self {
+        SingleFlight::new()
+    }
+}
+
+/// Marks the flight abandoned and wakes waiters if the leader's computation
+/// unwinds; on the success path the leader disarms it explicitly.
+struct AbandonOnPanic<'a, K: Eq + Hash + Clone, V: Clone> {
+    sf: &'a SingleFlight<K, V>,
+    key: &'a K,
+    flight: &'a Arc<Flight<V>>,
+    armed: bool,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> AbandonOnPanic<'_, K, V> {
+    fn disarm_and_remove(mut self) {
+        self.armed = false;
+        self.sf.remove(self.key);
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Drop for AbandonOnPanic<'_, K, V> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.sf.remove(self.key);
+            *recover(self.flight.state.lock()) = FlightState::Abandoned;
+            self.flight.cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn sequential_calls_each_lead() {
+        let sf: SingleFlight<u32, u32> = SingleFlight::new();
+        let (v1, o1) = sf.run(&1, || 10);
+        let (v2, o2) = sf.run(&1, || 20);
+        assert_eq!((v1, o1), (10, FlightOutcome::Led));
+        // No flight in progress: the second call recomputes (caching is the
+        // caller's job — this type only dedups *concurrent* work).
+        assert_eq!((v2, o2), (20, FlightOutcome::Led));
+        assert!(sf.is_empty());
+    }
+
+    #[test]
+    fn concurrent_calls_compute_once_and_share() {
+        const K: usize = 8;
+        let sf: SingleFlight<u32, u32> = SingleFlight::new();
+        let computed = AtomicUsize::new(0);
+        let barrier = Barrier::new(K);
+        let outcomes: Vec<(u32, FlightOutcome)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..K)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        sf.run(&7, || {
+                            computed.fetch_add(1, Ordering::SeqCst);
+                            // Hold the flight open long enough for all
+                            // concurrent callers to join it.
+                            std::thread::sleep(std::time::Duration::from_millis(50));
+                            42
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(computed.load(Ordering::SeqCst), 1, "exactly one compute");
+        assert!(outcomes.iter().all(|(v, _)| *v == 42));
+        assert_eq!(
+            outcomes
+                .iter()
+                .filter(|(_, o)| *o == FlightOutcome::Led)
+                .count(),
+            1
+        );
+        assert!(sf.is_empty());
+    }
+
+    #[test]
+    fn distinct_keys_do_not_serialize() {
+        let sf: SingleFlight<u32, u32> = SingleFlight::new();
+        std::thread::scope(|s| {
+            for k in 0..4u32 {
+                let sf = &sf;
+                s.spawn(move || {
+                    let (v, o) = sf.run(&k, || k * 2);
+                    assert_eq!((v, o), (k * 2, FlightOutcome::Led));
+                });
+            }
+        });
+        assert!(sf.is_empty());
+    }
+
+    #[test]
+    fn leader_panic_releases_waiters_to_re_elect() {
+        let sf: SingleFlight<u32, u32> = SingleFlight::new();
+        let attempts = AtomicUsize::new(0);
+        let barrier = Barrier::new(2);
+        let winner = std::thread::scope(|s| {
+            let panicker = s.spawn(|| {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    sf.run(&1, || {
+                        attempts.fetch_add(1, Ordering::SeqCst);
+                        barrier.wait(); // ensure the waiter has joined
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        panic!("leader dies");
+                    })
+                }));
+                assert!(result.is_err(), "leader must observe its own panic");
+            });
+            let waiter = s.spawn(|| {
+                barrier.wait();
+                sf.run(&1, || {
+                    attempts.fetch_add(1, Ordering::SeqCst);
+                    99
+                })
+            });
+            panicker.join().unwrap();
+            waiter.join().unwrap()
+        });
+        // The waiter re-elected itself and computed successfully.
+        assert_eq!(winner, (99, FlightOutcome::Led));
+        assert_eq!(attempts.load(Ordering::SeqCst), 2);
+        assert!(sf.is_empty(), "abandoned flight must be deregistered");
+    }
+}

@@ -1,0 +1,31 @@
+//! Poison-recovering lock helpers shared across the serving core.
+//!
+//! This crate recovers poisoned locks instead of propagating the panic:
+//! every critical section in the engine leaves its state consistent at each
+//! step (single map operations, validated single-assignment ledger updates,
+//! RNG state words that are always a valid state, atomic recency stamps), so
+//! the data behind a poisoned lock is still correct and one panicking
+//! request must not wedge every subsequent one. Any module adding a new
+//! critical section must preserve that invariant before using these helpers.
+
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Recovers any poisoned guard (also usable on `Condvar::wait` results).
+pub(crate) fn recover<G>(r: Result<G, PoisonError<G>>) -> G {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Locks a mutex, recovering from poisoning.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    recover(m.lock())
+}
+
+/// Read-locks an `RwLock`, recovering from poisoning.
+pub(crate) fn read_recover<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    recover(l.read())
+}
+
+/// Write-locks an `RwLock`, recovering from poisoning.
+pub(crate) fn write_recover<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    recover(l.write())
+}

@@ -1,0 +1,347 @@
+//! Per-phase latency histograms and serving counters.
+//!
+//! Everything here is lock-free (`AtomicU64` only): recording a latency on
+//! the serving path costs a handful of relaxed atomic adds, so telemetry can
+//! stay on in production. Histograms use power-of-two nanosecond buckets —
+//! coarse, but latencies spread over nine orders of magnitude (sub-µs answer
+//! on tiny domains, multi-second SELECT; Fig. 6 of the paper) and quantiles
+//! only need to be order-of-magnitude faithful to steer serving decisions.
+
+use hdmm_mechanism::{MechanismPhase, PhaseObserver};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two buckets; the last covers everything ≥ 2^39 ns
+/// (~9 minutes), far beyond any single request.
+const BUCKETS: usize = 40;
+
+/// A lock-free latency histogram with power-of-two nanosecond buckets.
+#[derive(Debug)]
+pub struct PhaseHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for PhaseHistogram {
+    fn default() -> Self {
+        PhaseHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl PhaseHistogram {
+    /// Records one observation.
+    pub fn record(&self, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        // floor(log2(ns)) for ns ≥ 1; duration 0 lands in bucket 0.
+        let idx = (63 - ns.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> PhaseSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        let count = self.count.load(Ordering::Relaxed);
+        // Inclusive upper bound (2^(i+1) − 1 ns) of the bucket where the
+        // cumulative count crosses q·count — an upper estimate of the
+        // quantile, exact to within one power of two.
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = (q * count as f64).ceil().max(1.0) as u64;
+            let mut seen = 0;
+            for (i, &n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    return (2u64 << i).saturating_sub(1);
+                }
+            }
+            self.max_ns.load(Ordering::Relaxed)
+        };
+        PhaseSnapshot {
+            count,
+            mean_ns: if count == 0 {
+                0.0
+            } else {
+                self.sum_ns.load(Ordering::Relaxed) as f64 / count as f64
+            },
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+            p50_ns: quantile(0.50),
+            p99_ns: quantile(0.99),
+        }
+    }
+}
+
+/// Point-in-time summary of one phase histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Mean latency in nanoseconds.
+    pub mean_ns: f64,
+    /// Maximum latency in nanoseconds.
+    pub max_ns: u64,
+    /// Median latency upper bound (power-of-two resolution).
+    pub p50_ns: u64,
+    /// 99th-percentile latency upper bound (power-of-two resolution).
+    pub p99_ns: u64,
+}
+
+impl std::fmt::Display for PhaseSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50≤{} p99≤{} max={}",
+            self.count,
+            fmt_ns(self.mean_ns as u64),
+            fmt_ns(self.p50_ns),
+            fmt_ns(self.p99_ns),
+            fmt_ns(self.max_ns),
+        )
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// The engine's telemetry registry: one histogram per request phase plus
+/// serving counters. Shared by reference across all worker threads.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    select: PhaseHistogram,
+    measure: PhaseHistogram,
+    reconstruct: PhaseHistogram,
+    answer: PhaseHistogram,
+    requests: AtomicU64,
+    failures: AtomicU64,
+    selects_run: AtomicU64,
+    dedup_waits: AtomicU64,
+    inflight_selects: AtomicU64,
+}
+
+impl Telemetry {
+    pub(crate) fn record_select(&self, elapsed: Duration) {
+        self.select.record(elapsed);
+        self.selects_run.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_request(&self, ok: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_dedup_wait(&self) {
+        self.dedup_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// RAII marker for one in-flight SELECT; decrements on drop so the gauge
+    /// is correct even when optimization panics.
+    pub(crate) fn select_started(&self) -> InflightSelect<'_> {
+        self.inflight_selects.fetch_add(1, Ordering::Relaxed);
+        InflightSelect { telemetry: self }
+    }
+
+    /// Number of SELECT optimizations currently running.
+    pub fn inflight_selects(&self) -> u64 {
+        self.inflight_selects.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of all histograms and counters.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            select: self.select.snapshot(),
+            measure: self.measure.snapshot(),
+            reconstruct: self.reconstruct.snapshot(),
+            answer: self.answer.snapshot(),
+            requests: self.requests.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            selects_run: self.selects_run.load(Ordering::Relaxed),
+            dedup_waits: self.dedup_waits.load(Ordering::Relaxed),
+            inflight_selects: self.inflight_selects.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// See [`Telemetry::select_started`].
+#[derive(Debug)]
+pub(crate) struct InflightSelect<'a> {
+    telemetry: &'a Telemetry,
+}
+
+impl Drop for InflightSelect<'_> {
+    fn drop(&mut self) {
+        self.telemetry
+            .inflight_selects
+            .fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl PhaseObserver for Telemetry {
+    fn phase_complete(&self, phase: MechanismPhase, elapsed: Duration) {
+        match phase {
+            MechanismPhase::Measure => self.measure.record(elapsed),
+            MechanismPhase::Reconstruct => self.reconstruct.record(elapsed),
+            MechanismPhase::Answer => self.answer.record(elapsed),
+        }
+    }
+}
+
+/// Point-in-time copy of the engine's telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TelemetrySnapshot {
+    /// SELECT (strategy optimization) latency — cache misses only.
+    pub select: PhaseSnapshot,
+    /// MEASURE (noisy strategy answering) latency.
+    pub measure: PhaseSnapshot,
+    /// RECONSTRUCT (least-squares estimation) latency.
+    pub reconstruct: PhaseSnapshot,
+    /// Workload answering latency.
+    pub answer: PhaseSnapshot,
+    /// Requests served (including failures).
+    pub requests: u64,
+    /// Requests that returned a typed error.
+    pub failures: u64,
+    /// SELECT optimizations actually executed (≤ cache misses, thanks to
+    /// single-flight dedup).
+    pub selects_run: u64,
+    /// Requests that joined another request's in-flight SELECT instead of
+    /// optimizing themselves.
+    pub dedup_waits: u64,
+    /// SELECTs running at snapshot time.
+    pub inflight_selects: u64,
+}
+
+impl std::fmt::Display for TelemetrySnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "requests={} failures={} selects_run={} dedup_waits={} inflight_selects={}",
+            self.requests, self.failures, self.selects_run, self.dedup_waits, self.inflight_selects
+        )?;
+        writeln!(f, "  select:      {}", self.select)?;
+        writeln!(f, "  measure:     {}", self.measure)?;
+        writeln!(f, "  reconstruct: {}", self.reconstruct)?;
+        write!(f, "  answer:      {}", self.answer)
+    }
+}
+
+/// Everything [`crate::Engine::metrics`] exposes in one call: strategy-cache
+/// counters plus the telemetry snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineMetrics {
+    /// Strategy-cache effectiveness counters.
+    pub cache: crate::cache::CacheStats,
+    /// Per-phase latency histograms and serving counters.
+    pub telemetry: TelemetrySnapshot,
+}
+
+impl std::fmt::Display for EngineMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "cache: hits={} misses={} evictions={} len={}/{}",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            self.cache.len,
+            self.cache.capacity
+        )?;
+        write!(f, "{}", self.telemetry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_tracks_count_mean_and_quantiles() {
+        let h = PhaseHistogram::default();
+        for ms in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 100] {
+            h.record(Duration::from_millis(ms));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10);
+        assert!((s.mean_ns - 10.9e6).abs() < 1e5, "{}", s.mean_ns);
+        // p50 falls in the 1ms bucket, p99 in the 100ms bucket.
+        assert!(
+            s.p50_ns >= 1_000_000 && s.p50_ns < 4_000_000,
+            "{}",
+            s.p50_ns
+        );
+        assert!(s.p99_ns >= 100_000_000, "{}", s.p99_ns);
+        assert_eq!(s.max_ns, 100_000_000);
+    }
+
+    #[test]
+    fn empty_histogram_snapshots_to_zeros() {
+        let s = PhaseHistogram::default().snapshot();
+        assert_eq!((s.count, s.max_ns, s.p50_ns, s.p99_ns), (0, 0, 0, 0));
+        assert_eq!(s.mean_ns, 0.0);
+    }
+
+    #[test]
+    fn zero_duration_is_recorded() {
+        let h = PhaseHistogram::default();
+        h.record(Duration::ZERO);
+        assert_eq!(h.snapshot().count, 1);
+    }
+
+    #[test]
+    fn inflight_gauge_is_exception_safe() {
+        let t = Telemetry::default();
+        {
+            let _guard = t.select_started();
+            assert_eq!(t.inflight_selects(), 1);
+        }
+        assert_eq!(t.inflight_selects(), 0);
+    }
+
+    #[test]
+    fn observer_routes_phases_to_their_histograms() {
+        let t = Telemetry::default();
+        t.phase_complete(MechanismPhase::Measure, Duration::from_micros(5));
+        t.phase_complete(MechanismPhase::Reconstruct, Duration::from_micros(7));
+        t.phase_complete(MechanismPhase::Answer, Duration::from_micros(9));
+        let s = t.snapshot();
+        assert_eq!(
+            (s.measure.count, s.reconstruct.count, s.answer.count),
+            (1, 1, 1)
+        );
+        assert_eq!(s.select.count, 0);
+    }
+
+    #[test]
+    fn snapshot_renders_human_readable() {
+        let t = Telemetry::default();
+        t.record_select(Duration::from_millis(3));
+        t.record_request(true);
+        let text = t.snapshot().to_string();
+        assert!(text.contains("selects_run=1"), "{text}");
+        assert!(text.contains("select:"), "{text}");
+    }
+}

@@ -20,6 +20,7 @@ pub mod error;
 pub mod laplace;
 pub mod marginals;
 mod mechanism;
+pub mod phases;
 mod strategy;
 
 pub use budget::{try_measure, try_run_mechanism, MechanismError};
@@ -27,4 +28,5 @@ pub use marginals::{MarginalsAlgebra, MarginalsStrategy};
 pub use mechanism::{
     answer_workload, measure, reconstruct, run_mechanism, Measurements, MechanismResult,
 };
+pub use phases::{try_run_mechanism_observed, MechanismPhase, NoopObserver, PhaseObserver};
 pub use strategy::{Strategy, UnionGroup};

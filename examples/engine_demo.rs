@@ -8,11 +8,14 @@
 //! 1. the first request optimizes a strategy (cache miss) and spends ε;
 //! 2. the second request for the same workload hits the strategy cache;
 //! 3. a follow-up workload on the session costs zero additional ε;
-//! 4. an over-budget request fails with a typed `BudgetExhausted` error.
+//! 4. an over-budget request fails with a typed `BudgetExhausted` error;
+//! 5. a batch served through the `EngineServer` thread pool, with the
+//!    engine's cache + per-phase telemetry printed via `Engine::metrics()`.
 
 use hdmm_core::{builders, Domain, EngineError, QueryEngine};
-use hdmm_engine::{Engine, EngineOptions};
+use hdmm_engine::{Engine, EngineOptions, EngineServer, ServerOptions};
 use hdmm_optimizer::HdmmOptions;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -22,14 +25,14 @@ fn main() {
     let workload = builders::upto_kway_marginals(&domain, 2);
     let x: Vec<f64> = (0..domain.size()).map(|i| ((i * 19) % 23) as f64).collect();
 
-    let engine = Engine::new(EngineOptions {
+    let engine = Arc::new(Engine::new(EngineOptions {
         hdmm: HdmmOptions {
             restarts: 2,
             ..Default::default()
         },
         seed: 7,
         ..Default::default()
-    });
+    }));
     engine
         .register_dataset("census", domain.clone(), x, /*total ε=*/ 1.0)
         .expect("registration is valid");
@@ -91,4 +94,39 @@ fn main() {
         ),
         other => panic!("expected BudgetExhausted, got {other:?}"),
     }
+
+    // 5. The thread-pool front-end: a second dataset takes a warm batch
+    //    through the bounded queue; every response carries its own result.
+    engine
+        .register_dataset(
+            "survey",
+            domain.clone(),
+            vec![5.0; domain.size()],
+            /*total ε=*/ 2.0,
+        )
+        .expect("registration is valid");
+    let server = EngineServer::start(
+        Arc::clone(&engine),
+        ServerOptions {
+            workers: 4,
+            queue_capacity: 32,
+        },
+    );
+    let t2 = Instant::now();
+    let batch: Vec<_> = std::iter::repeat_n(("survey", &workload, 0.05), 8).collect();
+    let results = server.serve_batch(batch);
+    let hits = results
+        .iter()
+        .filter(|r| r.as_ref().is_ok_and(|resp| resp.cache_hit))
+        .count();
+    println!(
+        "\n#5 server batch: 8 requests on 4 workers in {:>8.1?} — {hits}/8 strategy-cache hits",
+        t2.elapsed()
+    );
+    server.shutdown();
+
+    // The one-call observability surface: cache counters + per-phase latency
+    // histograms (select runs once per distinct workload; measure/
+    // reconstruct/answer once per served request).
+    println!("\nengine metrics:\n{}", engine.metrics());
 }

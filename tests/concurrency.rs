@@ -1,0 +1,261 @@
+//! Concurrency stress tests for the serving core: single-flight SELECT
+//! deduplication, cache-hit traffic flowing during in-flight misses,
+//! per-dataset deterministic answers regardless of thread interleaving, and
+//! the bounded-queue thread-pool front-end.
+
+use hdmm_core::{builders, Domain, EngineError, QueryEngine};
+use hdmm_engine::{Engine, EngineOptions, EngineServer, ServerOptions};
+use hdmm_optimizer::HdmmOptions;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+fn engine_with(seed: u64, restarts: usize) -> Engine {
+    Engine::new(EngineOptions {
+        hdmm: HdmmOptions {
+            restarts,
+            ..Default::default()
+        },
+        seed,
+        ..Default::default()
+    })
+}
+
+/// Acceptance: K concurrent misses on one fingerprint run exactly one SELECT;
+/// the other K−1 requests join the in-flight optimization and share its plan.
+#[test]
+fn k_concurrent_misses_optimize_once() {
+    const K: usize = 8;
+    // ~140ms of SELECT: the window in which all K threads (released by the
+    // barrier within microseconds of each other) must register their miss.
+    let engine = engine_with(0, 2);
+    let w = builders::all_range_1d(128);
+    let barrier = Barrier::new(K);
+    let plans: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..K)
+            .map(|_| {
+                let engine = &engine;
+                let w = &w;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    engine.plan(w)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let m = engine.metrics();
+    assert_eq!(m.telemetry.selects_run, 1, "exactly one SELECT executed");
+    assert_eq!(
+        m.telemetry.dedup_waits as usize,
+        K - 1,
+        "all other misses joined the flight: {:?}",
+        m.telemetry
+    );
+    assert_eq!(m.cache.misses as usize, K, "every thread missed the cache");
+    assert_eq!(m.cache.len, 1);
+    assert_eq!(m.telemetry.inflight_selects, 0, "flight deregistered");
+    // Everyone holds the same plan allocation, not a structural copy.
+    let (first, _) = &plans[0];
+    for (plan, hit) in &plans {
+        assert!(Arc::ptr_eq(first, plan));
+        assert!(!hit, "these were all misses");
+    }
+    // The same workload afterwards is a plain cache hit.
+    let (_, hit) = engine.plan(&w);
+    assert!(hit);
+}
+
+/// Acceptance: cache-hit requests complete while a cache-miss optimization is
+/// still in flight — a slow SELECT occupies no lock that the hit path needs.
+#[test]
+fn cache_hits_flow_while_a_miss_is_optimizing() {
+    let engine = Arc::new(engine_with(0, 1));
+    engine
+        .register_dataset("d", Domain::one_dim(16), vec![1.0; 16], 1e9)
+        .unwrap();
+    // Pre-warm the hot workload so its requests are pure cache hits.
+    let hot = builders::prefix_1d(16);
+    engine.serve("d", &hot, 1.0).unwrap();
+
+    // A cold fingerprint whose SELECT takes seconds (vs ~10µs per warm
+    // serve — a ~10^5 margin against scheduling jitter).
+    let cold = builders::all_range_1d(512);
+    let leader = {
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || engine.plan(&cold))
+    };
+    let spin_start = Instant::now();
+    while engine.telemetry().inflight_selects() == 0 {
+        assert!(
+            spin_start.elapsed() < Duration::from_secs(30),
+            "leader never started its SELECT"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // The miss is now mid-optimization: hit traffic must keep completing.
+    for _ in 0..20 {
+        let resp = engine.serve("d", &hot, 1.0).unwrap();
+        assert!(resp.cache_hit);
+    }
+    assert_eq!(
+        engine.telemetry().inflight_selects(),
+        1,
+        "the cold SELECT was still in flight while 20 hits completed"
+    );
+
+    let (_, cold_hit) = leader.join().unwrap();
+    assert!(!cold_hit);
+    let m = engine.metrics();
+    assert_eq!(m.telemetry.selects_run, 2, "hot + cold, nothing duplicated");
+    assert_eq!(m.telemetry.inflight_selects, 0);
+}
+
+/// N threads × M datasets hammering hit and miss paths: no deadlock, exactly
+/// one SELECT per distinct fingerprint, and per-dataset answers that depend
+/// only on the engine seed and that dataset's own request order — not on how
+/// the OS interleaves the other datasets' threads.
+#[test]
+fn stress_answers_are_deterministic_per_dataset_seed() {
+    const DATASETS: usize = 4;
+    const ROUNDS: usize = 3;
+
+    let run = || {
+        let engine = engine_with(7, 1);
+        // One shared fingerprint (cross-thread misses collide on it) plus one
+        // per-dataset follow-up workload over the same domain.
+        let shared = builders::prefix_1d(32);
+        let own = builders::all_range_1d(32);
+        for i in 0..DATASETS {
+            let x: Vec<f64> = (0..32).map(|c| ((c * (i + 3)) % 11) as f64).collect();
+            engine
+                .register_dataset(format!("d{i}"), Domain::one_dim(32), x, 1e9)
+                .unwrap();
+        }
+        let per_dataset: Vec<Vec<Vec<f64>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..DATASETS)
+                .map(|i| {
+                    let engine = &engine;
+                    let shared = &shared;
+                    let own = &own;
+                    s.spawn(move || {
+                        let name = format!("d{i}");
+                        let mut answers = Vec::new();
+                        for _ in 0..ROUNDS {
+                            answers.push(engine.serve(&name, shared, 0.5).unwrap().answers);
+                            answers.push(engine.serve(&name, own, 0.5).unwrap().answers);
+                        }
+                        answers
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        (per_dataset, engine.metrics())
+    };
+
+    let (answers_a, metrics_a) = run();
+    let (answers_b, _) = run();
+    assert_eq!(
+        answers_a, answers_b,
+        "same seed + same per-dataset order must give identical answers, \
+         whatever the cross-dataset interleaving"
+    );
+    // Two distinct fingerprints were served; single-flight + cache held
+    // SELECT to exactly one run each, under all contention patterns.
+    assert_eq!(metrics_a.telemetry.selects_run, 2);
+    assert_eq!(metrics_a.telemetry.requests as usize, DATASETS * ROUNDS * 2);
+    assert_eq!(metrics_a.telemetry.failures, 0);
+    assert_eq!(
+        metrics_a.cache.hits + metrics_a.cache.misses,
+        (DATASETS * ROUNDS * 2) as u64
+    );
+}
+
+/// The thread-pool front-end: a batch spread across datasets completes, a
+/// full queue is a typed `QueueFull`, and shutdown drains accepted requests.
+#[test]
+fn server_applies_backpressure_and_drains_on_shutdown() {
+    let engine = Arc::new(engine_with(0, 1));
+    engine
+        .register_dataset("d", Domain::one_dim(16), vec![1.0; 16], 1e9)
+        .unwrap();
+    engine
+        .register_dataset("big", Domain::one_dim(256), vec![1.0; 256], 1e9)
+        .unwrap();
+    let hot = builders::prefix_1d(16);
+    engine.serve("d", &hot, 1.0).unwrap(); // pre-warm
+
+    // One worker, queue of 2: block the worker with a ~0.4s cold SELECT,
+    // fill the queue, and the next submission must be refused as QueueFull.
+    let server = EngineServer::start(
+        Arc::clone(&engine),
+        ServerOptions {
+            workers: 1,
+            queue_capacity: 2,
+        },
+    );
+    let cold = builders::all_range_1d(256);
+    let slow = server.submit("big", &cold, 1.0).unwrap();
+    // Wait until the worker has popped the slow job off the queue.
+    let spin_start = Instant::now();
+    while engine.telemetry().inflight_selects() == 0 {
+        assert!(spin_start.elapsed() < Duration::from_secs(30));
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let queued_a = server.submit("d", &hot, 0.1).unwrap();
+    let queued_b = server.submit("d", &hot, 0.1).unwrap();
+    match server.submit("d", &hot, 0.1) {
+        Err(EngineError::QueueFull { capacity }) => assert_eq!(capacity, 2),
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+
+    // Graceful shutdown: everything accepted completes.
+    assert!(!slow.join().unwrap().answers.is_empty());
+    assert!(queued_a.join().unwrap().cache_hit);
+    assert!(queued_b.join().unwrap().cache_hit);
+    server.shutdown();
+}
+
+/// Batch submission across the pool: results come back in request order with
+/// typed per-request errors, and warm throughput scales without deadlock.
+#[test]
+fn server_batch_mixes_hits_misses_and_typed_failures() {
+    let engine = Arc::new(engine_with(0, 1));
+    for i in 0..2 {
+        engine
+            .register_dataset(format!("d{i}"), Domain::one_dim(32), vec![2.0; 32], 1e9)
+            .unwrap();
+    }
+    let server = EngineServer::start(Arc::clone(&engine), ServerOptions::default());
+    let w = builders::prefix_1d(32);
+    let wrong = builders::prefix_1d(8);
+
+    let mut requests = Vec::new();
+    for _ in 0..10 {
+        requests.push(("d0", &w, 0.1));
+        requests.push(("d1", &w, 0.1));
+    }
+    requests.push(("absent", &w, 0.1));
+    requests.push(("d0", &wrong, 0.1));
+    let results = server.serve_batch(requests);
+
+    assert_eq!(results.len(), 22);
+    for r in &results[..20] {
+        assert!(r.is_ok(), "{r:?}");
+    }
+    assert!(matches!(
+        results[20],
+        Err(EngineError::UnknownDataset { .. })
+    ));
+    assert!(matches!(
+        results[21],
+        Err(EngineError::DomainMismatch { .. })
+    ));
+
+    let m = engine.metrics();
+    assert_eq!(m.telemetry.selects_run, 1, "one fingerprint, one SELECT");
+    server.shutdown();
+}

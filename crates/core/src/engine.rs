@@ -72,6 +72,16 @@ pub enum EngineError {
         /// The duplicated name.
         name: String,
     },
+    /// The request would overspend the owning tenant's ε quota, even though
+    /// the dataset's own ledger still had room.
+    TenantBudgetExceeded {
+        /// The tenant whose quota rejected the spend.
+        tenant: String,
+        /// ε requested by this measurement.
+        requested: f64,
+        /// ε still available under the tenant quota.
+        remaining: f64,
+    },
     /// Shared engine state was poisoned by a panicking request and could not
     /// be recovered (also returned when a serving worker dies mid-request).
     StatePoisoned {
@@ -108,6 +118,14 @@ impl std::fmt::Display for EngineError {
             EngineError::DatasetExists { name } => {
                 write!(f, "dataset '{name}' is already registered")
             }
+            EngineError::TenantBudgetExceeded {
+                tenant,
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "tenant '{tenant}': requested eps={requested} exceeds remaining tenant quota {remaining}"
+            ),
             EngineError::StatePoisoned { what } => {
                 write!(f, "engine state poisoned: {what}")
             }
@@ -193,6 +211,8 @@ pub struct QueryResponse {
     pub operator: &'static str,
     /// Closed-form expected total squared error at the spent ε (Definition 7).
     pub expected_error: f64,
+    /// How many data shards the measurement fanned out over (1 = dense path).
+    pub shards: usize,
 }
 
 /// The end-to-end request lifecycle of a private query-answering service.

@@ -38,6 +38,7 @@
 //! assert_eq!(answers.len(), workload.query_count());
 //! ```
 
+pub mod data;
 pub mod engine;
 
 pub use hdmm_linalg as linalg;
@@ -45,6 +46,7 @@ pub use hdmm_mechanism as mechanism;
 pub use hdmm_optimizer as optimizer;
 pub use hdmm_workload as workload;
 
+pub use data::{DataBackend, DenseVector, ShardedDataVector};
 pub use engine::{
     BudgetAccountant, EngineError, PrivateSession, QueryEngine, QueryResponse, SessionId,
 };
@@ -131,6 +133,11 @@ impl Plan {
     /// The selected strategy.
     pub fn strategy(&self) -> &Strategy {
         &self.selected.strategy
+    }
+
+    /// Number of workload queries this plan was optimized for.
+    pub fn query_count(&self) -> usize {
+        self.query_count
     }
 
     /// Which operator won (`"kron"`, `"plus"`, `"marginals"`, `"identity"`).

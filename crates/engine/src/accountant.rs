@@ -1,4 +1,5 @@
-//! The ε-budget accountant: sequential-composition ledger for one dataset.
+//! The ε-budget accountants: a sequential-composition ledger per dataset,
+//! plus an optional per-tenant quota shared by all of a tenant's datasets.
 
 use hdmm_core::{BudgetAccountant, EngineError};
 
@@ -72,9 +73,124 @@ impl BudgetAccountant for EpsAccountant {
     }
 }
 
+/// A per-tenant ε quota under sequential composition: the sum of all ε spent
+/// on the tenant's datasets may not exceed `cap`. A cap of `f64::INFINITY`
+/// means "registered but unlimited" (the default until
+/// `Engine::set_tenant_quota` is called).
+///
+/// Shared by every dataset the tenant registers (behind `Arc<Mutex<_>>`), so
+/// a spend reserves against the dataset ledger *and* this quota — both
+/// all-or-nothing, with refunds on any non-success exit.
+#[derive(Debug, Clone)]
+pub struct TenantLedger {
+    tenant: String,
+    cap: f64,
+    spent: f64,
+}
+
+impl TenantLedger {
+    /// A fresh quota for `tenant`. `cap` must be positive (it may be
+    /// infinite, meaning no cap is enforced yet).
+    ///
+    /// # Panics
+    /// Panics if `cap` is NaN or non-positive.
+    pub fn new(tenant: impl Into<String>, cap: f64) -> Self {
+        assert!(cap > 0.0, "tenant quota must be positive");
+        TenantLedger {
+            tenant: tenant.into(),
+            cap,
+            spent: 0.0,
+        }
+    }
+
+    /// The tenant this quota guards.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// The quota cap (may be infinite).
+    pub fn cap(&self) -> f64 {
+        self.cap
+    }
+
+    /// ε spent across all of the tenant's datasets.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// ε still available under the quota (never negative).
+    pub fn remaining(&self) -> f64 {
+        (self.cap - self.spent).max(0.0)
+    }
+
+    /// Updates the cap. Lowering it below current spend is allowed: existing
+    /// measurements stand (their privacy loss is incurred), further spends
+    /// are rejected until the quota is raised.
+    pub(crate) fn set_cap(&mut self, cap: f64) {
+        self.cap = cap;
+    }
+
+    /// Reserves `eps` against the quota, all-or-nothing.
+    pub(crate) fn try_spend(&mut self, eps: f64) -> Result<(), EngineError> {
+        if !(eps.is_finite() && eps > 0.0) {
+            return Err(EngineError::InvalidEpsilon { eps });
+        }
+        let remaining = self.remaining();
+        if eps > remaining * (1.0 + 1e-12) {
+            return Err(EngineError::TenantBudgetExceeded {
+                tenant: self.tenant.clone(),
+                requested: eps,
+                remaining,
+            });
+        }
+        self.spent = (self.spent + eps).min(self.cap);
+        Ok(())
+    }
+
+    /// Releases a reservation whose measurement never completed.
+    pub(crate) fn refund(&mut self, eps: f64) {
+        self.spent = (self.spent - eps).max(0.0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tenant_quota_spans_spends_and_refunds() {
+        let mut t = TenantLedger::new("acme", 1.0);
+        t.try_spend(0.6).unwrap();
+        let err = t.try_spend(0.6).unwrap_err();
+        assert!(
+            matches!(err, EngineError::TenantBudgetExceeded { ref tenant, .. } if tenant == "acme")
+        );
+        t.refund(0.6);
+        assert!(t.spent().abs() < 1e-12);
+        t.try_spend(1.0).unwrap();
+        assert!(t.remaining() < 1e-12);
+    }
+
+    #[test]
+    fn infinite_cap_never_rejects() {
+        let mut t = TenantLedger::new("open", f64::INFINITY);
+        for _ in 0..100 {
+            t.try_spend(10.0).unwrap();
+        }
+        assert_eq!(t.remaining(), f64::INFINITY);
+    }
+
+    #[test]
+    fn lowering_the_cap_below_spend_blocks_further_spends() {
+        let mut t = TenantLedger::new("acme", 10.0);
+        t.try_spend(4.0).unwrap();
+        t.set_cap(2.0);
+        assert_eq!(t.remaining(), 0.0);
+        assert!(matches!(
+            t.try_spend(0.1),
+            Err(EngineError::TenantBudgetExceeded { .. })
+        ));
+    }
 
     #[test]
     fn spends_accumulate() {

@@ -22,17 +22,22 @@
 //! single-field ledger updates), so a panicking request cannot wedge the
 //! engine — see [`crate::sync`].
 
-use crate::accountant::EpsAccountant;
+use crate::accountant::{EpsAccountant, TenantLedger};
 use crate::cache::StrategyCache;
+use crate::persist::PlanStore;
 use crate::session::Session;
 use crate::singleflight::{FlightOutcome, SingleFlight};
 use crate::sync::{lock_recover, read_recover, write_recover};
-use crate::telemetry::{EngineMetrics, Telemetry};
+use crate::telemetry::{DatasetMetrics, EngineMetrics, Telemetry};
 use hdmm_core::{
-    BudgetAccountant, Domain, EngineError, HdmmOptions, Plan, PrivateSession, QueryEngine,
-    QueryResponse, SessionId, Workload, WorkloadFingerprint, WorkloadGrams,
+    BudgetAccountant, DataBackend, DenseVector, Domain, EngineError, HdmmOptions, Plan,
+    PrivateSession, QueryEngine, QueryResponse, SessionId, ShardedDataVector, Workload,
+    WorkloadFingerprint, WorkloadGrams,
 };
-use hdmm_mechanism::try_run_mechanism_observed;
+use hdmm_mechanism::{
+    try_run_mechanism_observed, try_run_mechanism_sharded_observed, DataSlab, ScopedExecutor,
+    ShardedView,
+};
 use hdmm_optimizer::planner::{optimize_with_choice, select_optimizer, OptimizerChoice};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -59,6 +64,15 @@ pub struct EngineOptions {
     /// Run full Algorithm 2 on every plan instead of the structural planner
     /// (slower, occasionally lower error; mirrors the paper's offline mode).
     pub exhaustive_planning: bool,
+    /// Maximum threads a single request's shard fan-out may use
+    /// (0 = the machine's available parallelism). Shard counts above this
+    /// still work; tasks queue onto the available lanes.
+    pub shard_workers: usize,
+    /// Directory for the persistent strategy cache. `None` disables spill;
+    /// with a directory set, plans survive restarts: the store is probed
+    /// lazily on each in-memory cache miss and written back after each
+    /// fresh SELECT (best-effort — I/O failures never fail a request).
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for EngineOptions {
@@ -69,21 +83,65 @@ impl Default for EngineOptions {
             session_capacity: 1024,
             seed: 0,
             exhaustive_planning: false,
+            shard_workers: 0,
+            cache_dir: None,
         }
     }
 }
 
-/// One registered dataset. `domain` and `x` are immutable after registration
-/// and read lock-free; only the ledger and the RNG stream mutate, each behind
-/// its own short-lived mutex.
+/// Registration-time dataset parameters beyond the domain and data.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    /// Total ε budget granted to the dataset.
+    pub total_eps: f64,
+    /// Number of leading-axis slabs to partition the data vector into
+    /// (clamped to `[1, n₁]`; 1 = contiguous dense storage).
+    pub shards: usize,
+    /// Owning tenant; spends are additionally charged against the tenant's
+    /// quota when one is set via [`Engine::set_tenant_quota`].
+    pub tenant: Option<String>,
+}
+
+impl DatasetConfig {
+    /// Dense, tenant-less registration with the given budget.
+    pub fn new(total_eps: f64) -> Self {
+        DatasetConfig {
+            total_eps,
+            shards: 1,
+            tenant: None,
+        }
+    }
+
+    /// Partitions the data vector into `shards` leading-axis slabs.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Charges this dataset's spends against `tenant`'s quota as well.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+}
+
+/// One registered dataset. `domain` and `data` are immutable after
+/// registration and read lock-free; only the ledgers and the RNG stream
+/// mutate, each behind its own short-lived mutex.
 struct DatasetState {
     domain: Domain,
-    x: Vec<f64>,
+    data: Arc<dyn DataBackend>,
     accountant: Mutex<EpsAccountant>,
+    /// The owning tenant's shared quota, when the dataset has one.
+    tenant: Option<Arc<Mutex<TenantLedger>>>,
     /// Per-dataset seeded stream: one `u64` is drawn per request to seed a
     /// request-local RNG, so a dataset's answer sequence depends only on its
     /// own request order, never on what other datasets' threads are doing.
     rng: Mutex<StdRng>,
+    /// Requests that resolved to this dataset (including failures).
+    requests: AtomicU64,
+    /// Requests that failed (typed error or panic) after resolving.
+    failures: AtomicU64,
 }
 
 /// Number of session shards; ids are sequential, so round-robin spreads load.
@@ -155,10 +213,13 @@ impl SessionStore {
 pub struct Engine {
     options: EngineOptions,
     cache: StrategyCache,
+    plan_store: Option<PlanStore>,
     inflight: SingleFlight<WorkloadFingerprint, Arc<Plan>>,
     datasets: RwLock<HashMap<String, Arc<DatasetState>>>,
+    tenants: RwLock<HashMap<String, Arc<Mutex<TenantLedger>>>>,
     sessions: SessionStore,
     telemetry: Telemetry,
+    shard_exec: ScopedExecutor,
     next_session: AtomicU64,
 }
 
@@ -167,11 +228,14 @@ impl Engine {
     pub fn new(options: EngineOptions) -> Self {
         Engine {
             cache: StrategyCache::new(options.cache_capacity),
+            plan_store: options.cache_dir.clone().map(PlanStore::new),
             inflight: SingleFlight::new(),
             sessions: SessionStore::new(options.session_capacity),
             telemetry: Telemetry::default(),
+            shard_exec: ScopedExecutor::new(options.shard_workers),
             options,
             datasets: RwLock::new(HashMap::new()),
+            tenants: RwLock::new(HashMap::new()),
             next_session: AtomicU64::new(1),
         }
     }
@@ -196,8 +260,8 @@ impl Engine {
     }
 
     /// Registers a dataset: its domain, data vector (cell counts in row-major
-    /// order), and total ε budget. The engine holds the only reference the
-    /// serving path ever takes to raw data.
+    /// order), and total ε budget, stored densely. The engine holds the only
+    /// reference the serving path ever takes to raw data.
     pub fn register_dataset(
         &self,
         name: impl Into<String>,
@@ -205,32 +269,155 @@ impl Engine {
         x: Vec<f64>,
         total_eps: f64,
     ) -> Result<(), EngineError> {
-        let name = name.into();
-        if !(total_eps.is_finite() && total_eps > 0.0) {
-            return Err(EngineError::InvalidEpsilon { eps: total_eps });
-        }
+        self.register_dataset_with(name, domain, x, DatasetConfig::new(total_eps))
+    }
+
+    /// Registers a dataset partitioned into `shards` leading-axis slabs.
+    /// Sharding is purely a storage/parallelism decision: answers are
+    /// byte-identical to a dense registration with the same name and seed,
+    /// for every `shards ≥ 1` (including non-divisible leading axes).
+    pub fn register_dataset_sharded(
+        &self,
+        name: impl Into<String>,
+        domain: Domain,
+        x: Vec<f64>,
+        shards: usize,
+        total_eps: f64,
+    ) -> Result<(), EngineError> {
+        self.register_dataset_with(
+            name,
+            domain,
+            x,
+            DatasetConfig::new(total_eps).with_shards(shards),
+        )
+    }
+
+    /// Full-control registration: shard count and tenant ownership.
+    pub fn register_dataset_with(
+        &self,
+        name: impl Into<String>,
+        domain: Domain,
+        x: Vec<f64>,
+        config: DatasetConfig,
+    ) -> Result<(), EngineError> {
         if x.len() != domain.size() {
             return Err(EngineError::DataVectorMismatch {
                 expected: domain.size(),
                 got: x.len(),
             });
         }
+        let backend: Arc<dyn DataBackend> = if config.shards <= 1 {
+            Arc::new(DenseVector::new(&domain, x))
+        } else {
+            Arc::new(ShardedDataVector::partition(&domain, x, config.shards))
+        };
+        self.register_dataset_backend(name, domain, backend, config)
+    }
+
+    /// Registers a dataset over a caller-provided backend (custom slab
+    /// layouts, memory-mapped storage, …). `config.shards` is ignored — the
+    /// backend's own partition wins.
+    pub fn register_dataset_backend(
+        &self,
+        name: impl Into<String>,
+        domain: Domain,
+        data: Arc<dyn DataBackend>,
+        config: DatasetConfig,
+    ) -> Result<(), EngineError> {
+        let name = name.into();
+        if !(config.total_eps.is_finite() && config.total_eps > 0.0) {
+            return Err(EngineError::InvalidEpsilon {
+                eps: config.total_eps,
+            });
+        }
+        if data.len() != domain.size() || data.leading_len() != domain.attr_size(0) {
+            return Err(EngineError::DataVectorMismatch {
+                expected: domain.size(),
+                got: data.len(),
+            });
+        }
+        // Validate the backend's slab partition once here (the same tiling
+        // invariants `ShardedView::new` asserts), so a malformed custom
+        // backend is a typed registration error rather than a panic on every
+        // later serve.
+        {
+            let stride = data.len() / data.leading_len().max(1);
+            let mut next = 0usize;
+            for s in 0..data.shard_count() {
+                let rows = data.shard_rows(s);
+                if rows.start != next
+                    || rows.end < rows.start
+                    || data.shard_values(s).len() != (rows.end - rows.start) * stride
+                {
+                    return Err(EngineError::DataVectorMismatch {
+                        expected: domain.size(),
+                        got: data.len(),
+                    });
+                }
+                next = rows.end;
+            }
+            if next != data.leading_len() || data.shard_count() == 0 {
+                return Err(EngineError::DataVectorMismatch {
+                    expected: domain.size(),
+                    got: data.len(),
+                });
+            }
+        }
+        let tenant = config
+            .tenant
+            .as_ref()
+            .map(|t| self.tenant_ledger_or_default(t));
         let seed = self.dataset_seed(&name);
         let mut datasets = write_recover(&self.datasets);
         if datasets.contains_key(&name) {
             return Err(EngineError::DatasetExists { name });
         }
-        let accountant = Mutex::new(EpsAccountant::new(name.clone(), total_eps));
+        let accountant = Mutex::new(EpsAccountant::new(name.clone(), config.total_eps));
         datasets.insert(
             name,
             Arc::new(DatasetState {
                 domain,
-                x,
+                data,
                 accountant,
+                tenant,
                 rng: Mutex::new(StdRng::seed_from_u64(seed)),
+                requests: AtomicU64::new(0),
+                failures: AtomicU64::new(0),
             }),
         );
         Ok(())
+    }
+
+    /// The tenant's shared ledger, created unlimited if absent.
+    fn tenant_ledger_or_default(&self, tenant: &str) -> Arc<Mutex<TenantLedger>> {
+        if let Some(l) = read_recover(&self.tenants).get(tenant) {
+            return Arc::clone(l);
+        }
+        let mut tenants = write_recover(&self.tenants);
+        Arc::clone(
+            tenants
+                .entry(tenant.to_string())
+                .or_insert_with(|| Arc::new(Mutex::new(TenantLedger::new(tenant, f64::INFINITY)))),
+        )
+    }
+
+    /// Sets (or updates) a tenant's ε quota: the sum of spends across all of
+    /// the tenant's datasets may not exceed `eps_cap`. Lowering the cap
+    /// below spend blocks further measurement until it is raised.
+    pub fn set_tenant_quota(&self, tenant: &str, eps_cap: f64) -> Result<(), EngineError> {
+        if eps_cap.is_nan() || eps_cap <= 0.0 {
+            return Err(EngineError::InvalidEpsilon { eps: eps_cap });
+        }
+        let ledger = self.tenant_ledger_or_default(tenant);
+        lock_recover(&ledger).set_cap(eps_cap);
+        Ok(())
+    }
+
+    /// (cap, spent, remaining) ε for a tenant's quota.
+    pub fn tenant_budget(&self, tenant: &str) -> Option<(f64, f64, f64)> {
+        let ledger = Arc::clone(read_recover(&self.tenants).get(tenant)?);
+        let l = lock_recover(&ledger);
+        Some((l.cap(), l.spent(), l.remaining()))
     }
 
     /// Resolves a dataset handle, validating the workload domain against it
@@ -270,21 +457,43 @@ impl Engine {
         }
         // SELECT can take seconds while cached requests keep flowing: the
         // optimization runs outside every lock, under single-flight dedup.
+        let freshly_optimized = std::cell::Cell::new(false);
         let (plan, outcome) = self.inflight.run(&fingerprint, || {
             // A completed flight may have populated the cache between our
             // miss and leader election; don't optimize twice.
             if let Some(plan) = self.cache.peek(&fingerprint) {
                 return plan;
             }
+            // Lazy reload from the persistent store: a plan optimized before
+            // a restart is exactly as good now (selection is a pure function
+            // of the workload), so a disk hit skips SELECT entirely.
+            if let Some(store) = &self.plan_store {
+                if let Some(plan) = store.load(&fingerprint, workload) {
+                    let plan = Arc::new(plan);
+                    self.telemetry.record_plan_disk_hit();
+                    self.cache.insert(fingerprint.clone(), Arc::clone(&plan));
+                    return plan;
+                }
+            }
             let _inflight = self.telemetry.select_started();
             let t = Instant::now();
             let plan = Arc::new(self.optimize(workload));
             self.telemetry.record_select(t.elapsed());
             self.cache.insert(fingerprint.clone(), Arc::clone(&plan));
+            freshly_optimized.set(true);
             plan
         });
         if outcome == FlightOutcome::Joined {
             self.telemetry.record_dedup_wait();
+        }
+        // Spill *after* the flight completes: the plan is already published
+        // to the memory cache and the single-flight waiters, so the disk
+        // write (best-effort, fsync included) never sits on the serving path
+        // of anyone but this leader's tail.
+        if freshly_optimized.get() {
+            if let Some(store) = &self.plan_store {
+                store.store(&fingerprint, &plan, workload.domain());
+            }
         }
         (plan, false)
     }
@@ -344,12 +553,24 @@ impl Engine {
         self.cache.stats()
     }
 
-    /// One-call observability: strategy-cache counters plus per-phase latency
-    /// histograms (select/measure/reconstruct/answer) and serving counters.
+    /// One-call observability: strategy-cache counters, per-phase latency
+    /// histograms (select/measure/reconstruct/answer, plus per-shard task
+    /// spans), serving counters, and per-dataset request/failure counters.
     pub fn metrics(&self) -> EngineMetrics {
+        let mut datasets: Vec<DatasetMetrics> = read_recover(&self.datasets)
+            .iter()
+            .map(|(name, s)| DatasetMetrics {
+                name: name.clone(),
+                requests: s.requests.load(Ordering::Relaxed),
+                failures: s.failures.load(Ordering::Relaxed),
+                shards: s.data.shard_count(),
+            })
+            .collect();
+        datasets.sort_by(|a, b| a.name.cmp(&b.name));
         EngineMetrics {
             cache: self.cache.stats(),
             telemetry: self.telemetry.snapshot(),
+            datasets,
         }
     }
 
@@ -370,6 +591,25 @@ impl Engine {
         // occupies a cache slot.
         let handle = self.resolve_dataset(dataset, workload)?;
 
+        // From here the request is attributable to the dataset: count it in
+        // the per-dataset counters, panics included (outcome `None` = failed).
+        let mut per_dataset = RecordDatasetOnDrop {
+            state: &handle,
+            outcome: None,
+        };
+
+        let result = self.serve_resolved(dataset, &handle, workload, eps);
+        per_dataset.outcome = Some(result.is_ok());
+        result
+    }
+
+    fn serve_resolved(
+        &self,
+        dataset: &str,
+        handle: &DatasetState,
+        workload: &Workload,
+        eps: f64,
+    ) -> Result<QueryResponse, EngineError> {
         // SELECT (cache-aware, single-flight) — pure, no data, no budget.
         let (plan, cache_hit) = self.plan(workload);
 
@@ -387,26 +627,56 @@ impl Engine {
         // spend-after-measure could let both draw noise when only one fits
         // the remaining ε. The ledger lock is held only for the reservation.
         // The guard refunds on *any* non-success exit — typed error or
-        // panic — since either way no noise was drawn against the ε.
+        // panic — since either way no noise was drawn against the ε. The
+        // tenant quota is reserved second; its failure refunds the dataset.
         lock_recover(&handle.accountant).try_spend(eps)?;
-        let reservation = RefundOnFailure {
+        let mut reservation = RefundOnFailure {
             accountant: &handle.accountant,
+            tenant: None,
             eps,
             armed: true,
         };
+        if let Some(ledger) = &handle.tenant {
+            lock_recover(ledger).try_spend(eps)?;
+            reservation.tenant = Some(ledger);
+        }
 
-        // MEASURE + RECONSTRUCT + answer, lock-free: `x` is immutable and the
-        // reservation already guaranteed the budget. `remaining = eps` keeps
-        // the mechanism's own validation consistent with the reservation.
-        let result = try_run_mechanism_observed(
-            workload,
-            plan.strategy(),
-            &handle.x,
-            eps,
-            eps,
-            &mut rng,
-            &self.telemetry,
-        )
+        // MEASURE + RECONSTRUCT + answer, lock-free: the data is immutable
+        // and the reservation already guaranteed the budget. `remaining =
+        // eps` keeps the mechanism's own validation consistent with the
+        // reservation. A single-slab backend takes the dense path; sharded
+        // backends fan out per slab — with byte-identical results, so the
+        // branch is a performance decision only.
+        let result = match handle.data.as_contiguous() {
+            Some(x) => try_run_mechanism_observed(
+                workload,
+                plan.strategy(),
+                x,
+                eps,
+                eps,
+                &mut rng,
+                &self.telemetry,
+            ),
+            None => {
+                let slabs: Vec<DataSlab<'_>> = (0..handle.data.shard_count())
+                    .map(|s| DataSlab {
+                        rows: handle.data.shard_rows(s),
+                        values: handle.data.shard_values(s),
+                    })
+                    .collect();
+                let view = ShardedView::new(handle.data.leading_len(), slabs);
+                try_run_mechanism_sharded_observed(
+                    workload,
+                    plan.strategy(),
+                    &view,
+                    eps,
+                    eps,
+                    &mut rng,
+                    &self.shard_exec,
+                    &self.telemetry,
+                )
+            }
+        }
         .map_err(|e| EngineError::from_mechanism(e, dataset))?;
         // Noise was drawn: the ε is genuinely spent, keep the reservation.
         reservation.commit();
@@ -428,15 +698,18 @@ impl Engine {
             cache_hit,
             operator: plan.operator(),
             expected_error: plan.expected_error(eps),
+            shards: handle.data.shard_count(),
         })
     }
 }
 
 /// Refunds a budget reservation whose measurement never completed — a typed
 /// error return or a panic unwinding through `serve_inner`. Disarmed by
-/// [`RefundOnFailure::commit`] once noise has actually been drawn.
+/// [`RefundOnFailure::commit`] once noise has actually been drawn. When a
+/// tenant quota was also reserved, both ledgers are refunded together.
 struct RefundOnFailure<'a> {
     accountant: &'a Mutex<EpsAccountant>,
+    tenant: Option<&'a Arc<Mutex<TenantLedger>>>,
     eps: f64,
     armed: bool,
 }
@@ -451,6 +724,25 @@ impl Drop for RefundOnFailure<'_> {
     fn drop(&mut self) {
         if self.armed {
             lock_recover(self.accountant).refund(self.eps);
+            if let Some(tenant) = self.tenant {
+                lock_recover(tenant).refund(self.eps);
+            }
+        }
+    }
+}
+
+/// Per-dataset twin of [`RecordRequestOnDrop`]: attributes the request (and
+/// its outcome, panics included) to the dataset it resolved to.
+struct RecordDatasetOnDrop<'a> {
+    state: &'a DatasetState,
+    outcome: Option<bool>,
+}
+
+impl Drop for RecordDatasetOnDrop<'_> {
+    fn drop(&mut self) {
+        self.state.requests.fetch_add(1, Ordering::Relaxed);
+        if !self.outcome.unwrap_or(false) {
+            self.state.failures.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -693,6 +985,7 @@ mod tests {
         let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let _reservation = RefundOnFailure {
                 accountant: &acc,
+                tenant: None,
                 eps: 0.6,
                 armed: true,
             };
@@ -707,6 +1000,7 @@ mod tests {
         lock_recover(&acc).try_spend(0.4).unwrap();
         RefundOnFailure {
             accountant: &acc,
+            tenant: None,
             eps: 0.4,
             armed: true,
         }
@@ -753,5 +1047,220 @@ mod tests {
         let (_, spent, remaining) = engine.budget("d").unwrap();
         assert!((spent - 1.0).abs() < 1e-9, "spent {spent}");
         assert!(remaining < 1e-9);
+    }
+
+    fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+
+    #[test]
+    fn sharded_registration_serves_byte_identical_answers() {
+        let domain = Domain::new(&[6, 4]);
+        let x: Vec<f64> = (0..24).map(|i| ((i * 11) % 17) as f64).collect();
+        let w = builders::prefix_2d(6, 4);
+        let serve = |shards: usize| {
+            let engine = quick_engine(3);
+            engine
+                .register_dataset_sharded("d", domain.clone(), x.clone(), shards, 10.0)
+                .unwrap();
+            let r1 = engine.serve("d", &w, 1.0).unwrap();
+            let r2 = engine.serve("d", &w, 1.0).unwrap();
+            assert_eq!(r1.shards, shards.clamp(1, 6));
+            (r1.answers, r2.answers)
+        };
+        let dense = serve(1);
+        for shards in [2usize, 3, 5, 6, 100] {
+            let sharded = serve(shards);
+            assert!(
+                bits_eq(&dense.0, &sharded.0) && bits_eq(&dense.1, &sharded.1),
+                "shards={shards}: answers must be byte-identical to dense"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_requests_record_shard_spans() {
+        let engine = quick_engine(0);
+        engine
+            .register_dataset_sharded("d", Domain::new(&[8, 4]), vec![1.0; 32], 4, 10.0)
+            .unwrap();
+        let w = builders::prefix_2d(8, 4);
+        engine.serve("d", &w, 1.0).unwrap();
+        let t = engine.metrics().telemetry;
+        assert!(
+            !t.shard_measure.is_empty(),
+            "sharded MEASURE must report shard spans"
+        );
+        assert!(
+            t.shard_measure.iter().any(|s| s.shard == 3),
+            "all four shards appear: {:?}",
+            t.shard_measure
+        );
+    }
+
+    #[test]
+    fn per_dataset_counters_split_sharded_and_dense() {
+        let engine = quick_engine(0);
+        engine
+            .register_dataset("dense", Domain::one_dim(8), vec![1.0; 8], 10.0)
+            .unwrap();
+        engine
+            .register_dataset_sharded("sharded", Domain::new(&[8]), vec![1.0; 8], 4, 0.5)
+            .unwrap();
+        let w = builders::prefix_1d(8);
+        engine.serve("dense", &w, 0.25).unwrap();
+        engine.serve("sharded", &w, 0.25).unwrap();
+        // Second spend overshoots the sharded dataset's ledger: a failure.
+        assert!(engine.serve("sharded", &w, 0.5).is_err());
+        let m = engine.metrics();
+        assert_eq!(m.datasets.len(), 2);
+        let dense = &m.datasets[0];
+        let sharded = &m.datasets[1];
+        assert_eq!(
+            (dense.name.as_str(), dense.requests, dense.failures),
+            ("dense", 1, 0)
+        );
+        assert_eq!(
+            (sharded.name.as_str(), sharded.requests, sharded.failures),
+            ("sharded", 2, 1)
+        );
+        assert_eq!((dense.shards, sharded.shards), (1, 4));
+    }
+
+    #[test]
+    fn tenant_quota_caps_across_datasets_and_refunds() {
+        let engine = quick_engine(0);
+        engine.set_tenant_quota("acme", 0.5).unwrap();
+        for name in ["a", "b"] {
+            engine
+                .register_dataset_with(
+                    name,
+                    Domain::one_dim(8),
+                    vec![1.0; 8],
+                    DatasetConfig::new(10.0).with_tenant("acme"),
+                )
+                .unwrap();
+        }
+        let w = builders::prefix_1d(8);
+        engine.serve("a", &w, 0.3).unwrap();
+        // Dataset "b" has plenty of its own budget, but the tenant quota
+        // rejects — and the dataset ledger reservation is refunded.
+        let err = engine.serve("b", &w, 0.3).unwrap_err();
+        assert!(
+            matches!(err, EngineError::TenantBudgetExceeded { ref tenant, .. } if tenant == "acme"),
+            "{err:?}"
+        );
+        let (_, spent_b, _) = engine.budget("b").unwrap();
+        assert!(spent_b.abs() < 1e-12, "refused spend must be refunded");
+        // A smaller request still fits the remaining tenant quota.
+        engine.serve("b", &w, 0.2).unwrap();
+        let (cap, spent, remaining) = engine.tenant_budget("acme").unwrap();
+        assert!((cap - 0.5).abs() < 1e-12);
+        assert!((spent - 0.5).abs() < 1e-12);
+        assert!(remaining < 1e-12);
+    }
+
+    #[test]
+    fn malformed_custom_backends_are_rejected_at_registration() {
+        /// A backend whose single slab claims the wrong row range.
+        struct Gappy;
+        impl hdmm_core::DataBackend for Gappy {
+            fn len(&self) -> usize {
+                8
+            }
+            fn leading_len(&self) -> usize {
+                8
+            }
+            fn shard_count(&self) -> usize {
+                1
+            }
+            fn shard_rows(&self, _s: usize) -> std::ops::Range<usize> {
+                1..8 // gap: rows must start at 0
+            }
+            fn shard_values(&self, _s: usize) -> &[f64] {
+                &[0.0; 7]
+            }
+            fn as_contiguous(&self) -> Option<&[f64]> {
+                None
+            }
+        }
+        let engine = quick_engine(0);
+        let err = engine
+            .register_dataset_backend(
+                "bad",
+                Domain::one_dim(8),
+                Arc::new(Gappy),
+                DatasetConfig::new(1.0),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, EngineError::DataVectorMismatch { .. }),
+            "malformed slab tiling must be a typed registration error: {err:?}"
+        );
+    }
+
+    #[test]
+    fn tenantless_datasets_ignore_quotas() {
+        let engine = quick_engine(0);
+        engine.set_tenant_quota("acme", 0.1).unwrap();
+        engine
+            .register_dataset("free", Domain::one_dim(8), vec![1.0; 8], 10.0)
+            .unwrap();
+        let w = builders::prefix_1d(8);
+        engine.serve("free", &w, 5.0).unwrap();
+        assert!(engine.tenant_budget("nobody").is_none());
+    }
+
+    #[test]
+    fn plan_store_survives_engine_restarts() {
+        let dir = std::env::temp_dir().join(format!(
+            "hdmm-engine-store-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = || EngineOptions {
+            hdmm: HdmmOptions {
+                restarts: 1,
+                ..Default::default()
+            },
+            cache_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        let w = builders::prefix_2d(8, 8);
+
+        let first = Engine::new(opts());
+        let (plan_a, hit) = first.plan(&w);
+        assert!(!hit);
+        assert_eq!(first.metrics().telemetry.selects_run, 1);
+
+        // A fresh engine (a "restart") finds the plan on disk: no SELECT.
+        let second = Engine::new(opts());
+        let (plan_b, hit) = second.plan(&w);
+        assert!(!hit, "memory cache is cold after a restart");
+        let t = second.metrics().telemetry;
+        assert_eq!(t.selects_run, 0, "disk hit must skip optimization");
+        assert_eq!(t.plan_disk_hits, 1);
+        assert_eq!(plan_b.operator(), plan_a.operator());
+        assert!(
+            (plan_b.expected_error(1.0) - plan_a.expected_error(1.0)).abs()
+                < 1e-12 * plan_a.expected_error(1.0),
+        );
+        // And the reloaded plan is a working strategy end to end.
+        second
+            .register_dataset("d", Domain::new(&[8, 8]), vec![2.0; 64], 10.0)
+            .unwrap();
+        let resp = second.serve("d", &w, 1.0).unwrap();
+        assert_eq!(resp.answers.len(), w.query_count());
+
+        // Corrupt every cached file: the third engine quietly re-optimizes.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            std::fs::write(entry.unwrap().path(), b"garbage").unwrap();
+        }
+        let third = Engine::new(opts());
+        let _ = third.plan(&w);
+        let t = third.metrics().telemetry;
+        assert_eq!((t.plan_disk_hits, t.selects_run), (0, 1));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -74,20 +74,26 @@
 mod accountant;
 mod cache;
 mod engine;
+mod persist;
 mod server;
 mod session;
 mod singleflight;
 mod sync;
 mod telemetry;
 
-pub use accountant::EpsAccountant;
+pub use accountant::{EpsAccountant, TenantLedger};
 pub use cache::{CacheStats, StrategyCache};
-pub use engine::{Engine, EngineOptions};
+pub use engine::{DatasetConfig, Engine, EngineOptions};
+pub use persist::PlanStore;
 pub use server::{EngineServer, ServerOptions, Ticket};
 pub use session::Session;
 pub use singleflight::{FlightOutcome, SingleFlight};
-pub use telemetry::{EngineMetrics, PhaseHistogram, PhaseSnapshot, Telemetry, TelemetrySnapshot};
+pub use telemetry::{
+    DatasetMetrics, EngineMetrics, PhaseHistogram, PhaseSnapshot, ShardSpanSnapshot, Telemetry,
+    TelemetrySnapshot,
+};
 
 pub use hdmm_core::{
-    BudgetAccountant, EngineError, PrivateSession, QueryEngine, QueryResponse, SessionId,
+    BudgetAccountant, DataBackend, DenseVector, EngineError, PrivateSession, QueryEngine,
+    QueryResponse, SessionId, ShardedDataVector,
 };

@@ -126,6 +126,70 @@ fn fmt_ns(ns: u64) -> String {
     }
 }
 
+/// Number of shard slots tracked individually; tasks for shards at or past
+/// the last slot accumulate there.
+const SHARD_SLOTS: usize = 16;
+
+/// Lock-free per-shard span accumulator (count + total nanoseconds).
+#[derive(Debug, Default)]
+struct ShardCell {
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+/// Per-shard task spans for one phase.
+#[derive(Debug)]
+struct ShardSpans {
+    cells: [ShardCell; SHARD_SLOTS],
+}
+
+impl Default for ShardSpans {
+    fn default() -> Self {
+        ShardSpans {
+            cells: std::array::from_fn(|_| ShardCell::default()),
+        }
+    }
+}
+
+impl ShardSpans {
+    fn record(&self, shard: usize, elapsed: Duration) {
+        let cell = &self.cells[shard.min(SHARD_SLOTS - 1)];
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        cell.count.fetch_add(1, Ordering::Relaxed);
+        cell.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> Vec<ShardSpanSnapshot> {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter_map(|(shard, c)| {
+                let count = c.count.load(Ordering::Relaxed);
+                if count == 0 {
+                    return None;
+                }
+                let sum = c.sum_ns.load(Ordering::Relaxed);
+                Some(ShardSpanSnapshot {
+                    shard,
+                    tasks: count,
+                    mean_ns: sum as f64 / count as f64,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Point-in-time summary of one shard's task spans within a phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardSpanSnapshot {
+    /// Shard index (the last tracked slot aggregates all higher indices).
+    pub shard: usize,
+    /// Shard tasks completed.
+    pub tasks: u64,
+    /// Mean task latency in nanoseconds.
+    pub mean_ns: f64,
+}
+
 /// The engine's telemetry registry: one histogram per request phase plus
 /// serving counters. Shared by reference across all worker threads.
 #[derive(Debug, Default)]
@@ -134,10 +198,14 @@ pub struct Telemetry {
     measure: PhaseHistogram,
     reconstruct: PhaseHistogram,
     answer: PhaseHistogram,
+    shard_measure: ShardSpans,
+    shard_reconstruct: ShardSpans,
+    shard_answer: ShardSpans,
     requests: AtomicU64,
     failures: AtomicU64,
     selects_run: AtomicU64,
     dedup_waits: AtomicU64,
+    plan_disk_hits: AtomicU64,
     inflight_selects: AtomicU64,
 }
 
@@ -156,6 +224,10 @@ impl Telemetry {
 
     pub(crate) fn record_dedup_wait(&self) {
         self.dedup_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_plan_disk_hit(&self) {
+        self.plan_disk_hits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// RAII marker for one in-flight SELECT; decrements on drop so the gauge
@@ -177,10 +249,14 @@ impl Telemetry {
             measure: self.measure.snapshot(),
             reconstruct: self.reconstruct.snapshot(),
             answer: self.answer.snapshot(),
+            shard_measure: self.shard_measure.snapshot(),
+            shard_reconstruct: self.shard_reconstruct.snapshot(),
+            shard_answer: self.shard_answer.snapshot(),
             requests: self.requests.load(Ordering::Relaxed),
             failures: self.failures.load(Ordering::Relaxed),
             selects_run: self.selects_run.load(Ordering::Relaxed),
             dedup_waits: self.dedup_waits.load(Ordering::Relaxed),
+            plan_disk_hits: self.plan_disk_hits.load(Ordering::Relaxed),
             inflight_selects: self.inflight_selects.load(Ordering::Relaxed),
         }
     }
@@ -208,10 +284,18 @@ impl PhaseObserver for Telemetry {
             MechanismPhase::Answer => self.answer.record(elapsed),
         }
     }
+
+    fn shard_phase_complete(&self, phase: MechanismPhase, shard: usize, elapsed: Duration) {
+        match phase {
+            MechanismPhase::Measure => self.shard_measure.record(shard, elapsed),
+            MechanismPhase::Reconstruct => self.shard_reconstruct.record(shard, elapsed),
+            MechanismPhase::Answer => self.shard_answer.record(shard, elapsed),
+        }
+    }
 }
 
 /// Point-in-time copy of the engine's telemetry.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TelemetrySnapshot {
     /// SELECT (strategy optimization) latency — cache misses only.
     pub select: PhaseSnapshot,
@@ -221,6 +305,12 @@ pub struct TelemetrySnapshot {
     pub reconstruct: PhaseSnapshot,
     /// Workload answering latency.
     pub answer: PhaseSnapshot,
+    /// Per-shard MEASURE task spans (empty until a sharded dataset serves).
+    pub shard_measure: Vec<ShardSpanSnapshot>,
+    /// Per-shard RECONSTRUCT task spans.
+    pub shard_reconstruct: Vec<ShardSpanSnapshot>,
+    /// Per-shard ANSWER task spans.
+    pub shard_answer: Vec<ShardSpanSnapshot>,
     /// Requests served (including failures).
     pub requests: u64,
     /// Requests that returned a typed error.
@@ -231,32 +321,80 @@ pub struct TelemetrySnapshot {
     /// Requests that joined another request's in-flight SELECT instead of
     /// optimizing themselves.
     pub dedup_waits: u64,
+    /// Plans loaded from the persistent strategy cache instead of optimized.
+    pub plan_disk_hits: u64,
     /// SELECTs running at snapshot time.
     pub inflight_selects: u64,
+}
+
+fn write_shard_spans(
+    f: &mut std::fmt::Formatter<'_>,
+    label: &str,
+    spans: &[ShardSpanSnapshot],
+) -> std::fmt::Result {
+    if spans.is_empty() {
+        return Ok(());
+    }
+    write!(f, "\n  {label}:")?;
+    for s in spans {
+        write!(
+            f,
+            " [{} n={} mean={}]",
+            s.shard,
+            s.tasks,
+            fmt_ns(s.mean_ns as u64)
+        )?;
+    }
+    Ok(())
 }
 
 impl std::fmt::Display for TelemetrySnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "requests={} failures={} selects_run={} dedup_waits={} inflight_selects={}",
-            self.requests, self.failures, self.selects_run, self.dedup_waits, self.inflight_selects
+            "requests={} failures={} selects_run={} dedup_waits={} plan_disk_hits={} \
+             inflight_selects={}",
+            self.requests,
+            self.failures,
+            self.selects_run,
+            self.dedup_waits,
+            self.plan_disk_hits,
+            self.inflight_selects
         )?;
         writeln!(f, "  select:      {}", self.select)?;
         writeln!(f, "  measure:     {}", self.measure)?;
         writeln!(f, "  reconstruct: {}", self.reconstruct)?;
-        write!(f, "  answer:      {}", self.answer)
+        write!(f, "  answer:      {}", self.answer)?;
+        write_shard_spans(f, "shard measure", &self.shard_measure)?;
+        write_shard_spans(f, "shard reconstruct", &self.shard_reconstruct)?;
+        write_shard_spans(f, "shard answer", &self.shard_answer)
     }
 }
 
+/// Per-dataset serving counters, exported with [`crate::Engine::metrics`] so
+/// sharded and dense datasets can be compared from one call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetMetrics {
+    /// Dataset name.
+    pub name: String,
+    /// Requests that reached this dataset (including failures).
+    pub requests: u64,
+    /// Requests that returned a typed error (or panicked) after resolving.
+    pub failures: u64,
+    /// How many slabs the dataset's backend is partitioned into.
+    pub shards: usize,
+}
+
 /// Everything [`crate::Engine::metrics`] exposes in one call: strategy-cache
-/// counters plus the telemetry snapshot.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// counters, the telemetry snapshot, and per-dataset counters.
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineMetrics {
     /// Strategy-cache effectiveness counters.
     pub cache: crate::cache::CacheStats,
     /// Per-phase latency histograms and serving counters.
     pub telemetry: TelemetrySnapshot,
+    /// Per-dataset request/failure counters, sorted by dataset name.
+    pub datasets: Vec<DatasetMetrics>,
 }
 
 impl std::fmt::Display for EngineMetrics {
@@ -270,7 +408,15 @@ impl std::fmt::Display for EngineMetrics {
             self.cache.len,
             self.cache.capacity
         )?;
-        write!(f, "{}", self.telemetry)
+        write!(f, "{}", self.telemetry)?;
+        for d in &self.datasets {
+            write!(
+                f,
+                "\n  dataset {}: requests={} failures={} shards={}",
+                d.name, d.requests, d.failures, d.shards
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -42,6 +42,7 @@ mod lsmr;
 mod lu;
 mod matrix;
 mod pinv;
+mod slab;
 mod structured;
 
 pub use cholesky::Cholesky;
@@ -53,6 +54,10 @@ pub use lsmr::{lsmr, LsmrOptions, LsmrResult};
 pub use lu::Lu;
 pub use matrix::Matrix;
 pub use pinv::{pinv, pinv_psd};
+pub use slab::{
+    apply_leading_rows, apply_leading_transpose_rows, kmatvec_trailing_slab,
+    kmatvec_transpose_trailing_slab, leading_split, matvec_rows, partition_rows, LeadingSplit,
+};
 pub use structured::{
     kmatvec_structured, kmatvec_transpose_structured, StructuredMatrix, SPARSE_DENSITY_THRESHOLD,
 };

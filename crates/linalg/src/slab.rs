@@ -1,0 +1,571 @@
+//! Slab-wise Kronecker kernels for sharded data domains.
+//!
+//! A row-major data vector over a domain `n₁ × n₂ × … × n_d` is separable
+//! along its leading axis: cells `[lo·R, hi·R)` (with `R = Π_{i>1} nᵢ`) form
+//! a contiguous *slab* covering leading-axis rows `[lo, hi)`. Because the
+//! mode contractions of Algorithm 1 are applied trailing-first, every mode
+//! except the leading one operates independently per leading index — so a
+//! Kronecker matvec decomposes into three steps that a sharded engine can
+//! fan out:
+//!
+//! 1. **trailing** ([`kmatvec_trailing_slab`]) — apply all factors except the
+//!    leading leaf to each slab independently (the bulk of the flops);
+//! 2. **merge** — concatenate the per-slab intermediates in slab order (a
+//!    pure memory move);
+//! 3. **leading** ([`apply_leading_rows`]) — contract the leading factor over
+//!    the merged tensor, restricted to a block of *output* rows per task.
+//!
+//! ## Bit-for-bit exactness
+//!
+//! The decomposition is not merely numerically close to the unsharded
+//! [`kmatvec_structured`](crate::kmatvec_structured) — it is **bitwise
+//! identical** for every shard count, which is what lets a serving engine
+//! guarantee that answers do not depend on how a dataset is partitioned:
+//!
+//! * trailing contractions process each leading index with exactly the
+//!   operation sequence the unsharded kernel uses (the leading index is the
+//!   outermost `left` loop there, and no variant carries state across it);
+//! * the leading contraction computes each output row with the same inner
+//!   loop as the unsharded kernel; variants whose kernel carries a running
+//!   accumulator across rows (`Prefix`, `AllRange`, `Total`) *recompute* the
+//!   prefix state from row 0 in the original order instead of splitting the
+//!   sum, trading a little redundant work for exact reproducibility.
+//!
+//! Summing per-shard partial products would be the textbook merge, but
+//! floating-point addition is not associative: `((a+b)+c)+d` and
+//! `(a+b)+(c+d)` differ in the last ulp. The trailing/merge/leading split is
+//! the decomposition that parallelizes *without* reassociating any sum.
+
+use crate::structured::{
+    apply_mode_structured, apply_mode_transpose_structured, flatten, StructuredMatrix,
+};
+use crate::Matrix;
+use std::ops::Range;
+
+/// A flattened factor list split into its leading leaf and trailing leaves.
+///
+/// The leading leaf is the factor whose input mode the slab partition runs
+/// along; everything after it applies independently per leading index.
+#[derive(Debug, Clone)]
+pub struct LeadingSplit<'a> {
+    /// The first flattened leaf factor.
+    pub leading: &'a StructuredMatrix,
+    /// The remaining leaf factors, in order.
+    pub trailing: Vec<&'a StructuredMatrix>,
+}
+
+/// Splits a factor list into leading leaf and trailing leaves, flattening
+/// nested `Kron` factors first.
+///
+/// # Panics
+/// Panics if `factors` is empty.
+pub fn leading_split<'a>(factors: &[&'a StructuredMatrix]) -> LeadingSplit<'a> {
+    let flat = flatten(factors);
+    assert!(
+        !flat.is_empty(),
+        "leading_split requires at least one factor"
+    );
+    LeadingSplit {
+        leading: flat[0],
+        trailing: flat[1..].to_vec(),
+    }
+}
+
+impl LeadingSplit<'_> {
+    /// Product of trailing input dimensions `R = Π cols` (1 when empty).
+    pub fn trailing_cols(&self) -> usize {
+        self.trailing.iter().map(|f| f.cols()).product()
+    }
+
+    /// Product of trailing output dimensions `Π rows` (1 when empty).
+    pub fn trailing_rows(&self) -> usize {
+        self.trailing.iter().map(|f| f.rows()).product()
+    }
+}
+
+/// Applies the trailing factors of a Kronecker product to one leading-axis
+/// slab. The slab must span whole leading rows: `x_slab.len()` must be a
+/// multiple of the trailing input size `R`. Returns the slab of the
+/// intermediate tensor, bitwise equal to the corresponding rows of the
+/// unsharded intermediate.
+///
+/// # Panics
+/// Panics if the slab length is not aligned to the trailing modes.
+pub fn kmatvec_trailing_slab(trailing: &[&StructuredMatrix], x_slab: &[f64]) -> Vec<f64> {
+    let mut cur = x_slab.to_vec();
+    let mut right = 1usize;
+    for a in trailing.iter().rev() {
+        let (m, n) = a.shape();
+        assert_eq!(
+            cur.len() % (n * right),
+            0,
+            "slab length not aligned to trailing modes"
+        );
+        let left = cur.len() / (n * right);
+        let mut next = vec![0.0; left * m * right];
+        apply_mode_structured(a, &cur, &mut next, left, m, n, right);
+        cur = next;
+        right *= m;
+    }
+    cur
+}
+
+/// Applies the *transposes* of the trailing factors to one leading-axis slab
+/// of a measurement vector (rows of the leading factor's output mode).
+///
+/// # Panics
+/// Panics if the slab length is not aligned to the trailing modes.
+pub fn kmatvec_transpose_trailing_slab(trailing: &[&StructuredMatrix], y_slab: &[f64]) -> Vec<f64> {
+    let mut cur = y_slab.to_vec();
+    let mut right = 1usize;
+    for a in trailing.iter().rev() {
+        let (m, n) = a.shape();
+        assert_eq!(
+            cur.len() % (m * right),
+            0,
+            "slab length not aligned to trailing modes"
+        );
+        let left = cur.len() / (m * right);
+        let mut next = vec![0.0; left * n * right];
+        apply_mode_transpose_structured(a, &cur, &mut next, left, m, n, right);
+        cur = next;
+        right *= n;
+    }
+    cur
+}
+
+/// Contracts the leading factor `a` (m×n) over the merged trailing tensor
+/// `t` (shape `n × right`), producing only output rows `rows` into `out`
+/// (shape `rows.len() × right`, zero-initialized by the caller).
+///
+/// Bitwise identical to the corresponding rows of the unsharded contraction:
+/// row-local variants restrict their outer loop; running-state variants
+/// (`Prefix`, `AllRange`, `Total`) replay the prefix state from row 0 in the
+/// original operation order.
+///
+/// # Panics
+/// Panics on shape mismatches or `rows` out of bounds.
+pub fn apply_leading_rows(
+    a: &StructuredMatrix,
+    t: &[f64],
+    right: usize,
+    rows: Range<usize>,
+    out: &mut [f64],
+) {
+    let (m, n) = a.shape();
+    assert_eq!(t.len(), n * right, "trailing tensor shape mismatch");
+    assert!(
+        rows.start <= rows.end && rows.end <= m,
+        "row range out of bounds"
+    );
+    assert_eq!(
+        out.len(),
+        (rows.end - rows.start) * right,
+        "output shape mismatch"
+    );
+    if rows.is_empty() {
+        return;
+    }
+    match a {
+        StructuredMatrix::Dense(d) => {
+            for r_out in rows.clone() {
+                let a_row = d.row(r_out);
+                let dst = &mut out[(r_out - rows.start) * right..(r_out - rows.start + 1) * right];
+                for (c, &av) in a_row.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let src = &t[c * right..(c + 1) * right];
+                    for (d, &s) in dst.iter_mut().zip(src) {
+                        *d += av * s;
+                    }
+                }
+            }
+        }
+        StructuredMatrix::Sparse(s) => {
+            for r_out in rows.clone() {
+                let dst = &mut out[(r_out - rows.start) * right..(r_out - rows.start + 1) * right];
+                for (c, v) in s.row_entries(r_out) {
+                    let src = &t[c * right..(c + 1) * right];
+                    for (d, sv) in dst.iter_mut().zip(src) {
+                        *d += v * sv;
+                    }
+                }
+            }
+        }
+        StructuredMatrix::Identity { scale, .. } => {
+            for (d, s) in out.iter_mut().zip(&t[rows.start * right..rows.end * right]) {
+                *d = s * scale;
+            }
+        }
+        StructuredMatrix::Total { scale, .. } => {
+            // m == 1, so `rows` can only be 0..1: the single output row is the
+            // full sequential sum over the mode, as in the unsharded kernel.
+            for c in 0..n {
+                let src = &t[c * right..(c + 1) * right];
+                for (d, s) in out.iter_mut().zip(src) {
+                    *d += s * scale;
+                }
+            }
+        }
+        StructuredMatrix::Prefix { scale, .. } => {
+            // Replay the running sum from row 0 so every emitted row carries
+            // exactly the accumulator the unsharded kernel would hold.
+            let mut acc = vec![0.0; right];
+            for c in 0..rows.end {
+                let src = &t[c * right..(c + 1) * right];
+                if c >= rows.start {
+                    let dst = &mut out[(c - rows.start) * right..(c - rows.start + 1) * right];
+                    for ((a, d), s) in acc.iter_mut().zip(dst).zip(src) {
+                        *a += s;
+                        *d = *a * scale;
+                    }
+                } else {
+                    for (a, s) in acc.iter_mut().zip(src) {
+                        *a += s;
+                    }
+                }
+            }
+        }
+        StructuredMatrix::AllRange { n: nn, scale } => {
+            // Identical strided prefix sums as the unsharded kernel, then only
+            // the requested interval rows are emitted.
+            let nn = *nn;
+            let mut sums = vec![0.0; (nn + 1) * right];
+            for c in 0..nn {
+                for r in 0..right {
+                    sums[(c + 1) * right + r] = sums[c * right + r] + t[c * right + r];
+                }
+            }
+            let mut row = 0usize;
+            'outer: for i in 0..nn {
+                for j in i..nn {
+                    if row >= rows.end {
+                        break 'outer;
+                    }
+                    if row >= rows.start {
+                        let dst =
+                            &mut out[(row - rows.start) * right..(row - rows.start + 1) * right];
+                        for (r, d) in dst.iter_mut().enumerate() {
+                            *d = scale * (sums[(j + 1) * right + r] - sums[i * right + r]);
+                        }
+                    }
+                    row += 1;
+                }
+            }
+        }
+        StructuredMatrix::Kron(_) => unreachable!("leading factor is a flattened leaf"),
+    }
+}
+
+/// Contracts the *transpose* of the leading factor `a` (m×n) over the merged
+/// trailing tensor `t` (shape `m × right`), producing only output rows `rows`
+/// (positions along `a`'s input mode, `rows ⊆ 0..n`) into `out`
+/// (shape `rows.len() × right`, zero-initialized by the caller).
+///
+/// Bitwise identical to the corresponding rows of the unsharded transposed
+/// contraction (each output position accumulates over `a`'s rows in the same
+/// order; running-state variants replay their state in the original order).
+///
+/// # Panics
+/// Panics on shape mismatches or `rows` out of bounds.
+pub fn apply_leading_transpose_rows(
+    a: &StructuredMatrix,
+    t: &[f64],
+    right: usize,
+    rows: Range<usize>,
+    out: &mut [f64],
+) {
+    let (m, n) = a.shape();
+    assert_eq!(t.len(), m * right, "trailing tensor shape mismatch");
+    assert!(
+        rows.start <= rows.end && rows.end <= n,
+        "row range out of bounds"
+    );
+    assert_eq!(
+        out.len(),
+        (rows.end - rows.start) * right,
+        "output shape mismatch"
+    );
+    if rows.is_empty() {
+        return;
+    }
+    match a {
+        StructuredMatrix::Dense(d) => {
+            for r_in in 0..m {
+                let a_row = d.row(r_in);
+                let src = &t[r_in * right..(r_in + 1) * right];
+                for c in rows.clone() {
+                    let av = a_row[c];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let dst = &mut out[(c - rows.start) * right..(c - rows.start + 1) * right];
+                    for (d, &s) in dst.iter_mut().zip(src) {
+                        *d += av * s;
+                    }
+                }
+            }
+        }
+        StructuredMatrix::Sparse(s) => {
+            for r_in in 0..m {
+                let src = &t[r_in * right..(r_in + 1) * right];
+                for (c, v) in s.row_entries(r_in) {
+                    if c < rows.start || c >= rows.end {
+                        continue;
+                    }
+                    let dst = &mut out[(c - rows.start) * right..(c - rows.start + 1) * right];
+                    for (d, sv) in dst.iter_mut().zip(src) {
+                        *d += v * sv;
+                    }
+                }
+            }
+        }
+        StructuredMatrix::Identity { scale, .. } => {
+            for (d, s) in out.iter_mut().zip(&t[rows.start * right..rows.end * right]) {
+                *d = s * scale;
+            }
+        }
+        StructuredMatrix::Total { scale, .. } => {
+            let src = &t[..right];
+            for c in rows.clone() {
+                let dst = &mut out[(c - rows.start) * right..(c - rows.start + 1) * right];
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d = s * scale;
+                }
+            }
+        }
+        StructuredMatrix::Prefix { scale, .. } => {
+            // (Pᵀ)·: reversed running sums, replayed from the top row.
+            let mut acc = vec![0.0; right];
+            for c in (rows.start..n).rev() {
+                let src = &t[c * right..(c + 1) * right];
+                if c < rows.end {
+                    let dst = &mut out[(c - rows.start) * right..(c - rows.start + 1) * right];
+                    for ((a, d), s) in acc.iter_mut().zip(dst).zip(src) {
+                        *a += s;
+                        *d = *a * scale;
+                    }
+                } else {
+                    for (a, s) in acc.iter_mut().zip(src) {
+                        *a += s;
+                    }
+                }
+            }
+        }
+        StructuredMatrix::AllRange { n: nn, scale } => {
+            // Full difference-array build in row order (as unsharded), then
+            // the prefix accumulation replayed up to the requested range.
+            let nn = *nn;
+            let mut diff = vec![0.0; (nn + 1) * right];
+            let mut row = 0usize;
+            for i in 0..nn {
+                for j in i..nn {
+                    let src = &t[row * right..(row + 1) * right];
+                    for (r, s) in src.iter().enumerate() {
+                        diff[i * right + r] += s;
+                        diff[(j + 1) * right + r] -= s;
+                    }
+                    row += 1;
+                }
+            }
+            let mut acc = vec![0.0; right];
+            for c in 0..rows.end {
+                if c >= rows.start {
+                    let dst = &mut out[(c - rows.start) * right..(c - rows.start + 1) * right];
+                    for (r, d) in dst.iter_mut().enumerate() {
+                        acc[r] += diff[c * right + r];
+                        *d = scale * acc[r];
+                    }
+                } else {
+                    for (r, a) in acc.iter_mut().enumerate() {
+                        *a += diff[c * right + r];
+                    }
+                }
+            }
+        }
+        StructuredMatrix::Kron(_) => unreachable!("leading factor is a flattened leaf"),
+    }
+}
+
+/// Dense matvec restricted to a row block, replicating [`Matrix::matvec`]'s
+/// per-row accumulation exactly (no zero-skipping) so a row-partitioned
+/// explicit strategy measures bitwise identically to the unsharded path.
+///
+/// # Panics
+/// Panics on shape mismatches or `rows` out of bounds.
+pub fn matvec_rows(a: &Matrix, x: &[f64], rows: Range<usize>, out: &mut [f64]) {
+    assert_eq!(x.len(), a.cols(), "matvec dimension mismatch");
+    assert!(rows.end <= a.rows(), "row range out of bounds");
+    assert_eq!(out.len(), rows.len(), "output length mismatch");
+    for (slot, r) in out.iter_mut().zip(rows) {
+        let row = a.row(r);
+        let mut acc = 0.0;
+        for (av, b) in row.iter().zip(x) {
+            acc += av * b;
+        }
+        *slot = acc;
+    }
+}
+
+/// Splits `0..len` into at most `parts` contiguous, near-equal ranges
+/// (never empty unless `len == 0`). The canonical shard partition used by
+/// the fan-out pipelines.
+pub fn partition_rows(len: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1).min(len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{kmatvec_structured, kmatvec_transpose_structured, Csr};
+
+    fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+
+    fn leading_variants(n: usize) -> Vec<StructuredMatrix> {
+        let dense = Matrix::from_fn(n + 2, n, |r, c| (((r * 5 + c * 3) % 7) as f64) - 3.0);
+        vec![
+            StructuredMatrix::identity(n).scaled(1.25),
+            StructuredMatrix::total(n).scaled(0.5),
+            StructuredMatrix::prefix(n).scaled(0.3),
+            StructuredMatrix::all_range(n).scaled(0.7),
+            StructuredMatrix::Sparse(Csr::from_dense(&dense)),
+            StructuredMatrix::Dense(dense),
+        ]
+    }
+
+    fn data(len: usize, seed: u64) -> Vec<f64> {
+        (0..len)
+            .map(|i| {
+                let h = (i as u64)
+                    .wrapping_mul(seed | 1)
+                    .wrapping_mul(0x9e3779b97f4a7c15);
+                ((h >> 40) % 13) as f64 * 0.37 - 2.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipeline_matches_full_kmatvec_bitwise() {
+        let n_lead = 7;
+        let trailing = [
+            StructuredMatrix::prefix(3).scaled(0.5),
+            StructuredMatrix::Dense(Matrix::from_fn(2, 4, |r, c| (r * 4 + c) as f64 - 3.5)),
+        ];
+        for lead in leading_variants(n_lead) {
+            let factors: Vec<&StructuredMatrix> =
+                std::iter::once(&lead).chain(trailing.iter()).collect();
+            let split = leading_split(&factors);
+            let rest_n = split.trailing_cols();
+            let x = data(n_lead * rest_n, 11);
+            let full = kmatvec_structured(&factors, &x);
+
+            for shards in [1usize, 2, 3, 5, 7] {
+                // trailing per slab, concat in order
+                let mut t = Vec::new();
+                for r in partition_rows(n_lead, shards) {
+                    let slab = &x[r.start * rest_n..r.end * rest_n];
+                    t.extend(kmatvec_trailing_slab(&split.trailing, slab));
+                }
+                // leading, row-partitioned
+                let right = split.trailing_rows();
+                let m = split.leading.rows();
+                let mut out = vec![0.0; m * right];
+                for r in partition_rows(m, shards) {
+                    let chunk = &mut out[r.start * right..r.end * right];
+                    apply_leading_rows(split.leading, &t, right, r, chunk);
+                }
+                assert!(bits_eq(&out, &full), "{lead:?} shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_pipeline_matches_full_bitwise() {
+        let n_lead = 6;
+        let trailing = [
+            StructuredMatrix::total(3).scaled(1.5),
+            StructuredMatrix::prefix(2),
+        ];
+        for lead in leading_variants(n_lead) {
+            let factors: Vec<&StructuredMatrix> =
+                std::iter::once(&lead).chain(trailing.iter()).collect();
+            let split = leading_split(&factors);
+            let m_lead = split.leading.rows();
+            let rest_m = split.trailing_rows();
+            let y = data(m_lead * rest_m, 23);
+            let full = kmatvec_transpose_structured(&factors, &y);
+
+            for shards in [1usize, 2, 4, 6] {
+                let mut t = Vec::new();
+                for r in partition_rows(m_lead, shards) {
+                    let slab = &y[r.start * rest_m..r.end * rest_m];
+                    t.extend(kmatvec_transpose_trailing_slab(&split.trailing, slab));
+                }
+                let right = split.trailing_cols();
+                let n = split.leading.cols();
+                let mut out = vec![0.0; n * right];
+                for r in partition_rows(n, shards) {
+                    let chunk = &mut out[r.start * right..r.end * right];
+                    apply_leading_transpose_rows(split.leading, &t, right, r, chunk);
+                }
+                assert!(bits_eq(&out, &full), "{lead:?}ᵀ shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_rows_matches_matvec_bitwise() {
+        let a = Matrix::from_fn(9, 5, |r, c| ((r * 13 + c * 7) % 11) as f64 * 0.31 - 1.4);
+        let x = data(5, 3);
+        let full = a.matvec(&x);
+        for shards in [1usize, 2, 4, 9] {
+            let mut out = vec![0.0; 9];
+            for r in partition_rows(9, shards) {
+                let (start, len) = (r.start, r.len());
+                matvec_rows(&a, &x, r, &mut out[start..start + len]);
+            }
+            assert!(bits_eq(&out, &full), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn partition_rows_covers_contiguously() {
+        for (len, parts) in [(10, 3), (7, 7), (5, 9), (1, 4), (0, 2), (16, 1)] {
+            let ranges = partition_rows(len, parts);
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next);
+                next = r.end;
+            }
+            assert_eq!(next, len);
+            if len > 0 {
+                assert!(ranges.iter().all(|r| !r.is_empty()));
+            }
+        }
+    }
+
+    #[test]
+    fn single_factor_has_empty_trailing() {
+        let lead = StructuredMatrix::prefix(4);
+        let factors = [&lead];
+        let split = leading_split(&factors);
+        assert!(split.trailing.is_empty());
+        assert_eq!(split.trailing_cols(), 1);
+        let x = data(4, 5);
+        // Trailing on an empty list is the identity.
+        assert!(bits_eq(&kmatvec_trailing_slab(&split.trailing, &x), &x));
+    }
+}

@@ -563,7 +563,7 @@ pub fn kmatvec_transpose_structured(factors: &[&StructuredMatrix], y: &[f64]) ->
     cur
 }
 
-fn flatten<'a>(factors: &[&'a StructuredMatrix]) -> Vec<&'a StructuredMatrix> {
+pub(crate) fn flatten<'a>(factors: &[&'a StructuredMatrix]) -> Vec<&'a StructuredMatrix> {
     let mut flat = Vec::with_capacity(factors.len());
     for &f in factors {
         match f {
@@ -576,7 +576,7 @@ fn flatten<'a>(factors: &[&'a StructuredMatrix]) -> Vec<&'a StructuredMatrix> {
 
 /// Contracts structured factor `a` (m×n) along the middle mode of a
 /// `(left, n, right)` tensor: `next[l, r_out, r] = Σ_c a[r_out, c]·cur[l, c, r]`.
-fn apply_mode_structured(
+pub(crate) fn apply_mode_structured(
     a: &StructuredMatrix,
     cur: &[f64],
     next: &mut [f64],
@@ -663,7 +663,7 @@ fn apply_mode_structured(
 }
 
 /// Same contraction with `aᵀ`: `next[l, c, r] = Σ_{r_in} a[r_in, c]·cur[l, r_in, r]`.
-fn apply_mode_transpose_structured(
+pub(crate) fn apply_mode_transpose_structured(
     a: &StructuredMatrix,
     cur: &[f64],
     next: &mut [f64],

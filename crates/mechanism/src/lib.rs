@@ -21,12 +21,18 @@ pub mod laplace;
 pub mod marginals;
 mod mechanism;
 pub mod phases;
+pub mod sharded;
 mod strategy;
 
 pub use budget::{try_measure, try_run_mechanism, MechanismError};
 pub use marginals::{MarginalsAlgebra, MarginalsStrategy};
+pub use mechanism::MeasuredBlock;
 pub use mechanism::{
     answer_workload, measure, reconstruct, run_mechanism, Measurements, MechanismResult,
 };
 pub use phases::{try_run_mechanism_observed, MechanismPhase, NoopObserver, PhaseObserver};
+pub use sharded::{
+    answer_sharded, measure_sharded, reconstruct_sharded, try_run_mechanism_sharded_observed,
+    DataSlab, ScopedExecutor, SerialExecutor, ShardExecutor, ShardedView,
+};
 pub use strategy::{Strategy, UnionGroup};

@@ -44,6 +44,13 @@ impl MechanismPhase {
 pub trait PhaseObserver: Sync {
     /// Called once per phase, immediately after the phase finishes.
     fn phase_complete(&self, phase: MechanismPhase, elapsed: Duration);
+
+    /// Called once per completed *shard task* of a sharded phase
+    /// ([`crate::measure_sharded`] and friends), with the shard index the
+    /// task served. Default: ignored, so plain observers need no changes.
+    fn shard_phase_complete(&self, phase: MechanismPhase, shard: usize, elapsed: Duration) {
+        let _ = (phase, shard, elapsed);
+    }
 }
 
 /// Observer that discards timings ([`crate::try_run_mechanism`] uses it).
@@ -57,6 +64,10 @@ impl PhaseObserver for NoopObserver {
 impl<T: PhaseObserver + ?Sized> PhaseObserver for &T {
     fn phase_complete(&self, phase: MechanismPhase, elapsed: Duration) {
         (**self).phase_complete(phase, elapsed);
+    }
+
+    fn shard_phase_complete(&self, phase: MechanismPhase, shard: usize, elapsed: Duration) {
+        (**self).shard_phase_complete(phase, shard, elapsed);
     }
 }
 

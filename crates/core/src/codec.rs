@@ -1,0 +1,561 @@
+//! The checksummed binary codec shared by every serialized surface of the
+//! system: [`PlanStore`] files on disk and shard-task frames on the wire.
+//!
+//! One encode path, one decode path, one checksum. Values are written
+//! little-endian through the `put_*` helpers and read back through a
+//! length-checked [`Reader`] that can never panic or read past its input:
+//! every failure is a typed [`CodecError`]. Payloads are sealed with an
+//! FNV-1a trailer ([`seal`]) and verified on the way in ([`open`]), so any
+//! bit flip — even one that lands in numeric data and would otherwise decode
+//! cleanly — is detected before a single field is trusted.
+//!
+//! The structured-matrix and strategy encodings live here (rather than in
+//! the plan store) because both consumers need them: a persisted plan is a
+//! strategy plus error accounting, and a MEASURE/RECONSTRUCT shard-task RPC
+//! is a strategy factor list plus a payload.
+//!
+//! [`PlanStore`]: https://docs.rs/hdmm-engine
+
+use hdmm_linalg::{Csr, Matrix, StructuredMatrix};
+use hdmm_mechanism::{MarginalsStrategy, Strategy, UnionGroup};
+use hdmm_workload::Domain;
+
+/// Every way a decode can fail. Corruption is always a typed error, never a
+/// panic, an over-allocation, or a partially read value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the value did (includes corrupt length
+    /// prefixes that claim more elements than the input could hold).
+    Truncated,
+    /// The payload's checksum trailer does not match its contents.
+    ChecksumMismatch,
+    /// The magic header is missing or wrong (not this format, or not this
+    /// version).
+    BadMagic,
+    /// An enum tag byte has no meaning in this version.
+    BadTag {
+        /// The unrecognized tag.
+        tag: u8,
+    },
+    /// A decoded value violates a semantic invariant (zero-sized dimension,
+    /// non-finite share, inconsistent CSR arrays, …).
+    Invalid(&'static str),
+    /// The value decoded cleanly but bytes were left over — treated as
+    /// corruption rather than silently ignored.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "input ended before the value did"),
+            CodecError::ChecksumMismatch => write!(f, "checksum trailer mismatch"),
+            CodecError::BadMagic => write!(f, "bad or missing magic header"),
+            CodecError::BadTag { tag } => write!(f, "unknown tag byte {tag:#04x}"),
+            CodecError::Invalid(what) => write!(f, "invalid value: {what}"),
+            CodecError::TrailingBytes => write!(f, "trailing bytes after the value"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// FNV-1a over the payload; stored as a trailer so any bit flip is detected
+/// and the payload treated as absent/corrupt.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Appends the checksum trailer over everything currently in `out`.
+pub fn seal(out: &mut Vec<u8>) {
+    let sum = checksum(out);
+    put_u64(out, sum);
+}
+
+/// Verifies and strips the checksum trailer, returning the payload.
+pub fn open(full: &[u8]) -> Result<&[u8], CodecError> {
+    if full.len() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    let (payload, trailer) = full.split_at(full.len() - 8);
+    let stored = u64::from_le_bytes(trailer.try_into().expect("trailer is 8 bytes"));
+    if checksum(payload) != stored {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------------
+// Writers
+// ---------------------------------------------------------------------------
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `usize` as a `u64`.
+pub fn put_usize(out: &mut Vec<u8>, v: usize) {
+    put_u64(out, v as u64);
+}
+
+/// Appends a little-endian `f64` (bit-exact: what is written is what is
+/// read, down to the sign of zero and NaN payloads).
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a length-prefixed `f64` slice.
+pub fn put_f64s(out: &mut Vec<u8>, vs: &[f64]) {
+    put_usize(out, vs.len());
+    for &v in vs {
+        put_f64(out, v);
+    }
+}
+
+/// Appends a length-prefixed `usize` slice.
+pub fn put_usizes(out: &mut Vec<u8>, vs: &[usize]) {
+    put_usize(out, vs.len());
+    for &v in vs {
+        put_usize(out, v);
+    }
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_usize(out, s.len());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Appends a dense matrix (rows, cols, row-major data).
+pub fn put_matrix(out: &mut Vec<u8>, m: &Matrix) {
+    put_usize(out, m.rows());
+    put_usize(out, m.cols());
+    for r in 0..m.rows() {
+        for &v in m.row(r) {
+            put_f64(out, v);
+        }
+    }
+}
+
+/// Appends a structured matrix (tagged by variant; `Kron` recurses).
+pub fn put_structured(out: &mut Vec<u8>, f: &StructuredMatrix) {
+    match f {
+        StructuredMatrix::Dense(m) => {
+            out.push(0);
+            put_matrix(out, m);
+        }
+        StructuredMatrix::Sparse(s) => {
+            out.push(1);
+            put_usize(out, s.rows());
+            put_usize(out, s.cols());
+            let mut indptr = Vec::with_capacity(s.rows() + 1);
+            let mut indices = Vec::new();
+            let mut data = Vec::new();
+            indptr.push(0usize);
+            for r in 0..s.rows() {
+                for (c, v) in s.row_entries(r) {
+                    indices.push(c);
+                    data.push(v);
+                }
+                indptr.push(indices.len());
+            }
+            put_usizes(out, &indptr);
+            put_usizes(out, &indices);
+            put_f64s(out, &data);
+        }
+        StructuredMatrix::Identity { n, scale } => {
+            out.push(2);
+            put_usize(out, *n);
+            put_f64(out, *scale);
+        }
+        StructuredMatrix::Total { n, scale } => {
+            out.push(3);
+            put_usize(out, *n);
+            put_f64(out, *scale);
+        }
+        StructuredMatrix::Prefix { n, scale } => {
+            out.push(4);
+            put_usize(out, *n);
+            put_f64(out, *scale);
+        }
+        StructuredMatrix::AllRange { n, scale } => {
+            out.push(5);
+            put_usize(out, *n);
+            put_f64(out, *scale);
+        }
+        StructuredMatrix::Kron(fs) => {
+            out.push(6);
+            put_usize(out, fs.len());
+            for inner in fs {
+                put_structured(out, inner);
+            }
+        }
+    }
+}
+
+/// Appends a length-prefixed structured factor list.
+pub fn put_structured_list(out: &mut Vec<u8>, fs: &[StructuredMatrix]) {
+    put_usize(out, fs.len());
+    for f in fs {
+        put_structured(out, f);
+    }
+}
+
+/// Appends a measurement strategy (tagged by family).
+pub fn put_strategy(out: &mut Vec<u8>, s: &Strategy) {
+    match s {
+        Strategy::Explicit(m) => {
+            out.push(0);
+            put_matrix(out, m);
+        }
+        Strategy::Kron(fs) => {
+            out.push(1);
+            put_structured_list(out, fs);
+        }
+        Strategy::Union(groups) => {
+            out.push(2);
+            put_usize(out, groups.len());
+            for g in groups {
+                put_f64(out, g.share);
+                put_structured_list(out, &g.factors);
+                put_usizes(out, &g.term_indices);
+            }
+        }
+        Strategy::Marginals(m) => {
+            out.push(3);
+            put_usizes(out, m.domain.sizes());
+            put_f64s(out, &m.theta);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader (cursor-based, length-checked: every failure is a typed error)
+// ---------------------------------------------------------------------------
+
+/// A length-checked cursor over an input slice. Every read validates
+/// availability before touching bytes; length prefixes are sanity-bounded
+/// against the input size so a corrupt count can never trigger a huge
+/// allocation or a partial read.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `bytes`, positioned at the start.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Takes the next `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a `u64` that must fit a `usize`.
+    pub fn usize(&mut self) -> Result<usize, CodecError> {
+        usize::try_from(self.u64()?).map_err(|_| CodecError::Invalid("u64 exceeds usize"))
+    }
+
+    /// Reads a length prefix, sanity-bounded so a corrupt count (each
+    /// element needs at least one payload byte) fails typed instead of
+    /// allocating.
+    pub fn count(&mut self) -> Result<usize, CodecError> {
+        let n = self.usize()?;
+        if n > self.bytes.len() {
+            return Err(CodecError::Truncated);
+        }
+        Ok(n)
+    }
+
+    /// Reads a little-endian `f64`, bit-exact.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a length-prefixed `f64` vector.
+    pub fn f64s(&mut self) -> Result<Vec<f64>, CodecError> {
+        let n = self.count()?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    /// Reads a length-prefixed `usize` vector.
+    pub fn usizes(&mut self) -> Result<Vec<usize>, CodecError> {
+        let n = self.count()?;
+        (0..n).map(|_| self.usize()).collect()
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        let n = self.count()?;
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|_| CodecError::Invalid("non-UTF-8"))
+    }
+
+    /// Reads a dense matrix, bounding `rows·cols` by the available input.
+    pub fn matrix(&mut self) -> Result<Matrix, CodecError> {
+        let rows = self.usize()?;
+        let cols = self.usize()?;
+        let n = rows.checked_mul(cols).ok_or(CodecError::Truncated)?;
+        if n > self.bytes.len() / 8 + 1 {
+            return Err(CodecError::Truncated);
+        }
+        let data: Result<Vec<f64>, _> = (0..n).map(|_| self.f64()).collect();
+        Ok(Matrix::from_vec(rows, cols, data?))
+    }
+
+    /// Reads a structured matrix, validating every variant invariant.
+    pub fn structured(&mut self) -> Result<StructuredMatrix, CodecError> {
+        match self.u8()? {
+            0 => Ok(StructuredMatrix::Dense(self.matrix()?)),
+            1 => {
+                let rows = self.usize()?;
+                let cols = self.usize()?;
+                let indptr = self.usizes()?;
+                let indices = self.usizes()?;
+                let data = self.f64s()?;
+                csr_checked(rows, cols, indptr, indices, data).map(StructuredMatrix::Sparse)
+            }
+            tag @ 2..=5 => {
+                let n = self.usize()?;
+                let scale = self.f64()?;
+                if n == 0 {
+                    return Err(CodecError::Invalid("zero-sized structured block"));
+                }
+                Ok(match tag {
+                    2 => StructuredMatrix::Identity { n, scale },
+                    3 => StructuredMatrix::Total { n, scale },
+                    4 => StructuredMatrix::Prefix { n, scale },
+                    _ => StructuredMatrix::AllRange { n, scale },
+                })
+            }
+            6 => {
+                let n = self.count()?;
+                if n == 0 {
+                    return Err(CodecError::Invalid("empty Kron factor list"));
+                }
+                let fs: Result<Vec<StructuredMatrix>, _> =
+                    (0..n).map(|_| self.structured()).collect();
+                Ok(StructuredMatrix::Kron(fs?))
+            }
+            tag => Err(CodecError::BadTag { tag }),
+        }
+    }
+
+    /// Reads a non-empty structured factor list.
+    pub fn structured_list(&mut self) -> Result<Vec<StructuredMatrix>, CodecError> {
+        let n = self.count()?;
+        if n == 0 {
+            return Err(CodecError::Invalid("empty factor list"));
+        }
+        (0..n).map(|_| self.structured()).collect()
+    }
+
+    /// Reads a measurement strategy, validating every family invariant.
+    pub fn strategy(&mut self) -> Result<Strategy, CodecError> {
+        match self.u8()? {
+            0 => Ok(Strategy::Explicit(self.matrix()?)),
+            1 => Ok(Strategy::Kron(self.structured_list()?)),
+            2 => {
+                let n = self.count()?;
+                if n == 0 {
+                    return Err(CodecError::Invalid("empty union"));
+                }
+                let mut groups = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let share = self.f64()?;
+                    if !(share.is_finite() && share > 0.0) {
+                        return Err(CodecError::Invalid("non-positive union share"));
+                    }
+                    let factors = self.structured_list()?;
+                    let term_indices = self.usizes()?;
+                    groups.push(UnionGroup {
+                        share,
+                        factors,
+                        term_indices,
+                    });
+                }
+                Ok(Strategy::Union(groups))
+            }
+            3 => {
+                let sizes = self.usizes()?;
+                if sizes.is_empty() || sizes.contains(&0) {
+                    return Err(CodecError::Invalid("degenerate marginals domain"));
+                }
+                let theta = self.f64s()?;
+                let domain = Domain::new(&sizes);
+                if theta.len() != 1usize << domain.dims()
+                    || theta.iter().any(|t| !t.is_finite() || *t < 0.0)
+                    || theta[theta.len() - 1] <= 0.0
+                {
+                    return Err(CodecError::Invalid("inconsistent marginals weights"));
+                }
+                Ok(Strategy::Marginals(MarginalsStrategy::new(domain, theta)))
+            }
+            tag => Err(CodecError::BadTag { tag }),
+        }
+    }
+
+    /// Bytes consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Fails with [`CodecError::TrailingBytes`] unless the input is fully
+    /// consumed — leftover bytes are corruption, not padding.
+    pub fn expect_end(&self) -> Result<(), CodecError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes)
+        }
+    }
+}
+
+/// Validates raw CSR arrays without panicking, then builds the matrix.
+fn csr_checked(
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    data: Vec<f64>,
+) -> Result<Csr, CodecError> {
+    let invalid = Err(CodecError::Invalid("inconsistent CSR arrays"));
+    if indptr.len() != rows + 1 || indices.len() != data.len() {
+        return invalid;
+    }
+    if indptr.first() != Some(&0) || indptr.last() != Some(&indices.len()) {
+        return invalid;
+    }
+    for r in 0..rows {
+        if indptr[r] > indptr[r + 1] || indptr[r + 1] > indices.len() {
+            return invalid;
+        }
+        let row = &indices[indptr[r]..indptr[r + 1]];
+        if row.windows(2).any(|w| w[0] >= w[1]) || row.last().is_some_and(|&c| c >= cols) {
+            return invalid;
+        }
+    }
+    Ok(Csr::new(rows, cols, indptr, indices, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strategies() -> Vec<Strategy> {
+        vec![
+            Strategy::Explicit(Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f64 - 5.5)),
+            Strategy::Kron(vec![
+                StructuredMatrix::prefix(4).scaled(0.25),
+                StructuredMatrix::Sparse(Csr::from_dense(&Matrix::from_fn(3, 3, |r, c| {
+                    if r == c {
+                        1.5
+                    } else {
+                        0.0
+                    }
+                }))),
+            ]),
+            Strategy::Union(vec![UnionGroup {
+                share: 0.5,
+                factors: vec![StructuredMatrix::total(3), StructuredMatrix::identity(2)],
+                term_indices: vec![0, 1],
+            }]),
+            Strategy::Marginals(MarginalsStrategy::uniform(Domain::new(&[3, 2]))),
+        ]
+    }
+
+    #[test]
+    fn strategies_round_trip_bit_exact() {
+        for s in strategies() {
+            let mut out = Vec::new();
+            put_strategy(&mut out, &s);
+            seal(&mut out);
+            let payload = open(&out).expect("seal/open round trip");
+            let mut r = Reader::new(payload);
+            let back = r.strategy().expect("decodes");
+            r.expect_end().expect("fully consumed");
+            let mut re = Vec::new();
+            put_strategy(&mut re, &back);
+            seal(&mut re);
+            assert_eq!(out, re, "re-encoding must be byte-stable");
+        }
+    }
+
+    #[test]
+    fn corruption_is_typed_never_panicking() {
+        let mut out = Vec::new();
+        put_strategy(&mut out, &strategies()[1]);
+        seal(&mut out);
+
+        // Truncation at every prefix either fails the trailer or the reader.
+        for cut in 0..out.len() {
+            let sliced = &out[..cut];
+            let result = open(sliced).and_then(|p| Reader::new(p).strategy());
+            assert!(result.is_err(), "truncation at {cut} must fail typed");
+        }
+
+        // A flipped checksum byte is a ChecksumMismatch.
+        let mut flipped = out.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0xFF;
+        assert_eq!(open(&flipped).unwrap_err(), CodecError::ChecksumMismatch);
+
+        // An oversized length prefix fails Truncated, not an allocation.
+        let mut huge = Vec::new();
+        put_usize(&mut huge, u64::MAX as usize);
+        let mut r = Reader::new(&huge);
+        assert_eq!(r.f64s().unwrap_err(), CodecError::Truncated);
+
+        // A bad tag is reported as such.
+        let mut r = Reader::new(&[0xEE]);
+        assert_eq!(r.strategy().unwrap_err(), CodecError::BadTag { tag: 0xEE });
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut out = Vec::new();
+        put_u64(&mut out, 7);
+        out.push(0xAA);
+        let mut r = Reader::new(&out);
+        assert_eq!(r.u64().unwrap(), 7);
+        assert_eq!(r.expect_end().unwrap_err(), CodecError::TrailingBytes);
+    }
+
+    #[test]
+    fn f64_bits_survive_including_nan_and_negative_zero() {
+        for v in [f64::NAN, -0.0, f64::INFINITY, 1.0 / 3.0] {
+            let mut out = Vec::new();
+            put_f64(&mut out, v);
+            let back = Reader::new(&out).f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+    }
+}

@@ -88,6 +88,12 @@ pub enum EngineError {
         /// Which piece of state, for operators.
         what: String,
     },
+    /// A remote shard worker could not be reached — at registration, or
+    /// because the engine was built without a remote transport.
+    WorkerUnavailable {
+        /// The worker address that failed to answer.
+        addr: String,
+    },
     /// The server's bounded request queue is full — backpressure, retry later.
     QueueFull {
         /// The queue's capacity, for sizing decisions.
@@ -128,6 +134,9 @@ impl std::fmt::Display for EngineError {
             ),
             EngineError::StatePoisoned { what } => {
                 write!(f, "engine state poisoned: {what}")
+            }
+            EngineError::WorkerUnavailable { addr } => {
+                write!(f, "shard worker '{addr}' is unavailable")
             }
             EngineError::QueueFull { capacity } => {
                 write!(f, "request queue is full (capacity {capacity}); retry later")

@@ -38,6 +38,7 @@
 //! assert_eq!(answers.len(), workload.query_count());
 //! ```
 
+pub mod codec;
 pub mod data;
 pub mod engine;
 

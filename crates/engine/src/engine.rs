@@ -38,6 +38,7 @@ use hdmm_mechanism::{
     try_run_mechanism_observed, try_run_mechanism_sharded_observed, DataSlab, ScopedExecutor,
     ShardedView,
 };
+use hdmm_net::{try_run_mechanism_remote_observed, RemoteError, RemoteExecutor, RemoteOptions};
 use hdmm_optimizer::planner::{optimize_with_choice, select_optimizer, OptimizerChoice};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -73,6 +74,11 @@ pub struct EngineOptions {
     /// lazily on each in-memory cache miss and written back after each
     /// fresh SELECT (best-effort — I/O failures never fail a request).
     pub cache_dir: Option<std::path::PathBuf>,
+    /// Remote shard fan-out. With a transport configured, sharded datasets
+    /// MEASURE/RECONSTRUCT over the worker pool (answers stay byte-identical
+    /// to local serving); dense datasets and a fully failed pool serve
+    /// locally. `None` keeps everything in-process.
+    pub remote: Option<RemoteOptions>,
 }
 
 impl Default for EngineOptions {
@@ -85,6 +91,7 @@ impl Default for EngineOptions {
             exhaustive_planning: false,
             shard_workers: 0,
             cache_dir: None,
+            remote: None,
         }
     }
 }
@@ -220,6 +227,7 @@ pub struct Engine {
     sessions: SessionStore,
     telemetry: Telemetry,
     shard_exec: ScopedExecutor,
+    remote: Option<RemoteExecutor>,
     next_session: AtomicU64,
 }
 
@@ -233,6 +241,7 @@ impl Engine {
             sessions: SessionStore::new(options.session_capacity),
             telemetry: Telemetry::default(),
             shard_exec: ScopedExecutor::new(options.shard_workers),
+            remote: options.remote.as_ref().map(RemoteExecutor::connect),
             options,
             datasets: RwLock::new(HashMap::new()),
             tenants: RwLock::new(HashMap::new()),
@@ -363,6 +372,21 @@ impl Engine {
                 });
             }
         }
+        // Warm the remote workers with the new dataset's slabs. Best-effort:
+        // `run_slab_task` re-pushes on demand, so a failure here (worker down,
+        // pool empty) costs first-request latency only.
+        if let Some(remote) = &self.remote {
+            if data.as_contiguous().is_none() {
+                let slabs: Vec<DataSlab<'_>> = (0..data.shard_count())
+                    .map(|s| DataSlab {
+                        rows: data.shard_rows(s),
+                        values: data.shard_values(s),
+                    })
+                    .collect();
+                let view = ShardedView::new(data.leading_len(), slabs);
+                let _ = remote.preload(&name, &view);
+            }
+        }
         let tenant = config
             .tenant
             .as_ref()
@@ -386,6 +410,23 @@ impl Engine {
             }),
         );
         Ok(())
+    }
+
+    /// Registers one more shard worker at runtime; subsequent sharded
+    /// requests may route tasks (and reassigned shards) to it. Fails with
+    /// [`EngineError::WorkerUnavailable`] when the worker does not answer a
+    /// ping — or when the engine was built without a remote transport.
+    pub fn connect_worker(&self, addr: &str) -> Result<(), EngineError> {
+        let Some(remote) = &self.remote else {
+            return Err(EngineError::WorkerUnavailable {
+                addr: addr.to_string(),
+            });
+        };
+        remote
+            .add_worker(addr)
+            .map_err(|_| EngineError::WorkerUnavailable {
+                addr: addr.to_string(),
+            })
     }
 
     /// The tenant's shared ledger, created unlimited if absent.
@@ -571,6 +612,7 @@ impl Engine {
             cache: self.cache.stats(),
             telemetry: self.telemetry.snapshot(),
             datasets,
+            remote: self.remote.as_ref().map(RemoteExecutor::health),
         }
     }
 
@@ -616,11 +658,13 @@ impl Engine {
         // One u64 off the dataset's stream seeds a per-request RNG: the
         // dataset lock is held for nanoseconds, and the answer sequence is
         // deterministic per (engine seed, dataset, request order) no matter
-        // how threads interleave across datasets.
-        let mut rng = {
+        // how threads interleave across datasets. The seed is kept so a
+        // failed remote fan-out can redraw the same noise locally.
+        let req_seed = {
             let mut ds_rng = lock_recover(&handle.rng);
-            StdRng::seed_from_u64(ds_rng.gen::<u64>())
+            ds_rng.gen::<u64>()
         };
+        let mut rng = StdRng::seed_from_u64(req_seed);
 
         // Reserve the budget *before* measuring (all-or-nothing): concurrent
         // requests on one dataset can both measure at once, and optimistic
@@ -665,16 +709,45 @@ impl Engine {
                     })
                     .collect();
                 let view = ShardedView::new(handle.data.leading_len(), slabs);
-                try_run_mechanism_sharded_observed(
-                    workload,
-                    plan.strategy(),
-                    &view,
-                    eps,
-                    eps,
-                    &mut rng,
-                    &self.shard_exec,
-                    &self.telemetry,
-                )
+                let local = |rng: &mut StdRng| {
+                    try_run_mechanism_sharded_observed(
+                        workload,
+                        plan.strategy(),
+                        &view,
+                        eps,
+                        eps,
+                        rng,
+                        &self.shard_exec,
+                        &self.telemetry,
+                    )
+                };
+                match &self.remote {
+                    Some(remote) => match try_run_mechanism_remote_observed(
+                        workload,
+                        plan.strategy(),
+                        dataset,
+                        &view,
+                        eps,
+                        eps,
+                        &mut rng,
+                        remote,
+                        &self.telemetry,
+                    ) {
+                        Ok(r) => Ok(r),
+                        Err(RemoteError::Mechanism(e)) => Err(e),
+                        Err(RemoteError::Net(_)) => {
+                            // No worker could complete the request, even after
+                            // retry and reassignment: serve locally. The RNG
+                            // is reseeded from the request seed, so the local
+                            // rerun redraws the identical noise stream — the
+                            // fallback is invisible in the answer bytes.
+                            self.telemetry.record_remote_fallback();
+                            rng = StdRng::seed_from_u64(req_seed);
+                            local(&mut rng)
+                        }
+                    },
+                    None => local(&mut rng),
+                }
             }
         }
         .map_err(|e| EngineError::from_mechanism(e, dataset))?;

@@ -28,6 +28,12 @@
 //! * **Telemetry** — lock-free per-phase latency histograms
 //!   (select/measure/reconstruct/answer) and serving counters, exported in
 //!   one call via [`Engine::metrics`].
+//! * **Remote shard fan-out** — with [`EngineOptions::remote`] configured,
+//!   sharded datasets MEASURE/RECONSTRUCT over a pool of `hdmm-shard-worker`
+//!   processes ([`hdmm_net`]): per-task timeouts, bounded retry with backoff,
+//!   shard reassignment to surviving workers, per-worker health in
+//!   [`Engine::metrics`] — and byte-identical answers to local serving, even
+//!   through the local fallback taken when the whole pool is down.
 //!
 //! ## Quickstart
 //!
@@ -97,3 +103,4 @@ pub use hdmm_core::{
     BudgetAccountant, DataBackend, DenseVector, EngineError, PrivateSession, QueryEngine,
     QueryResponse, SessionId, ShardedDataVector,
 };
+pub use hdmm_net::{PoolHealth, RemoteOptions, RetryPolicy, WorkerHealth};

@@ -8,41 +8,31 @@
 //! construction only records the directory), and freshly optimized plans are
 //! written back best-effort.
 //!
-//! The loader is corrupt-file tolerant by construction: every read is
-//! length-checked through a cursor, every invariant (CSR shape, domain
-//! match, tag validity) is verified before building a value, and any
-//! violation simply reports "no cached plan" — the engine then re-optimizes
-//! and overwrites the bad file. I/O failures on store are swallowed for the
-//! same reason: persistence is an optimization, never a correctness
-//! dependency.
+//! The value encoding is the shared [`hdmm_core::codec`] — the same
+//! checksummed, length-checked path used for shard-task wire frames — so
+//! there is exactly one serializer for strategies in the system. The loader
+//! stays corrupt-file tolerant by construction: any [`CodecError`], domain
+//! mismatch, or invariant violation simply reports "no cached plan" and the
+//! engine re-optimizes and overwrites the bad file. I/O failures on store
+//! are swallowed for the same reason: persistence is an optimization, never
+//! a correctness dependency.
 //!
 //! Only the [`Selected`] (strategy + error coefficient + operator tag) and
 //! the query count are encoded; the workload Grams are recomputed from the
 //! live workload at load time, which is cheap next to the SELECT the hit
 //! avoids and keeps the on-disk format independent of the Gram
 //! representation.
+//!
+//! [`CodecError`]: hdmm_core::codec::CodecError
 
+use hdmm_core::codec::{self, Reader};
 use hdmm_core::{Plan, Workload, WorkloadFingerprint, WorkloadGrams};
-use hdmm_linalg::{Csr, Matrix, StructuredMatrix};
-use hdmm_mechanism::{MarginalsStrategy, Strategy, UnionGroup};
 use hdmm_optimizer::Selected;
 use hdmm_workload::Domain;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 8] = b"HDMMPLN1";
-
-/// FNV-1a over the payload; stored as a trailer so any bit flip — even one
-/// that lands in numeric data and would otherwise decode cleanly — is
-/// detected and the file treated as absent.
-fn checksum(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
 
 /// A directory-backed store of serialized plans.
 #[derive(Debug, Clone)]
@@ -109,342 +99,16 @@ impl PlanStore {
     }
 }
 
-// ---------------------------------------------------------------------------
-// Encoding
-// ---------------------------------------------------------------------------
-
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_usize(out: &mut Vec<u8>, v: usize) {
-    put_u64(out, v as u64);
-}
-
-fn put_f64(out: &mut Vec<u8>, v: f64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_f64s(out: &mut Vec<u8>, vs: &[f64]) {
-    put_usize(out, vs.len());
-    for &v in vs {
-        put_f64(out, v);
-    }
-}
-
-fn put_usizes(out: &mut Vec<u8>, vs: &[usize]) {
-    put_usize(out, vs.len());
-    for &v in vs {
-        put_usize(out, v);
-    }
-}
-
-fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_usize(out, s.len());
-    out.extend_from_slice(s.as_bytes());
-}
-
-fn put_matrix(out: &mut Vec<u8>, m: &Matrix) {
-    put_usize(out, m.rows());
-    put_usize(out, m.cols());
-    for r in 0..m.rows() {
-        for &v in m.row(r) {
-            put_f64(out, v);
-        }
-    }
-}
-
-fn put_structured(out: &mut Vec<u8>, f: &StructuredMatrix) {
-    match f {
-        StructuredMatrix::Dense(m) => {
-            out.push(0);
-            put_matrix(out, m);
-        }
-        StructuredMatrix::Sparse(s) => {
-            out.push(1);
-            put_usize(out, s.rows());
-            put_usize(out, s.cols());
-            let mut indptr = Vec::with_capacity(s.rows() + 1);
-            let mut indices = Vec::new();
-            let mut data = Vec::new();
-            indptr.push(0usize);
-            for r in 0..s.rows() {
-                for (c, v) in s.row_entries(r) {
-                    indices.push(c);
-                    data.push(v);
-                }
-                indptr.push(indices.len());
-            }
-            put_usizes(out, &indptr);
-            put_usizes(out, &indices);
-            put_f64s(out, &data);
-        }
-        StructuredMatrix::Identity { n, scale } => {
-            out.push(2);
-            put_usize(out, *n);
-            put_f64(out, *scale);
-        }
-        StructuredMatrix::Total { n, scale } => {
-            out.push(3);
-            put_usize(out, *n);
-            put_f64(out, *scale);
-        }
-        StructuredMatrix::Prefix { n, scale } => {
-            out.push(4);
-            put_usize(out, *n);
-            put_f64(out, *scale);
-        }
-        StructuredMatrix::AllRange { n, scale } => {
-            out.push(5);
-            put_usize(out, *n);
-            put_f64(out, *scale);
-        }
-        StructuredMatrix::Kron(fs) => {
-            out.push(6);
-            put_usize(out, fs.len());
-            for inner in fs {
-                put_structured(out, inner);
-            }
-        }
-    }
-}
-
-fn put_strategy(out: &mut Vec<u8>, s: &Strategy) {
-    match s {
-        Strategy::Explicit(m) => {
-            out.push(0);
-            put_matrix(out, m);
-        }
-        Strategy::Kron(fs) => {
-            out.push(1);
-            put_usize(out, fs.len());
-            for f in fs {
-                put_structured(out, f);
-            }
-        }
-        Strategy::Union(groups) => {
-            out.push(2);
-            put_usize(out, groups.len());
-            for g in groups {
-                put_f64(out, g.share);
-                put_usize(out, g.factors.len());
-                for f in &g.factors {
-                    put_structured(out, f);
-                }
-                put_usizes(out, &g.term_indices);
-            }
-        }
-        Strategy::Marginals(m) => {
-            out.push(3);
-            put_usizes(out, m.domain.sizes());
-            put_f64s(out, &m.theta);
-        }
-    }
-}
-
 fn encode(plan: &Plan, domain: &Domain) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC);
-    put_usizes(&mut out, domain.sizes());
-    put_usize(&mut out, plan.query_count());
-    put_str(&mut out, plan.operator());
-    put_f64(&mut out, plan.squared_error_coefficient());
-    put_strategy(&mut out, plan.strategy());
-    let sum = checksum(&out);
-    put_u64(&mut out, sum);
+    codec::put_usizes(&mut out, domain.sizes());
+    codec::put_usize(&mut out, plan.query_count());
+    codec::put_str(&mut out, plan.operator());
+    codec::put_f64(&mut out, plan.squared_error_coefficient());
+    codec::put_strategy(&mut out, plan.strategy());
+    codec::seal(&mut out);
     out
-}
-
-// ---------------------------------------------------------------------------
-// Decoding (cursor-based, corruption-tolerant: any failure returns None)
-// ---------------------------------------------------------------------------
-
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
-        let end = self.pos.checked_add(n)?;
-        if end > self.bytes.len() {
-            return None;
-        }
-        let s = &self.bytes[self.pos..end];
-        self.pos = end;
-        Some(s)
-    }
-
-    fn u8(&mut self) -> Option<u8> {
-        Some(self.take(1)?[0])
-    }
-
-    fn u64(&mut self) -> Option<u64> {
-        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
-    }
-
-    fn usize(&mut self) -> Option<usize> {
-        usize::try_from(self.u64()?).ok()
-    }
-
-    /// Length-prefixed count, sanity-bounded so a corrupt length cannot
-    /// trigger a huge allocation.
-    fn count(&mut self) -> Option<usize> {
-        let n = self.usize()?;
-        // Each element needs at least one byte of payload.
-        if n > self.bytes.len() {
-            return None;
-        }
-        Some(n)
-    }
-
-    fn f64(&mut self) -> Option<f64> {
-        Some(f64::from_le_bytes(self.take(8)?.try_into().ok()?))
-    }
-
-    fn f64s(&mut self) -> Option<Vec<f64>> {
-        let n = self.count()?;
-        (0..n).map(|_| self.f64()).collect()
-    }
-
-    fn usizes(&mut self) -> Option<Vec<usize>> {
-        let n = self.count()?;
-        (0..n).map(|_| self.usize()).collect()
-    }
-
-    fn str(&mut self) -> Option<String> {
-        let n = self.count()?;
-        String::from_utf8(self.take(n)?.to_vec()).ok()
-    }
-
-    fn matrix(&mut self) -> Option<Matrix> {
-        let rows = self.usize()?;
-        let cols = self.usize()?;
-        let n = rows.checked_mul(cols)?;
-        if n > self.bytes.len() / 8 + 1 {
-            return None;
-        }
-        let data: Option<Vec<f64>> = (0..n).map(|_| self.f64()).collect();
-        Some(Matrix::from_vec(rows, cols, data?))
-    }
-
-    fn structured(&mut self) -> Option<StructuredMatrix> {
-        match self.u8()? {
-            0 => Some(StructuredMatrix::Dense(self.matrix()?)),
-            1 => {
-                let rows = self.usize()?;
-                let cols = self.usize()?;
-                let indptr = self.usizes()?;
-                let indices = self.usizes()?;
-                let data = self.f64s()?;
-                csr_checked(rows, cols, indptr, indices, data).map(StructuredMatrix::Sparse)
-            }
-            tag @ 2..=5 => {
-                let n = self.usize()?;
-                let scale = self.f64()?;
-                if n == 0 {
-                    return None;
-                }
-                Some(match tag {
-                    2 => StructuredMatrix::Identity { n, scale },
-                    3 => StructuredMatrix::Total { n, scale },
-                    4 => StructuredMatrix::Prefix { n, scale },
-                    _ => StructuredMatrix::AllRange { n, scale },
-                })
-            }
-            6 => {
-                let n = self.count()?;
-                if n == 0 {
-                    return None;
-                }
-                let fs: Option<Vec<StructuredMatrix>> = (0..n).map(|_| self.structured()).collect();
-                Some(StructuredMatrix::Kron(fs?))
-            }
-            _ => None,
-        }
-    }
-
-    fn strategy(&mut self) -> Option<Strategy> {
-        match self.u8()? {
-            0 => Some(Strategy::Explicit(self.matrix()?)),
-            1 => {
-                let n = self.count()?;
-                if n == 0 {
-                    return None;
-                }
-                let fs: Option<Vec<StructuredMatrix>> = (0..n).map(|_| self.structured()).collect();
-                Some(Strategy::Kron(fs?))
-            }
-            2 => {
-                let n = self.count()?;
-                if n == 0 {
-                    return None;
-                }
-                let mut groups = Vec::with_capacity(n);
-                for _ in 0..n {
-                    let share = self.f64()?;
-                    if !(share.is_finite() && share > 0.0) {
-                        return None;
-                    }
-                    let fc = self.count()?;
-                    if fc == 0 {
-                        return None;
-                    }
-                    let factors: Option<Vec<StructuredMatrix>> =
-                        (0..fc).map(|_| self.structured()).collect();
-                    let term_indices = self.usizes()?;
-                    groups.push(UnionGroup {
-                        share,
-                        factors: factors?,
-                        term_indices,
-                    });
-                }
-                Some(Strategy::Union(groups))
-            }
-            3 => {
-                let sizes = self.usizes()?;
-                if sizes.is_empty() || sizes.contains(&0) {
-                    return None;
-                }
-                let theta = self.f64s()?;
-                let domain = Domain::new(&sizes);
-                if theta.len() != 1usize << domain.dims()
-                    || theta.iter().any(|t| !t.is_finite() || *t < 0.0)
-                    || theta[theta.len() - 1] <= 0.0
-                {
-                    return None;
-                }
-                Some(Strategy::Marginals(MarginalsStrategy::new(domain, theta)))
-            }
-            _ => None,
-        }
-    }
-}
-
-/// Validates raw CSR arrays without panicking, then builds the matrix.
-fn csr_checked(
-    rows: usize,
-    cols: usize,
-    indptr: Vec<usize>,
-    indices: Vec<usize>,
-    data: Vec<f64>,
-) -> Option<Csr> {
-    if indptr.len() != rows + 1 || indices.len() != data.len() {
-        return None;
-    }
-    if *indptr.first()? != 0 || *indptr.last()? != indices.len() {
-        return None;
-    }
-    for r in 0..rows {
-        if indptr[r] > indptr[r + 1] || indptr[r + 1] > indices.len() {
-            return None;
-        }
-        let row = &indices[indptr[r]..indptr[r + 1]];
-        if row.windows(2).any(|w| w[0] >= w[1]) || row.last().is_some_and(|&c| c >= cols) {
-            return None;
-        }
-    }
-    Some(Csr::new(rows, cols, indptr, indices, data))
 }
 
 /// Maps a persisted operator tag back to the planner's static tag set;
@@ -461,32 +125,24 @@ fn static_operator(tag: &str) -> &'static str {
 }
 
 fn decode(full: &[u8]) -> Option<(Selected, usize, Domain)> {
-    if full.len() < MAGIC.len() + 8 {
+    let payload = codec::open(full).ok()?;
+    let mut c = Reader::new(payload);
+    if c.take(MAGIC.len()).ok()? != MAGIC {
         return None;
     }
-    let (bytes, trailer) = full.split_at(full.len() - 8);
-    if checksum(bytes) != u64::from_le_bytes(trailer.try_into().ok()?) {
-        return None;
-    }
-    let mut c = Cursor { bytes, pos: 0 };
-    if c.take(MAGIC.len())? != MAGIC {
-        return None;
-    }
-    let sizes = c.usizes()?;
+    let sizes = c.usizes().ok()?;
     if sizes.is_empty() || sizes.contains(&0) {
         return None;
     }
     let domain = Domain::new(&sizes);
-    let query_count = c.usize()?;
-    let operator = static_operator(&c.str()?);
-    let squared_error = c.f64()?;
+    let query_count = c.usize().ok()?;
+    let operator = static_operator(&c.str().ok()?);
+    let squared_error = c.f64().ok()?;
     if !(squared_error.is_finite() && squared_error >= 0.0) {
         return None;
     }
-    let strategy = c.strategy()?;
-    if c.pos != bytes.len() {
-        return None; // trailing garbage: treat as corruption
-    }
+    let strategy = c.strategy().ok()?;
+    c.expect_end().ok()?; // trailing garbage: treat as corruption
     Some((
         Selected {
             strategy,

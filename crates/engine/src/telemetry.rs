@@ -207,6 +207,7 @@ pub struct Telemetry {
     dedup_waits: AtomicU64,
     plan_disk_hits: AtomicU64,
     inflight_selects: AtomicU64,
+    remote_fallbacks: AtomicU64,
 }
 
 impl Telemetry {
@@ -228,6 +229,10 @@ impl Telemetry {
 
     pub(crate) fn record_plan_disk_hit(&self) {
         self.plan_disk_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_remote_fallback(&self) {
+        self.remote_fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
     /// RAII marker for one in-flight SELECT; decrements on drop so the gauge
@@ -258,6 +263,7 @@ impl Telemetry {
             dedup_waits: self.dedup_waits.load(Ordering::Relaxed),
             plan_disk_hits: self.plan_disk_hits.load(Ordering::Relaxed),
             inflight_selects: self.inflight_selects.load(Ordering::Relaxed),
+            remote_fallbacks: self.remote_fallbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -325,6 +331,10 @@ pub struct TelemetrySnapshot {
     pub plan_disk_hits: u64,
     /// SELECTs running at snapshot time.
     pub inflight_selects: u64,
+    /// Sharded requests whose remote fan-out failed (pool-wide) and were
+    /// re-served locally from the same request seed — byte-identical answers,
+    /// but an operator signal that the worker fleet is unhealthy.
+    pub remote_fallbacks: u64,
 }
 
 fn write_shard_spans(
@@ -353,13 +363,14 @@ impl std::fmt::Display for TelemetrySnapshot {
         writeln!(
             f,
             "requests={} failures={} selects_run={} dedup_waits={} plan_disk_hits={} \
-             inflight_selects={}",
+             inflight_selects={} remote_fallbacks={}",
             self.requests,
             self.failures,
             self.selects_run,
             self.dedup_waits,
             self.plan_disk_hits,
-            self.inflight_selects
+            self.inflight_selects,
+            self.remote_fallbacks
         )?;
         writeln!(f, "  select:      {}", self.select)?;
         writeln!(f, "  measure:     {}", self.measure)?;
@@ -395,6 +406,9 @@ pub struct EngineMetrics {
     pub telemetry: TelemetrySnapshot,
     /// Per-dataset request/failure counters, sorted by dataset name.
     pub datasets: Vec<DatasetMetrics>,
+    /// Worker-pool health (per-worker liveness, task/failure counters, mean
+    /// task latency) when the engine serves through a remote transport.
+    pub remote: Option<hdmm_net::PoolHealth>,
 }
 
 impl std::fmt::Display for EngineMetrics {
@@ -415,6 +429,9 @@ impl std::fmt::Display for EngineMetrics {
                 "\n  dataset {}: requests={} failures={} shards={}",
                 d.name, d.requests, d.failures, d.shards
             )?;
+        }
+        if let Some(pool) = &self.remote {
+            write!(f, "\nremote pool: {pool}")?;
         }
         Ok(())
     }

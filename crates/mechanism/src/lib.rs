@@ -32,7 +32,9 @@ pub use mechanism::{
 };
 pub use phases::{try_run_mechanism_observed, MechanismPhase, NoopObserver, PhaseObserver};
 pub use sharded::{
-    answer_sharded, measure_sharded, reconstruct_sharded, try_run_mechanism_sharded_observed,
-    DataSlab, ScopedExecutor, SerialExecutor, ShardExecutor, ShardedView,
+    answer_sharded, explicit_forward_sharded, kron_forward_from_parts, kron_forward_sharded,
+    kron_transpose_from_parts, kron_transpose_sharded, measure_sharded, measure_with,
+    reconstruct_sharded, try_run_mechanism_sharded_observed, DataSlab, ScopedExecutor,
+    SerialExecutor, ShardExecutor, ShardedView,
 };
 pub use strategy::{Strategy, UnionGroup};

@@ -46,6 +46,14 @@ use rand::Rng;
 use std::ops::Range;
 use std::time::Instant;
 
+/// Fallible dense-strategy product `A·x` for [`measure_with`]: how the
+/// executor computes the explicit-matrix measurement vector.
+pub type ExplicitFn<'a, E> = dyn FnMut(&hdmm_linalg::Matrix) -> Result<Vec<f64>, E> + 'a;
+
+/// Fallible Kronecker forward product over the data for [`measure_with`]:
+/// how the executor computes one measurement block from its factors.
+pub type ForwardFn<'a, E> = dyn FnMut(&[&StructuredMatrix]) -> Result<Vec<f64>, E> + 'a;
+
 /// One contiguous slab of a row-major data vector: leading-axis rows `rows`
 /// holding `rows.len() · (N / leading)` cells.
 #[derive(Debug, Clone)]
@@ -138,8 +146,9 @@ impl<'a> ShardedView<'a> {
     /// The slab row ranges translated to an axis of length `axis_len`
     /// (`axis_len` must equal `leading` times an integer or divide it so the
     /// element boundaries stay aligned). Returns `None` when a boundary does
-    /// not fall on a whole row of the target axis.
-    fn ranges_on_axis(&self, axis_len: usize, axis_stride: usize) -> Option<Vec<Range<usize>>> {
+    /// not fall on a whole row of the target axis. Public because remote
+    /// executors need the same alignment test before fanning tasks out.
+    pub fn ranges_on_axis(&self, axis_len: usize, axis_stride: usize) -> Option<Vec<Range<usize>>> {
         let stride = self.stride();
         let mut out = Vec::with_capacity(self.slabs.len());
         for s in &self.slabs {
@@ -262,7 +271,7 @@ fn timed_task<'a>(
 /// Falls back to the assembled plain kernel when the slab boundaries do not
 /// align with the leading factor's input mode (the result is identical
 /// either way; only the parallelism differs).
-fn kron_forward_sharded(
+pub fn kron_forward_sharded(
     factors: &[&StructuredMatrix],
     view: &ShardedView<'_>,
     exec: &dyn ShardExecutor,
@@ -272,9 +281,9 @@ fn kron_forward_sharded(
     let split = leading_split(factors);
     let lead_n = split.leading.cols();
     let rest_n = split.trailing_cols();
-    let Some(ranges) = view.ranges_on_axis(lead_n, rest_n) else {
+    if view.ranges_on_axis(lead_n, rest_n).is_none() {
         return hdmm_linalg::kmatvec_structured(factors, &view.assemble());
-    };
+    }
 
     // Phase 1 — trailing factors per slab (parallel over slabs).
     let mut parts: Vec<Vec<f64>> = vec![Vec::new(); view.slabs.len()];
@@ -293,6 +302,28 @@ fn kron_forward_sharded(
         exec.run(tasks);
     }
 
+    kron_forward_from_parts(factors, parts, exec, observer, phase)
+}
+
+/// Phases 2–3 of the forward fan-out: the ordered merge of per-slab trailing
+/// results, then the leading contraction over disjoint output-row blocks.
+///
+/// Shared by the in-process and remote executors — phase 1 is where the two
+/// differ (scoped threads over borrowed slabs vs. shard-task RPCs), while the
+/// merge and leading contraction run here on the coordinator either way, so
+/// both paths produce identical bytes by construction. `parts[i]` must be the
+/// trailing-factor product over slab `i`, in slab order.
+pub fn kron_forward_from_parts(
+    factors: &[&StructuredMatrix],
+    parts: Vec<Vec<f64>>,
+    exec: &dyn ShardExecutor,
+    observer: &(impl PhaseObserver + ?Sized),
+    phase: MechanismPhase,
+) -> Vec<f64> {
+    let split = leading_split(factors);
+    let lead_n = split.leading.cols();
+    let shards = parts.len();
+
     // Phase 2 — ordered merge (pure memory move, exact).
     let right = split.trailing_rows();
     let mut merged = Vec::with_capacity(lead_n * right);
@@ -305,7 +336,7 @@ fn kron_forward_sharded(
     let m_lead = split.leading.rows();
     let mut out = vec![0.0; m_lead * right];
     {
-        let blocks = partition_rows(m_lead, ranges.len());
+        let blocks = partition_rows(m_lead, shards);
         let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(blocks.len());
         let mut rest = out.as_mut_slice();
         for (shard, block) in blocks.into_iter().enumerate() {
@@ -325,7 +356,7 @@ fn kron_forward_sharded(
 /// The exact transposed fan-out: `(⊗ factors)ᵀ·y`, bitwise identical to
 /// `kmatvec_transpose_structured(factors, y)`. `domain_ranges` gives the
 /// output (domain-axis) partition, typically the view's slab ranges.
-fn kron_transpose_sharded(
+pub fn kron_transpose_sharded(
     factors: &[&StructuredMatrix],
     y: &[f64],
     domain_ranges: &[Range<usize>],
@@ -356,6 +387,25 @@ fn kron_transpose_sharded(
         exec.run(tasks);
     }
 
+    kron_transpose_from_parts(factors, parts, domain_ranges, exec, observer, phase)
+}
+
+/// The merge + leading-transpose half of the transposed fan-out, shared by
+/// the in-process and remote executors (see [`kron_forward_from_parts`]).
+/// `parts[i]` must be the trailing-transpose product over the `i`-th
+/// measurement-axis block of `y` (blocks from `partition_rows(m_lead,
+/// domain_ranges.len())`), in block order.
+pub fn kron_transpose_from_parts(
+    factors: &[&StructuredMatrix],
+    parts: Vec<Vec<f64>>,
+    domain_ranges: &[Range<usize>],
+    exec: &dyn ShardExecutor,
+    observer: &(impl PhaseObserver + ?Sized),
+    phase: MechanismPhase,
+) -> Vec<f64> {
+    let split = leading_split(factors);
+    let m_lead = split.leading.rows();
+
     let right = split.trailing_cols();
     let mut merged = Vec::with_capacity(m_lead * right);
     for p in parts {
@@ -384,7 +434,7 @@ fn kron_transpose_sharded(
 }
 
 /// Row-partitioned explicit matvec, exact w.r.t. `a.matvec(x)`.
-fn explicit_forward_sharded(
+pub fn explicit_forward_sharded(
     a: &hdmm_linalg::Matrix,
     x: &[f64],
     parts: usize,
@@ -407,30 +457,32 @@ fn explicit_forward_sharded(
     out
 }
 
-/// Sharded MEASURE: computes `A·x` through the per-slab fan-out and adds
-/// Laplace noise exactly once over the assembled measurement vector —
-/// bitwise identical to [`measure`](crate::measure) on the assembled data
-/// for every shard count, so ε-differential privacy holds unchanged.
+/// The strategy-generic MEASURE skeleton, parametrized over the two forward
+/// kernels: per-strategy sensitivity, block ordering, theta scaling, and the
+/// noise-draw order live here — written exactly once — while `explicit`
+/// (dense matvec) and `forward` (Kronecker factor product over the data)
+/// decide *where* the flops run. The in-process path supplies infallible
+/// closures over the scoped-thread fan-out; the remote path supplies
+/// RPC-backed closures that can fail with a transport error. Noise is always
+/// drawn *after* a block's forward product succeeds, and blocks are visited
+/// in strategy order, so every caller consumes the RNG stream identically —
+/// the root of the byte-identity guarantee across executors.
 ///
 /// # Panics
 /// Panics if `eps` is not positive (mirror of the plain path; use
 /// [`try_run_mechanism_sharded_observed`] for typed validation).
-pub fn measure_sharded(
+pub fn measure_with<E>(
     strategy: &Strategy,
-    view: &ShardedView<'_>,
     eps: f64,
     rng: &mut impl Rng,
-    exec: &dyn ShardExecutor,
-    observer: &(impl PhaseObserver + ?Sized),
-) -> Measurements {
+    explicit: &mut ExplicitFn<'_, E>,
+    forward: &mut ForwardFn<'_, E>,
+) -> Result<Measurements, E> {
     assert!(eps > 0.0, "privacy budget must be positive");
-    let phase = MechanismPhase::Measure;
     let blocks = match strategy {
         Strategy::Explicit(a) => {
             let scale = a.norm_l1_operator() / eps;
-            let x = view.assemble();
-            let mut noisy =
-                explicit_forward_sharded(a, &x, view.shard_count(), exec, observer, phase);
+            let mut noisy = explicit(a)?;
             add_laplace_noise(&mut noisy, scale, rng);
             vec![MeasuredBlock {
                 noisy,
@@ -441,7 +493,7 @@ pub fn measure_sharded(
             let sens: f64 = factors.iter().map(StructuredMatrix::sensitivity).product();
             let scale = sens / eps;
             let refs: Vec<&StructuredMatrix> = factors.iter().collect();
-            let mut noisy = kron_forward_sharded(&refs, view, exec, observer, phase);
+            let mut noisy = forward(&refs)?;
             add_laplace_noise(&mut noisy, scale, rng);
             vec![MeasuredBlock {
                 noisy,
@@ -458,7 +510,7 @@ pub fn measure_sharded(
                 }
                 let q = algebra.marginal_factors(a);
                 let refs: Vec<&StructuredMatrix> = q.iter().collect();
-                let mut noisy = kron_forward_sharded(&refs, view, exec, observer, phase);
+                let mut noisy = forward(&refs)?;
                 for v in &mut noisy {
                     *v *= theta;
                 }
@@ -470,9 +522,9 @@ pub fn measure_sharded(
             }
             blocks
         }
-        Strategy::Union(groups) => groups
-            .iter()
-            .map(|g| {
+        Strategy::Union(groups) => {
+            let mut blocks = Vec::with_capacity(groups.len());
+            for g in groups {
                 let sens: f64 = g
                     .factors
                     .iter()
@@ -480,16 +532,57 @@ pub fn measure_sharded(
                     .product();
                 let scale = sens / (g.share * eps);
                 let refs: Vec<&StructuredMatrix> = g.factors.iter().collect();
-                let mut noisy = kron_forward_sharded(&refs, view, exec, observer, phase);
+                let mut noisy = forward(&refs)?;
                 add_laplace_noise(&mut noisy, scale, rng);
-                MeasuredBlock {
+                blocks.push(MeasuredBlock {
                     noisy,
                     noise_scale: scale,
-                }
-            })
-            .collect(),
+                });
+            }
+            blocks
+        }
     };
-    Measurements { blocks, eps }
+    Ok(Measurements { blocks, eps })
+}
+
+/// Sharded MEASURE: computes `A·x` through the per-slab fan-out and adds
+/// Laplace noise exactly once over the assembled measurement vector —
+/// bitwise identical to [`measure`](crate::measure) on the assembled data
+/// for every shard count, so ε-differential privacy holds unchanged.
+///
+/// # Panics
+/// Panics if `eps` is not positive (mirror of the plain path; use
+/// [`try_run_mechanism_sharded_observed`] for typed validation).
+pub fn measure_sharded(
+    strategy: &Strategy,
+    view: &ShardedView<'_>,
+    eps: f64,
+    rng: &mut impl Rng,
+    exec: &dyn ShardExecutor,
+    observer: &(impl PhaseObserver + ?Sized),
+) -> Measurements {
+    let phase = MechanismPhase::Measure;
+    let result: Result<Measurements, std::convert::Infallible> = measure_with(
+        strategy,
+        eps,
+        rng,
+        &mut |a| {
+            let x = view.assemble();
+            Ok(explicit_forward_sharded(
+                a,
+                &x,
+                view.shard_count(),
+                exec,
+                observer,
+                phase,
+            ))
+        },
+        &mut |refs| Ok(kron_forward_sharded(refs, view, exec, observer, phase)),
+    );
+    match result {
+        Ok(meas) => meas,
+        Err(never) => match never {},
+    }
 }
 
 /// Sharded RECONSTRUCT: scatters `x̂` back per domain slab. Bitwise identical

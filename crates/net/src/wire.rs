@@ -1,0 +1,386 @@
+//! Wire frames for shard-task RPC: length-prefixed, checksummed, typed.
+//!
+//! A frame on the wire is `[len: u32 LE][payload][checksum: u64 LE]`, where
+//! `len` covers the payload plus its checksum trailer and the payload is
+//! `[magic "HNW1"][kind: u8][body]` encoded through the shared
+//! [`hdmm_core::codec`] — the same encode/decode path and FNV-1a checksum
+//! that seals [`PlanStore`] files, so there is exactly one binary codec in
+//! the system. The length prefix is sanity-bounded by [`MAX_FRAME_BYTES`]
+//! before any allocation: a corrupt or hostile length yields a typed
+//! [`NetError::Oversized`], never a multi-gigabyte buffer.
+//!
+//! Every task frame is **pure and idempotent** — a `SlabForward` or `Apply`
+//! computes a deterministic function of its inputs and mutates nothing — so
+//! the client may retry at-least-once on timeout without coordination.
+//!
+//! [`PlanStore`]: https://docs.rs/hdmm-engine
+
+use hdmm_core::codec::{self, CodecError, Reader};
+use hdmm_linalg::StructuredMatrix;
+use std::io::{Read, Write};
+
+/// Magic prefix of every frame payload (format + version).
+pub const WIRE_MAGIC: &[u8; 4] = b"HNW1";
+
+/// Upper bound on a frame's encoded size; length prefixes beyond this are
+/// rejected before allocation. Generous: a 2^27-cell slab of `f64`s is 1 GiB.
+pub const MAX_FRAME_BYTES: u64 = 1 << 30;
+
+/// Typed error taxonomy a worker can report back to the coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The task itself failed (kernel panic, shape mismatch).
+    Internal,
+    /// The worker does not hold the requested slab (e.g. it restarted); the
+    /// client re-pushes the slab and retries.
+    UnknownSlab,
+    /// The request was structurally invalid for this worker.
+    BadTask,
+}
+
+impl ErrorCode {
+    fn tag(self) -> u8 {
+        match self {
+            ErrorCode::Internal => 0,
+            ErrorCode::UnknownSlab => 1,
+            ErrorCode::BadTask => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, CodecError> {
+        match tag {
+            0 => Ok(ErrorCode::Internal),
+            1 => Ok(ErrorCode::UnknownSlab),
+            2 => Ok(ErrorCode::BadTask),
+            tag => Err(CodecError::BadTag { tag }),
+        }
+    }
+}
+
+/// Every message exchanged between coordinator and shard worker, both
+/// directions (requests first, responses after).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Health probe; doubles as the registration handshake.
+    Ping,
+    /// Pushes one leading-axis slab (`rows` in leading-row coordinates) of a
+    /// dataset to the worker. Idempotent: re-loading overwrites.
+    LoadSlab {
+        /// Dataset the slab belongs to.
+        dataset: String,
+        /// Shard index within the dataset's partition.
+        shard: u64,
+        /// Leading-axis row range `[start, end)` the slab covers.
+        rows: (u64, u64),
+        /// The slab's cells, row-major.
+        values: Vec<f64>,
+    },
+    /// MEASURE phase 1: apply the trailing strategy factors to a slab the
+    /// worker owns (raw data never travels for measurement tasks).
+    SlabForward {
+        /// Dataset whose slab to use.
+        dataset: String,
+        /// Shard index within the dataset's partition.
+        shard: u64,
+        /// Trailing factors, outermost first.
+        factors: Vec<StructuredMatrix>,
+    },
+    /// RECONSTRUCT fan-out: apply trailing factors (forward or transposed)
+    /// to a coordinator-resident payload block shipped with the task.
+    Apply {
+        /// `true` for the transposed kernel (`Aᵀ`-side passes).
+        transpose: bool,
+        /// Trailing factors, outermost first.
+        factors: Vec<StructuredMatrix>,
+        /// The payload block to contract.
+        payload: Vec<f64>,
+    },
+    /// Response to [`Frame::Ping`]: how many slabs the worker holds.
+    Pong {
+        /// Number of loaded slabs.
+        slabs: u64,
+    },
+    /// Response to [`Frame::LoadSlab`].
+    Loaded,
+    /// Successful task result: the per-slab partial product.
+    Part {
+        /// The computed values.
+        values: Vec<f64>,
+    },
+    /// Typed task failure.
+    Error {
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Frame {
+    /// Short name for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Frame::Ping => "ping",
+            Frame::LoadSlab { .. } => "load-slab",
+            Frame::SlabForward { .. } => "slab-forward",
+            Frame::Apply { .. } => "apply",
+            Frame::Pong { .. } => "pong",
+            Frame::Loaded => "loaded",
+            Frame::Part { .. } => "part",
+            Frame::Error { .. } => "error",
+        }
+    }
+}
+
+/// Everything that can go wrong talking to a shard worker.
+#[derive(Debug)]
+pub enum NetError {
+    /// Transport failure (connect, read, write, timeout).
+    Io(std::io::Error),
+    /// The bytes arrived but do not decode (corruption, version skew).
+    Codec(CodecError),
+    /// A length prefix exceeded [`MAX_FRAME_BYTES`]; rejected pre-allocation.
+    Oversized {
+        /// The claimed frame length.
+        len: u64,
+        /// The enforced maximum.
+        max: u64,
+    },
+    /// The worker answered with a typed [`Frame::Error`].
+    Remote {
+        /// Failure class reported by the worker.
+        code: ErrorCode,
+        /// Worker-side detail.
+        message: String,
+    },
+    /// The worker answered with the wrong frame kind.
+    Unexpected {
+        /// Kind of the frame actually received.
+        got: &'static str,
+    },
+    /// No worker in the pool could run the task (all dead / pool empty).
+    NoWorkers,
+    /// The task shape cannot fan out remotely (e.g. slab boundaries
+    /// misaligned with the leading factor); the caller should fall back to
+    /// the local pipeline.
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "transport: {e}"),
+            NetError::Codec(e) => write!(f, "frame decode: {e}"),
+            NetError::Oversized { len, max } => {
+                write!(f, "frame length {len} exceeds maximum {max}")
+            }
+            NetError::Remote { code, message } => {
+                write!(f, "worker error ({code:?}): {message}")
+            }
+            NetError::Unexpected { got } => write!(f, "unexpected response frame: {got}"),
+            NetError::NoWorkers => write!(f, "no live workers available"),
+            NetError::Unsupported(what) => write!(f, "not remotable: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<CodecError> for NetError {
+    fn from(e: CodecError) -> Self {
+        NetError::Codec(e)
+    }
+}
+
+/// Factor lists on the wire may be empty (a single-factor Kronecker strategy
+/// has no trailing factors), unlike strategy factor lists in the shared
+/// codec — hence dedicated helpers.
+fn put_factors(out: &mut Vec<u8>, fs: &[StructuredMatrix]) {
+    codec::put_usize(out, fs.len());
+    for f in fs {
+        codec::put_structured(out, f);
+    }
+}
+
+fn read_factors(r: &mut Reader<'_>) -> Result<Vec<StructuredMatrix>, CodecError> {
+    let n = r.count()?;
+    (0..n).map(|_| r.structured()).collect()
+}
+
+/// Encodes a frame payload (magic + kind + body + checksum trailer) without
+/// the stream length prefix — what [`decode_frame`] accepts.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(WIRE_MAGIC);
+    match frame {
+        Frame::Ping => out.push(0),
+        Frame::LoadSlab {
+            dataset,
+            shard,
+            rows,
+            values,
+        } => {
+            out.push(1);
+            codec::put_str(&mut out, dataset);
+            codec::put_u64(&mut out, *shard);
+            codec::put_u64(&mut out, rows.0);
+            codec::put_u64(&mut out, rows.1);
+            codec::put_f64s(&mut out, values);
+        }
+        Frame::SlabForward {
+            dataset,
+            shard,
+            factors,
+        } => {
+            out.push(2);
+            codec::put_str(&mut out, dataset);
+            codec::put_u64(&mut out, *shard);
+            put_factors(&mut out, factors);
+        }
+        Frame::Apply {
+            transpose,
+            factors,
+            payload,
+        } => {
+            out.push(3);
+            out.push(u8::from(*transpose));
+            put_factors(&mut out, factors);
+            codec::put_f64s(&mut out, payload);
+        }
+        Frame::Pong { slabs } => {
+            out.push(4);
+            codec::put_u64(&mut out, *slabs);
+        }
+        Frame::Loaded => out.push(5),
+        Frame::Part { values } => {
+            out.push(6);
+            codec::put_f64s(&mut out, values);
+        }
+        Frame::Error { code, message } => {
+            out.push(7);
+            out.push(code.tag());
+            codec::put_str(&mut out, message);
+        }
+    }
+    codec::seal(&mut out);
+    out
+}
+
+/// Decodes a frame payload produced by [`encode_frame`]: verifies the
+/// checksum trailer, the magic, the kind tag, and full consumption. Any
+/// corruption — truncation, bit flips, oversized element counts, trailing
+/// garbage — yields a typed [`CodecError`], never a panic or a partial read.
+pub fn decode_frame(bytes: &[u8]) -> Result<Frame, CodecError> {
+    let payload = codec::open(bytes)?;
+    let mut r = Reader::new(payload);
+    if r.take(WIRE_MAGIC.len())? != WIRE_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let frame = match r.u8()? {
+        0 => Frame::Ping,
+        1 => Frame::LoadSlab {
+            dataset: r.str()?,
+            shard: r.u64()?,
+            rows: (r.u64()?, r.u64()?),
+            values: r.f64s()?,
+        },
+        2 => Frame::SlabForward {
+            dataset: r.str()?,
+            shard: r.u64()?,
+            factors: read_factors(&mut r)?,
+        },
+        3 => Frame::Apply {
+            transpose: match r.u8()? {
+                0 => false,
+                1 => true,
+                tag => return Err(CodecError::BadTag { tag }),
+            },
+            factors: read_factors(&mut r)?,
+            payload: r.f64s()?,
+        },
+        4 => Frame::Pong { slabs: r.u64()? },
+        5 => Frame::Loaded,
+        6 => Frame::Part { values: r.f64s()? },
+        7 => Frame::Error {
+            code: ErrorCode::from_tag(r.u8()?)?,
+            message: r.str()?,
+        },
+        tag => return Err(CodecError::BadTag { tag }),
+    };
+    r.expect_end()?;
+    Ok(frame)
+}
+
+/// Writes one length-prefixed frame to a stream and flushes it.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
+    let payload = encode_frame(frame);
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "frame exceeds u32 length")
+    })?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame from a stream. The length prefix is
+/// bounds-checked against [`MAX_FRAME_BYTES`] *before* the payload buffer is
+/// allocated, so a corrupt prefix costs nothing.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, NetError> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u64::from(u32::from_le_bytes(len_bytes));
+    if len > MAX_FRAME_BYTES {
+        return Err(NetError::Oversized {
+            len,
+            max: MAX_FRAME_BYTES,
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(decode_frame(&payload)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_round_trip() {
+        let frame = Frame::Part {
+            values: vec![1.5, -2.5, 0.0],
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).unwrap();
+        let back = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        match read_frame(&mut buf.as_slice()) {
+            Err(NetError::Oversized { len, .. }) => assert_eq!(len, u64::from(u32::MAX)),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_stream_is_a_typed_io_error() {
+        let frame = Frame::Pong { slabs: 3 };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(NetError::Io(_))
+        ));
+    }
+}

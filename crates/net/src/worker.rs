@@ -1,0 +1,291 @@
+//! The shard worker: a TCP server that owns data slabs and answers task
+//! frames.
+//!
+//! A worker is deliberately dumb — it holds `(dataset, shard) → slab`
+//! entries pushed by the coordinator and evaluates pure kernels against
+//! them. All policy (assignment, retry, reassignment, fallback) lives on the
+//! coordinator side ([`WorkerPool`](crate::WorkerPool)), which keeps the
+//! authoritative data copy; a worker that crashes loses nothing that cannot
+//! be re-pushed.
+//!
+//! Task kernels run under `catch_unwind`, so a shape mismatch that would
+//! panic in-process comes back as a typed [`Frame::Error`] instead of
+//! killing the connection. The accept loop is non-blocking with a short
+//! poll, and every live connection is registered so [`WorkerHandle::kill`]
+//! can hard-close them — which makes coordinator-observed failure (and thus
+//! the retry path) deterministic in tests.
+
+use crate::wire::{read_frame, write_frame, ErrorCode, Frame};
+use hdmm_linalg::{kmatvec_trailing_slab, kmatvec_transpose_trailing_slab, StructuredMatrix};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Worker tuning knobs.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerOptions {
+    /// Artificial latency added before every compute task — fault-injection
+    /// hook for tests and demos (a "slow worker"); zero in production.
+    pub task_delay: Duration,
+}
+
+struct Slab {
+    values: Vec<f64>,
+}
+
+struct Shared {
+    stop: AtomicBool,
+    slabs: Mutex<HashMap<(String, u64), Slab>>,
+    conns: Mutex<Vec<TcpStream>>,
+    opts: WorkerOptions,
+}
+
+/// Handle to a running in-process shard worker (see [`spawn_worker`]).
+pub struct WorkerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl WorkerHandle {
+    /// The address the worker is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of slabs currently loaded.
+    pub fn slab_count(&self) -> usize {
+        self.shared.slabs.lock().expect("slab map").len()
+    }
+
+    /// Hard-stops the worker: the accept loop exits and every live
+    /// connection is shut down, so a coordinator blocked on a response
+    /// observes the failure immediately (mid-task kills included).
+    pub fn kill(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        for conn in self.shared.conns.lock().expect("conn registry").drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+impl Drop for WorkerHandle {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// Spawns a shard worker listening on `listen` (use `"127.0.0.1:0"` for an
+/// ephemeral loopback port). Serving threads are detached; the returned
+/// handle stops them on [`WorkerHandle::kill`] or drop.
+pub fn spawn_worker(
+    listen: impl ToSocketAddrs,
+    opts: WorkerOptions,
+) -> std::io::Result<WorkerHandle> {
+    let listener = TcpListener::bind(listen)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        stop: AtomicBool::new(false),
+        slabs: Mutex::new(HashMap::new()),
+        conns: Mutex::new(Vec::new()),
+        opts,
+    });
+    let accept_shared = Arc::clone(&shared);
+    std::thread::spawn(move || {
+        while !accept_shared.stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nodelay(true);
+                    if let Ok(clone) = stream.try_clone() {
+                        accept_shared
+                            .conns
+                            .lock()
+                            .expect("conn registry")
+                            .push(clone);
+                    }
+                    let conn_shared = Arc::clone(&accept_shared);
+                    std::thread::spawn(move || serve_connection(stream, &conn_shared));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => break,
+            }
+        }
+    });
+    Ok(WorkerHandle { addr, shared })
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let request = match read_frame(&mut stream) {
+            Ok(f) => f,
+            // EOF, reset, or garbage: drop the connection. The coordinator
+            // reconnects and retries; tasks are idempotent.
+            Err(_) => return,
+        };
+        let response = handle(request, shared);
+        if write_frame(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn handle(request: Frame, shared: &Shared) -> Frame {
+    match request {
+        Frame::Ping => Frame::Pong {
+            slabs: shared.slabs.lock().expect("slab map").len() as u64,
+        },
+        Frame::LoadSlab {
+            dataset,
+            shard,
+            rows,
+            values,
+        } => {
+            if rows.1 <= rows.0 {
+                return Frame::Error {
+                    code: ErrorCode::BadTask,
+                    message: format!("empty slab row range {rows:?}"),
+                };
+            }
+            if !values.len().is_multiple_of((rows.1 - rows.0) as usize) {
+                return Frame::Error {
+                    code: ErrorCode::BadTask,
+                    message: format!(
+                        "slab payload of {} cells does not tile rows {rows:?}",
+                        values.len()
+                    ),
+                };
+            }
+            shared
+                .slabs
+                .lock()
+                .expect("slab map")
+                .insert((dataset, shard), Slab { values });
+            Frame::Loaded
+        }
+        Frame::SlabForward {
+            dataset,
+            shard,
+            factors,
+        } => {
+            std::thread::sleep(shared.opts.task_delay);
+            let slabs = shared.slabs.lock().expect("slab map");
+            let Some(slab) = slabs.get(&(dataset.clone(), shard)) else {
+                return Frame::Error {
+                    code: ErrorCode::UnknownSlab,
+                    message: format!("no slab {shard} of dataset {dataset:?} loaded"),
+                };
+            };
+            compute(&factors, &slab.values, false)
+        }
+        Frame::Apply {
+            transpose,
+            factors,
+            payload,
+        } => {
+            std::thread::sleep(shared.opts.task_delay);
+            compute(&factors, &payload, transpose)
+        }
+        // Response frames are not valid requests.
+        other => Frame::Error {
+            code: ErrorCode::BadTask,
+            message: format!("frame kind {:?} is not a request", other.kind()),
+        },
+    }
+}
+
+/// Runs a trailing kernel under `catch_unwind` so shape mismatches come back
+/// as typed errors instead of dead connections.
+fn compute(factors: &[StructuredMatrix], payload: &[f64], transpose: bool) -> Frame {
+    let refs: Vec<&StructuredMatrix> = factors.iter().collect();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if transpose {
+            kmatvec_transpose_trailing_slab(&refs, payload)
+        } else {
+            kmatvec_trailing_slab(&refs, payload)
+        }
+    }));
+    match result {
+        Ok(values) => Frame::Part { values },
+        Err(_) => Frame::Error {
+            code: ErrorCode::Internal,
+            message: "task kernel panicked (shape mismatch?)".to_string(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::NetError;
+
+    fn call(addr: SocketAddr, frame: &Frame) -> Result<Frame, NetError> {
+        let mut stream = TcpStream::connect(addr)?;
+        write_frame(&mut stream, frame)?;
+        read_frame(&mut stream)
+    }
+
+    #[test]
+    fn worker_answers_ping_load_and_forward() {
+        let w = spawn_worker("127.0.0.1:0", WorkerOptions::default()).unwrap();
+        assert_eq!(
+            call(w.addr(), &Frame::Ping).unwrap(),
+            Frame::Pong { slabs: 0 }
+        );
+
+        let values: Vec<f64> = (0..6).map(f64::from).collect();
+        let load = Frame::LoadSlab {
+            dataset: "d".into(),
+            shard: 0,
+            rows: (0, 2),
+            values: values.clone(),
+        };
+        assert_eq!(call(w.addr(), &load).unwrap(), Frame::Loaded);
+        assert_eq!(w.slab_count(), 1);
+
+        // Trailing factor Total(3): each leading row collapses to its sum.
+        let fwd = Frame::SlabForward {
+            dataset: "d".into(),
+            shard: 0,
+            factors: vec![StructuredMatrix::total(3)],
+        };
+        match call(w.addr(), &fwd).unwrap() {
+            Frame::Part { values } => assert_eq!(values, vec![3.0, 12.0]),
+            other => panic!("expected Part, got {other:?}"),
+        }
+
+        // Unknown slabs are a typed, retryable error.
+        let missing = Frame::SlabForward {
+            dataset: "d".into(),
+            shard: 9,
+            factors: vec![StructuredMatrix::total(3)],
+        };
+        match call(w.addr(), &missing).unwrap() {
+            Frame::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownSlab),
+            other => panic!("expected UnknownSlab, got {other:?}"),
+        }
+        w.kill();
+    }
+
+    #[test]
+    fn killed_worker_fails_connections_fast() {
+        let w = spawn_worker("127.0.0.1:0", WorkerOptions::default()).unwrap();
+        let addr = w.addr();
+        assert!(call(addr, &Frame::Ping).is_ok());
+        w.kill();
+        std::thread::sleep(Duration::from_millis(20));
+        let mut ok = false;
+        if let Ok(mut s) = TcpStream::connect(addr) {
+            s.set_read_timeout(Some(Duration::from_millis(200)))
+                .unwrap();
+            ok = write_frame(&mut s, &Frame::Ping).is_ok() && read_frame(&mut s).is_ok();
+        }
+        assert!(!ok, "a killed worker must stop answering");
+    }
+}

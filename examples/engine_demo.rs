@@ -12,11 +12,16 @@
 //! 5. a batch served through the `EngineServer` thread pool;
 //! 6. a dataset registered *sharded* (leading-axis slabs) answers
 //!    byte-identically to its dense twin while MEASURE/RECONSTRUCT/ANSWER
-//!    fan out per shard — then the engine's cache, per-phase, per-shard, and
-//!    per-dataset telemetry is printed via `Engine::metrics()`.
+//!    fan out per shard;
+//! 7. the same sharded dataset served through a pool of in-process TCP
+//!    shard workers (`hdmm-net`) — remote answers byte-identical to local,
+//!    per-worker health printed — then the engine's cache, per-phase,
+//!    per-shard, per-dataset, and remote-pool telemetry is printed via
+//!    `Engine::metrics()`.
 
 use hdmm_core::{builders, Domain, EngineError, QueryEngine};
-use hdmm_engine::{Engine, EngineOptions, EngineServer, ServerOptions};
+use hdmm_engine::{Engine, EngineOptions, EngineServer, RemoteOptions, ServerOptions};
+use hdmm_net::{spawn_worker, WorkerOptions};
 use hdmm_optimizer::HdmmOptions;
 use std::sync::Arc;
 use std::time::Instant;
@@ -150,7 +155,7 @@ fn main() {
         ..Default::default()
     });
     dense_twin
-        .register_dataset("shardy", domain.clone(), sharded_x, 2.0)
+        .register_dataset("shardy", domain.clone(), sharded_x.clone(), 2.0)
         .expect("registration is valid");
     let dense = dense_twin
         .serve("shardy", &workload, 0.5)
@@ -166,9 +171,52 @@ fn main() {
         sharded.shards
     );
 
+    // 7. Distributed serving: the same sharded registration, but the shard
+    //    tasks cross a TCP hop to a pool of `hdmm-shard-worker`s (spawned
+    //    in-process here; in production they'd be separate machines). A
+    //    third twin engine with the same seed shows the remote answers are
+    //    byte-identical to the local sharded (and dense) ones.
+    let workers: Vec<_> = (0..3)
+        .map(|_| spawn_worker("127.0.0.1:0", WorkerOptions::default()).expect("loopback bind"))
+        .collect();
+    let remote_twin = Engine::new(EngineOptions {
+        hdmm: HdmmOptions {
+            restarts: 2,
+            ..Default::default()
+        },
+        seed: 7,
+        remote: Some(RemoteOptions {
+            workers: workers.iter().map(|w| w.addr().to_string()).collect(),
+            ..Default::default()
+        }),
+        ..Default::default()
+    });
+    remote_twin
+        .register_dataset_sharded("shardy", domain.clone(), sharded_x, 4, 2.0)
+        .expect("registration is valid");
+    let remote = remote_twin
+        .serve("shardy", &workload, 0.5)
+        .expect("request must survive");
+    let remote_identical = remote
+        .answers
+        .iter()
+        .zip(&sharded.answers)
+        .all(|(x, y)| x.to_bits() == y.to_bits());
+    println!(
+        "\n#7 remote: served over {} TCP workers, byte-identical to local: {remote_identical}",
+        workers.len()
+    );
+    let pool = remote_twin
+        .metrics()
+        .remote
+        .expect("remote engine exposes pool health");
+    for health in &pool.workers {
+        println!("   worker {health}");
+    }
+
     // The one-call observability surface: cache counters, per-phase latency
     // histograms (select runs once per distinct workload; measure/
-    // reconstruct/answer once per served request), per-shard task spans, and
-    // per-dataset request/failure counters.
+    // reconstruct/answer once per served request), per-shard task spans,
+    // per-dataset request/failure counters, and remote pool health.
     println!("\nengine metrics:\n{}", engine.metrics());
 }

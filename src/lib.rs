@@ -10,6 +10,7 @@ pub use hdmm_data as data;
 pub use hdmm_engine as engine;
 pub use hdmm_linalg as linalg;
 pub use hdmm_mechanism as mechanism;
+pub use hdmm_net as net;
 pub use hdmm_optimizer as optimizer;
 pub use hdmm_workload as workload;
 

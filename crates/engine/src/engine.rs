@@ -372,9 +372,35 @@ impl Engine {
                 });
             }
         }
-        // Warm the remote workers with the new dataset's slabs. Best-effort:
-        // `run_slab_task` re-pushes on demand, so a failure here (worker down,
-        // pool empty) costs first-request latency only.
+        let tenant = config
+            .tenant
+            .as_ref()
+            .map(|t| self.tenant_ledger_or_default(t));
+        let seed = self.dataset_seed(&name);
+        {
+            let mut datasets = write_recover(&self.datasets);
+            if datasets.contains_key(&name) {
+                return Err(EngineError::DatasetExists { name });
+            }
+            let accountant = Mutex::new(EpsAccountant::new(name.clone(), config.total_eps));
+            datasets.insert(
+                name.clone(),
+                Arc::new(DatasetState {
+                    domain,
+                    data: Arc::clone(&data),
+                    accountant,
+                    tenant,
+                    rng: Mutex::new(StdRng::seed_from_u64(seed)),
+                    requests: AtomicU64::new(0),
+                    failures: AtomicU64::new(0),
+                }),
+            );
+        }
+        // Warm the remote workers with the new dataset's slabs — strictly
+        // after the insert, so a rejected registration (duplicate name, bad
+        // shape) never overwrites a live dataset's slabs on the workers.
+        // Best-effort: `run_slab_task` re-pushes on demand, so a failure here
+        // (worker down, pool empty) costs first-request latency only.
         if let Some(remote) = &self.remote {
             if data.as_contiguous().is_none() {
                 let slabs: Vec<DataSlab<'_>> = (0..data.shard_count())
@@ -387,28 +413,6 @@ impl Engine {
                 let _ = remote.preload(&name, &view);
             }
         }
-        let tenant = config
-            .tenant
-            .as_ref()
-            .map(|t| self.tenant_ledger_or_default(t));
-        let seed = self.dataset_seed(&name);
-        let mut datasets = write_recover(&self.datasets);
-        if datasets.contains_key(&name) {
-            return Err(EngineError::DatasetExists { name });
-        }
-        let accountant = Mutex::new(EpsAccountant::new(name.clone(), config.total_eps));
-        datasets.insert(
-            name,
-            Arc::new(DatasetState {
-                domain,
-                data,
-                accountant,
-                tenant,
-                rng: Mutex::new(StdRng::seed_from_u64(seed)),
-                requests: AtomicU64::new(0),
-                failures: AtomicU64::new(0),
-            }),
-        );
         Ok(())
     }
 

@@ -1,8 +1,13 @@
-//! The standalone shard worker: `hdmm-shard-worker --listen 0.0.0.0:7411`.
+//! The standalone shard worker: `hdmm-shard-worker --listen 127.0.0.1:7411`.
 //!
 //! Serves shard-task RPCs (slab loads, trailing-factor products) until
 //! killed. All state is pushed by the coordinator, so a worker can be
 //! restarted at any time — the coordinator re-pushes slabs on demand.
+//!
+//! **Security.** The protocol is unauthenticated, and slab contents are the
+//! raw private data vector: anyone who can reach the port can read them
+//! back. Listen on loopback or a trusted private network only — never bind
+//! a worker to a publicly reachable address.
 
 use hdmm_net::{spawn_worker, WorkerOptions};
 use std::time::Duration;
@@ -10,7 +15,10 @@ use std::time::Duration;
 const USAGE: &str = "usage: hdmm-shard-worker [--listen ADDR] [--delay-ms N]
 
   --listen ADDR   address to listen on (default 127.0.0.1:7411)
-  --delay-ms N    artificial per-task latency in ms (fault injection; default 0)";
+  --delay-ms N    artificial per-task latency in ms (fault injection; default 0)
+
+The protocol is unauthenticated and slabs hold raw private data: listen on
+loopback or a trusted private network only.";
 
 fn main() {
     let mut listen = String::from("127.0.0.1:7411");

@@ -128,12 +128,15 @@ impl WorkerLink {
         }
     }
 
-    /// One request/response exchange under the per-attempt deadline. Any
-    /// failure drops the connection (the next call reconnects) — half-read
-    /// streams cannot be resynchronized, so reconnect-and-retry is the only
-    /// safe recovery.
+    /// One request/response exchange under the per-attempt deadline:
+    /// connect, write, and read all share one `timeout` window, enforced by
+    /// [`DeadlineStream`] so a worker trickling bytes cannot stretch the
+    /// attempt past it. Any failure drops the connection (the next call
+    /// reconnects) — half-read streams cannot be resynchronized, so
+    /// reconnect-and-retry is the only safe recovery.
     fn call(&self, frame: &Frame, timeout: Duration) -> Result<Frame, NetError> {
         let mut guard = self.conn.lock().expect("worker link");
+        let deadline = Instant::now() + timeout;
         if guard.is_none() {
             let addr = self
                 .addr
@@ -143,12 +146,13 @@ impl WorkerLink {
             stream.set_nodelay(true)?;
             *guard = Some(stream);
         }
-        let stream = guard.as_mut().expect("connected above");
-        stream.set_read_timeout(Some(timeout))?;
-        stream.set_write_timeout(Some(timeout))?;
-        let exchange = write_frame(stream, frame)
+        let mut stream = DeadlineStream {
+            stream: guard.as_mut().expect("connected above"),
+            deadline,
+        };
+        let exchange = write_frame(&mut stream, frame)
             .map_err(NetError::from)
-            .and_then(|()| read_frame(stream));
+            .and_then(|()| read_frame(&mut stream));
         if exchange.is_err() {
             *guard = None;
         }
@@ -173,6 +177,46 @@ impl WorkerLink {
     }
 }
 
+/// A [`TcpStream`] view that enforces an absolute attempt deadline: before
+/// every read/write syscall the socket timeout is shrunk to the time left,
+/// and an exhausted deadline fails with `TimedOut` immediately. Socket
+/// timeouts alone apply *per syscall*, so without this a worker trickling
+/// one byte per timeout window could stretch a single attempt far beyond
+/// [`RetryPolicy::task_timeout`].
+struct DeadlineStream<'a> {
+    stream: &'a mut TcpStream,
+    deadline: Instant,
+}
+
+impl DeadlineStream<'_> {
+    fn remaining(&self) -> std::io::Result<Duration> {
+        self.deadline
+            .checked_duration_since(Instant::now())
+            .filter(|left| !left.is_zero())
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::TimedOut, "attempt deadline exceeded")
+            })
+    }
+}
+
+impl std::io::Read for DeadlineStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.stream.set_read_timeout(Some(self.remaining()?))?;
+        self.stream.read(buf)
+    }
+}
+
+impl std::io::Write for DeadlineStream<'_> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.stream.set_write_timeout(Some(self.remaining()?))?;
+        self.stream.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.stream.flush()
+    }
+}
+
 /// The coordinator's worker registry and task router.
 pub struct WorkerPool {
     workers: RwLock<Vec<Arc<WorkerLink>>>,
@@ -187,6 +231,9 @@ pub struct WorkerPool {
 impl WorkerPool {
     /// Builds a pool over `addrs` and probes each worker once (best-effort —
     /// an unreachable worker starts dead and is skipped until it answers).
+    /// Probes run concurrently, so startup blocks for at most one
+    /// `task_timeout` even when every worker is unreachable, rather than
+    /// workers × timeout.
     pub fn connect(addrs: &[String], policy: RetryPolicy) -> Self {
         let pool = WorkerPool {
             workers: RwLock::new(addrs.iter().map(|a| Arc::new(WorkerLink::new(a))).collect()),
@@ -196,12 +243,18 @@ impl WorkerPool {
             retries: AtomicU64::new(0),
             reassignments: AtomicU64::new(0),
         };
-        for w in pool.workers.read().expect("worker registry").iter() {
-            let alive = matches!(
-                w.call(&Frame::Ping, pool.policy.task_timeout),
-                Ok(Frame::Pong { .. })
-            );
-            w.alive.store(alive, Ordering::Relaxed);
+        {
+            let workers = pool.workers.read().expect("worker registry");
+            let timeout = pool.policy.task_timeout;
+            std::thread::scope(|s| {
+                for w in workers.iter() {
+                    s.spawn(move || {
+                        let alive =
+                            matches!(w.call(&Frame::Ping, timeout), Ok(Frame::Pong { .. }));
+                        w.alive.store(alive, Ordering::Relaxed);
+                    });
+                }
+            });
         }
         pool
     }

@@ -13,13 +13,21 @@
 //! killing the connection. The accept loop is non-blocking with a short
 //! poll, and every live connection is registered so [`WorkerHandle::kill`]
 //! can hard-close them — which makes coordinator-observed failure (and thus
-//! the retry path) deterministic in tests.
+//! the retry path) deterministic in tests. Registry entries are pruned when
+//! a connection's serve loop exits, so coordinator reconnects (which happen
+//! on every timeout) do not leak file descriptors over a worker's lifetime.
+//!
+//! **Security.** The protocol is deliberately unauthenticated: any client
+//! that can reach the port can load slabs or read them back (a
+//! [`Frame::SlabForward`] with identity trailing factors returns the raw
+//! private data slab). Bind workers to loopback or a trusted private
+//! network only — never expose the port beyond the coordinator's network.
 
 use crate::wire::{read_frame, write_frame, ErrorCode, Frame};
 use hdmm_linalg::{kmatvec_trailing_slab, kmatvec_transpose_trailing_slab, StructuredMatrix};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -38,7 +46,10 @@ struct Slab {
 struct Shared {
     stop: AtomicBool,
     slabs: Mutex<HashMap<(String, u64), Slab>>,
-    conns: Mutex<Vec<TcpStream>>,
+    /// Kill-registry of live connections, keyed by accept-order id so each
+    /// entry can be pruned when its serve loop exits.
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+    next_conn: AtomicU64,
     opts: WorkerOptions,
 }
 
@@ -64,7 +75,7 @@ impl WorkerHandle {
     /// observes the failure immediately (mid-task kills included).
     pub fn kill(&self) {
         self.shared.stop.store(true, Ordering::SeqCst);
-        for conn in self.shared.conns.lock().expect("conn registry").drain(..) {
+        for (_, conn) in self.shared.conns.lock().expect("conn registry").drain(..) {
             let _ = conn.shutdown(std::net::Shutdown::Both);
         }
     }
@@ -90,6 +101,7 @@ pub fn spawn_worker(
         stop: AtomicBool::new(false),
         slabs: Mutex::new(HashMap::new()),
         conns: Mutex::new(Vec::new()),
+        next_conn: AtomicU64::new(0),
         opts,
     });
     let accept_shared = Arc::clone(&shared);
@@ -98,15 +110,25 @@ pub fn spawn_worker(
             match listener.accept() {
                 Ok((stream, _)) => {
                     let _ = stream.set_nodelay(true);
+                    let id = accept_shared.next_conn.fetch_add(1, Ordering::Relaxed);
                     if let Ok(clone) = stream.try_clone() {
                         accept_shared
                             .conns
                             .lock()
                             .expect("conn registry")
-                            .push(clone);
+                            .push((id, clone));
                     }
                     let conn_shared = Arc::clone(&accept_shared);
-                    std::thread::spawn(move || serve_connection(stream, &conn_shared));
+                    std::thread::spawn(move || {
+                        serve_connection(stream, &conn_shared);
+                        // Prune the kill-registry entry; without this every
+                        // coordinator reconnect leaks one fd for the
+                        // worker's lifetime.
+                        let mut conns = conn_shared.conns.lock().expect("conn registry");
+                        if let Some(i) = conns.iter().position(|(cid, _)| *cid == id) {
+                            conns.swap_remove(i);
+                        }
+                    });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(2));
@@ -269,6 +291,29 @@ mod tests {
         match call(w.addr(), &missing).unwrap() {
             Frame::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownSlab),
             other => panic!("expected UnknownSlab, got {other:?}"),
+        }
+        w.kill();
+    }
+
+    #[test]
+    fn closed_connections_are_pruned_from_the_kill_registry() {
+        let w = spawn_worker("127.0.0.1:0", WorkerOptions::default()).unwrap();
+        for _ in 0..4 {
+            // Each call connects, exchanges one frame, and drops the stream.
+            assert!(call(w.addr(), &Frame::Ping).is_ok());
+        }
+        // The serve loops observe EOF asynchronously; poll until drained.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            let live = w.shared.conns.lock().unwrap().len();
+            if live == 0 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "{live} closed connections still registered — fd leak"
+            );
+            std::thread::sleep(Duration::from_millis(5));
         }
         w.kill();
     }

@@ -197,6 +197,45 @@ fn killed_worker_mid_measure_retries_and_reassigns() {
 }
 
 #[test]
+fn rejected_duplicate_registration_never_touches_worker_state() {
+    let domain = Domain::new(&[64, 32, 32]);
+    let w = Workload::product(
+        domain.clone(),
+        vec![64, 32, 32]
+            .into_iter()
+            .map(hdmm::workload::blocks::prefix_block)
+            .collect(),
+    );
+    let dense = dense_answers(13, "dup", &domain, &w);
+    let (_handles, remote) = spawn_workers(&[Duration::ZERO, Duration::ZERO]);
+    let engine = engine_with(13, "dup", Some(remote));
+    engine
+        .register_dataset_sharded("d", domain.clone(), data(domain.size()), 3, 1e6)
+        .unwrap();
+    let first = engine.serve("d", &w, 1.0).unwrap().answers;
+    assert!(bits_eq(&dense.0, &first));
+
+    // Re-registering the live name with DIFFERENT data must fail — and must
+    // not overwrite the live dataset's slabs on the workers: the pool's
+    // `loaded` bookkeeping would otherwise skip the re-push and serve the
+    // poison data silently.
+    let poison = vec![0.0; domain.size()];
+    assert!(matches!(
+        engine.register_dataset_sharded("d", domain.clone(), poison, 3, 1e6),
+        Err(hdmm::EngineError::DatasetExists { .. })
+    ));
+    let second = engine.serve("d", &w, 0.5).unwrap().answers;
+    assert!(
+        bits_eq(&dense.1, &second),
+        "answers after a rejected duplicate registration must still match dense"
+    );
+    assert_eq!(
+        engine.metrics().telemetry.remote_fallbacks, 0,
+        "the original slabs must still be serving remotely"
+    );
+}
+
+#[test]
 fn connect_worker_at_runtime_requires_a_transport_and_a_live_worker() {
     let (_handles, remote) = spawn_workers(&[Duration::ZERO]);
     let engine = engine_with(3, "connect", Some(remote));

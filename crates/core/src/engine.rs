@@ -222,6 +222,10 @@ pub struct QueryResponse {
     pub expected_error: f64,
     /// How many data shards the measurement fanned out over (1 = dense path).
     pub shards: usize,
+    /// Trace id of the request (deterministic under the engine seed; 0 when
+    /// the serving engine does not trace). Look up the request's span tree
+    /// with it — e.g. `Engine::chrome_trace` in `hdmm-engine`.
+    pub trace_id: u64,
 }
 
 /// The end-to-end request lifecycle of a private query-answering service.

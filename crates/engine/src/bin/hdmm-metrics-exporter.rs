@@ -1,0 +1,148 @@
+//! `hdmm-metrics-exporter` — serve an engine's observability surfaces over
+//! HTTP.
+//!
+//! The binary builds a demo engine (seeded, deterministic), serves a few
+//! queries so every metric family has data, and then exposes:
+//!
+//! ```text
+//! /metrics        Prometheus text format
+//! /trace.json     all retained spans as Chrome trace_event JSON
+//! /trace/<id>.json one trace by id
+//! /audit.jsonl    the ε-budget audit stream
+//! ```
+//!
+//! Usage:
+//!
+//! ```text
+//! hdmm-metrics-exporter [--listen ADDR] [--queries N] [--oneshot] [--trace]
+//! ```
+//!
+//! * `--listen ADDR` — bind address (default `127.0.0.1:9185`).
+//! * `--queries N`   — demo queries to serve before listening (default 4).
+//! * `--oneshot`     — print `/metrics` to stdout and exit (CI smoke mode).
+//! * `--trace`       — with `--oneshot`, print the Chrome trace JSON instead.
+
+use hdmm_core::{builders, Domain, HdmmOptions, QueryEngine};
+use hdmm_engine::{DatasetConfig, Engine, EngineOptions, MetricsExporter};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Args {
+    listen: String,
+    queries: usize,
+    oneshot: bool,
+    trace: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        listen: "127.0.0.1:9185".to_string(),
+        queries: 4,
+        oneshot: false,
+        trace: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--listen" => {
+                args.listen = it.next().ok_or("--listen needs an address")?;
+            }
+            "--queries" => {
+                args.queries = it
+                    .next()
+                    .ok_or("--queries needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--queries: {e}"))?;
+            }
+            "--oneshot" => args.oneshot = true,
+            "--trace" => args.trace = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: hdmm-metrics-exporter [--listen ADDR] [--queries N] \
+                            [--oneshot] [--trace]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// A small deterministic engine with served traffic, so the exporter has
+/// phase histograms, ε gauges, spans, and audit events to show.
+fn demo_engine(queries: usize) -> Result<(Arc<Engine>, u64), hdmm_core::EngineError> {
+    let engine = Arc::new(Engine::new(EngineOptions {
+        hdmm: HdmmOptions {
+            restarts: 2,
+            ..Default::default()
+        },
+        seed: 7,
+        ..Default::default()
+    }));
+    let n = 64usize;
+    engine.register_dataset("census_1d", Domain::one_dim(n), vec![3.0; n], 50.0)?;
+    engine.set_tenant_quota("acme", 10.0)?;
+    engine.register_dataset_with(
+        "tenant_shards",
+        Domain::one_dim(n),
+        vec![1.0; n],
+        DatasetConfig {
+            total_eps: 20.0,
+            shards: 4,
+            tenant: Some("acme".to_string()),
+        },
+    )?;
+    let workloads = [builders::prefix_1d(n), builders::all_range_1d(n)];
+    let mut last_trace = 0u64;
+    for i in 0..queries.max(1) {
+        let dataset = if i % 2 == 0 {
+            "census_1d"
+        } else {
+            "tenant_shards"
+        };
+        let resp = engine.serve(dataset, &workloads[i % workloads.len()], 0.25)?;
+        last_trace = resp.trace_id;
+    }
+    Ok((engine, last_trace))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (engine, last_trace) = match demo_engine(args.queries) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("demo engine failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.oneshot {
+        if args.trace {
+            println!("{}", engine.chrome_trace(last_trace));
+        } else {
+            print!("{}", engine.render_prometheus());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let exporter = match MetricsExporter::bind(Arc::clone(&engine), args.listen.as_str()) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("bind {}: {e}", args.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "hdmm-metrics-exporter listening on http://{} (/metrics, /trace.json, /audit.jsonl)",
+        exporter.addr()
+    );
+    // Serve until killed; the exporter thread does all the work.
+    loop {
+        std::thread::park();
+    }
+}

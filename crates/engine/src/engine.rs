@@ -28,7 +28,8 @@ use crate::persist::PlanStore;
 use crate::session::Session;
 use crate::singleflight::{FlightOutcome, SingleFlight};
 use crate::sync::{lock_recover, read_recover, write_recover};
-use crate::telemetry::{DatasetMetrics, EngineMetrics, Telemetry};
+use crate::telemetry::{DatasetMetrics, EngineMetrics, ObsMetrics, Telemetry, TenantMetrics};
+use crate::tracing::RequestTracer;
 use hdmm_core::{
     BudgetAccountant, DataBackend, DenseVector, Domain, EngineError, HdmmOptions, Plan,
     PrivateSession, QueryEngine, QueryResponse, SessionId, ShardedDataVector, Workload,
@@ -38,14 +39,15 @@ use hdmm_mechanism::{
     try_run_mechanism_observed, try_run_mechanism_sharded_observed, DataSlab, ScopedExecutor,
     ShardedView,
 };
-use hdmm_net::{try_run_mechanism_remote_observed, RemoteError, RemoteExecutor, RemoteOptions};
+use hdmm_net::{try_run_mechanism_remote_traced, RemoteError, RemoteExecutor, RemoteOptions};
+use hdmm_obs::{AuditKind, AuditLog, Span, SpanCollector, TraceContext};
 use hdmm_optimizer::planner::{optimize_with_choice, select_optimizer, OptimizerChoice};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -79,6 +81,20 @@ pub struct EngineOptions {
     /// to local serving); dense datasets and a fully failed pool serve
     /// locally. `None` keeps everything in-process.
     pub remote: Option<RemoteOptions>,
+    /// Requests slower than this flush their span tree to the collector
+    /// eagerly (even when unsampled) and count in
+    /// [`crate::TelemetrySnapshot::slow_queries`]. `None` disables the
+    /// slow-query log.
+    pub slow_query_threshold: Option<Duration>,
+    /// Spans the engine's [`SpanCollector`] retains (ring-buffered; overflow
+    /// overwrites the oldest span and is drop-counted).
+    pub trace_capacity: usize,
+    /// Trace-sampling stride: every `trace_sample`-th request flushes its
+    /// span tree to the collector (1 = every request, 0 = only slow ones).
+    /// Phase/shard events always reach the latency histograms regardless.
+    pub trace_sample: u64,
+    /// ε-audit events the engine's [`AuditLog`] ring retains.
+    pub audit_capacity: usize,
 }
 
 impl Default for EngineOptions {
@@ -92,6 +108,10 @@ impl Default for EngineOptions {
             shard_workers: 0,
             cache_dir: None,
             remote: None,
+            slow_query_threshold: None,
+            trace_capacity: 4096,
+            trace_sample: 1,
+            audit_capacity: 1024,
         }
     }
 }
@@ -141,6 +161,9 @@ struct DatasetState {
     accountant: Mutex<EpsAccountant>,
     /// The owning tenant's shared quota, when the dataset has one.
     tenant: Option<Arc<Mutex<TenantLedger>>>,
+    /// The owning tenant's name (for metrics labels and audit events),
+    /// duplicated here so reads never take the ledger lock.
+    tenant_name: Option<String>,
     /// Per-dataset seeded stream: one `u64` is drawn per request to seed a
     /// request-local RNG, so a dataset's answer sequence depends only on its
     /// own request order, never on what other datasets' threads are doing.
@@ -229,6 +252,10 @@ pub struct Engine {
     shard_exec: ScopedExecutor,
     remote: Option<RemoteExecutor>,
     next_session: AtomicU64,
+    collector: SpanCollector,
+    audit: AuditLog,
+    /// Per-request trace counter; trace ids derive from `(seed, counter)`.
+    next_trace: AtomicU64,
 }
 
 impl Engine {
@@ -242,10 +269,13 @@ impl Engine {
             telemetry: Telemetry::default(),
             shard_exec: ScopedExecutor::new(options.shard_workers),
             remote: options.remote.as_ref().map(RemoteExecutor::connect),
+            collector: SpanCollector::new(options.trace_capacity),
+            audit: AuditLog::new(options.audit_capacity),
             options,
             datasets: RwLock::new(HashMap::new()),
             tenants: RwLock::new(HashMap::new()),
             next_session: AtomicU64::new(1),
+            next_trace: AtomicU64::new(0),
         }
     }
 
@@ -390,6 +420,7 @@ impl Engine {
                     data: Arc::clone(&data),
                     accountant,
                     tenant,
+                    tenant_name: config.tenant.clone(),
                     rng: Mutex::new(StdRng::seed_from_u64(seed)),
                     requests: AtomicU64::new(0),
                     failures: AtomicU64::new(0),
@@ -600,22 +631,54 @@ impl Engine {
 
     /// One-call observability: strategy-cache counters, per-phase latency
     /// histograms (select/measure/reconstruct/answer, plus per-shard task
-    /// spans), serving counters, and per-dataset request/failure counters.
+    /// spans), serving counters, per-dataset request/failure counters and
+    /// ε-budget gauges, tenant quotas, and span/audit pipeline counters.
     pub fn metrics(&self) -> EngineMetrics {
         let mut datasets: Vec<DatasetMetrics> = read_recover(&self.datasets)
             .iter()
-            .map(|(name, s)| DatasetMetrics {
-                name: name.clone(),
-                requests: s.requests.load(Ordering::Relaxed),
-                failures: s.failures.load(Ordering::Relaxed),
-                shards: s.data.shard_count(),
+            .map(|(name, s)| {
+                let (eps_total, eps_spent, eps_remaining) = {
+                    let a = lock_recover(&s.accountant);
+                    (a.total_budget(), a.spent(), a.remaining())
+                };
+                DatasetMetrics {
+                    name: name.clone(),
+                    requests: s.requests.load(Ordering::Relaxed),
+                    failures: s.failures.load(Ordering::Relaxed),
+                    shards: s.data.shard_count(),
+                    eps_total,
+                    eps_spent,
+                    eps_remaining,
+                    tenant: s.tenant_name.clone(),
+                }
             })
             .collect();
         datasets.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut tenants: Vec<TenantMetrics> = read_recover(&self.tenants)
+            .iter()
+            .map(|(name, ledger)| {
+                let l = lock_recover(ledger);
+                TenantMetrics {
+                    tenant: name.clone(),
+                    eps_cap: l.cap(),
+                    eps_spent: l.spent(),
+                    eps_remaining: l.remaining(),
+                }
+            })
+            .collect();
+        tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
         EngineMetrics {
             cache: self.cache.stats(),
             telemetry: self.telemetry.snapshot(),
             datasets,
+            tenants,
+            obs: ObsMetrics {
+                spans_collected: self.collector.collected(),
+                spans_dropped: self.collector.dropped(),
+                trace_capacity: self.collector.capacity(),
+                audit_events: self.audit.emitted(),
+                audit_subscriber_drops: self.audit.subscriber_drops(),
+            },
             remote: self.remote.as_ref().map(RemoteExecutor::health),
         }
     }
@@ -626,11 +689,97 @@ impl Engine {
         &self.telemetry
     }
 
+    /// The engine's span collector (bounded; see
+    /// [`EngineOptions::trace_capacity`]).
+    pub fn collector(&self) -> &SpanCollector {
+        &self.collector
+    }
+
+    /// The ε-budget audit stream: every reserve / commit / refund / denial,
+    /// with the trace id of the request that caused it. Subscribe for live
+    /// events or dump the retained ring as JSONL.
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// The retained spans of one trace (the `trace_id` of a
+    /// [`QueryResponse`]), sorted by start time.
+    pub fn trace_spans(&self, trace_id: u64) -> Vec<Span> {
+        self.collector.trace(trace_id)
+    }
+
+    /// One trace rendered as Chrome `trace_event` JSON — open the string in
+    /// Perfetto or `chrome://tracing` as-is.
+    pub fn chrome_trace(&self, trace_id: u64) -> String {
+        hdmm_obs::chrome_trace(&self.trace_spans(trace_id))
+    }
+
+    /// [`Engine::metrics`] rendered in the Prometheus text exposition format
+    /// (version 0.0.4) — what the `hdmm-metrics-exporter` binary serves at
+    /// `/metrics`.
+    pub fn render_prometheus(&self) -> String {
+        crate::prometheus::render_prometheus(&self.metrics())
+    }
+
+    /// The request lifecycle around [`Engine::serve_inner`]: mints the
+    /// request's deterministic [`TraceContext`], runs the request under a
+    /// [`RequestTracer`], and at the end flushes the span tree to the
+    /// collector when the request is sampled or slow.
+    fn serve_with_trace(
+        &self,
+        dataset: &str,
+        workload: &Workload,
+        eps: f64,
+        enqueued: Option<Instant>,
+    ) -> Result<QueryResponse, EngineError> {
+        let mut record = RecordRequestOnDrop {
+            telemetry: &self.telemetry,
+            outcome: None,
+        };
+        let counter = self.next_trace.fetch_add(1, Ordering::Relaxed);
+        let ctx = TraceContext::derive(self.options.seed, counter);
+        let tracer = RequestTracer::new(ctx, &self.collector, &self.telemetry);
+        if let Some(at) = enqueued {
+            tracer.record_queue(at);
+        }
+        let result = self.serve_inner(dataset, workload, eps, &tracer);
+        record.outcome = Some(result.is_ok());
+        // Stride 0 disables sampling entirely (the guard also keeps
+        // `is_multiple_of(0)` from sampling request 0).
+        let sampled =
+            self.options.trace_sample != 0 && counter.is_multiple_of(self.options.trace_sample);
+        let slow = tracer.finish(
+            dataset,
+            result.is_ok(),
+            sampled,
+            self.options.slow_query_threshold,
+        );
+        if slow {
+            self.telemetry.record_slow_query();
+        }
+        result
+    }
+
+    /// [`QueryEngine::serve`] for a request that waited on a queue since
+    /// `enqueued` (the [`crate::EngineServer`] worker loop calls this): the
+    /// queue wait becomes the trace's `queue` span, so operators can tell
+    /// backpressure latency from serving latency in one span tree.
+    pub fn serve_queued(
+        &self,
+        dataset: &str,
+        workload: &Workload,
+        eps: f64,
+        enqueued: Instant,
+    ) -> Result<QueryResponse, EngineError> {
+        self.serve_with_trace(dataset, workload, eps, Some(enqueued))
+    }
+
     fn serve_inner(
         &self,
         dataset: &str,
         workload: &Workload,
         eps: f64,
+        tracer: &RequestTracer<'_>,
     ) -> Result<QueryResponse, EngineError> {
         // Cheap validation first (microseconds, short registry read lock) so
         // a typo'd dataset or mismatched domain never pays for SELECT or
@@ -644,7 +793,7 @@ impl Engine {
             outcome: None,
         };
 
-        let result = self.serve_resolved(dataset, &handle, workload, eps);
+        let result = self.serve_resolved(dataset, &handle, workload, eps, tracer);
         per_dataset.outcome = Some(result.is_ok());
         result
     }
@@ -655,9 +804,12 @@ impl Engine {
         handle: &DatasetState,
         workload: &Workload,
         eps: f64,
+        tracer: &RequestTracer<'_>,
     ) -> Result<QueryResponse, EngineError> {
         // SELECT (cache-aware, single-flight) — pure, no data, no budget.
+        let select_started = Instant::now();
         let (plan, cache_hit) = self.plan(workload);
+        tracer.record_select(select_started, cache_hit);
 
         // One u64 off the dataset's stream seeds a per-request RNG: the
         // dataset lock is held for nanoseconds, and the answer sequence is
@@ -677,15 +829,66 @@ impl Engine {
         // The guard refunds on *any* non-success exit — typed error or
         // panic — since either way no noise was drawn against the ε. The
         // tenant quota is reserved second; its failure refunds the dataset.
-        lock_recover(&handle.accountant).try_spend(eps)?;
+        let trace_id = tracer.trace_id();
+        let tenant_name = handle.tenant_name.as_deref();
+        {
+            let mut a = lock_recover(&handle.accountant);
+            let outcome = a.try_spend(eps);
+            let remaining = a.remaining();
+            drop(a);
+            match outcome {
+                Ok(()) => {
+                    self.audit.emit(
+                        trace_id,
+                        dataset,
+                        tenant_name,
+                        AuditKind::Reserve,
+                        eps,
+                        remaining,
+                    );
+                }
+                Err(e) => {
+                    self.audit.emit(
+                        trace_id,
+                        dataset,
+                        tenant_name,
+                        AuditKind::Deny,
+                        eps,
+                        remaining,
+                    );
+                    return Err(e);
+                }
+            }
+        }
         let mut reservation = RefundOnFailure {
             accountant: &handle.accountant,
             tenant: None,
             eps,
             armed: true,
+            audit: &self.audit,
+            trace_id,
+            dataset,
+            tenant_name,
         };
         if let Some(ledger) = &handle.tenant {
-            lock_recover(ledger).try_spend(eps)?;
+            let mut l = lock_recover(ledger);
+            let outcome = l.try_spend(eps);
+            let remaining = l.remaining();
+            drop(l);
+            if let Err(e) = outcome {
+                // The dataset reservation is refunded (and audited) by the
+                // guard's drop; the quota denial gets its own event first so
+                // the stream reads Reserve → Deny → Refund in cause order.
+                self.audit.emit(
+                    trace_id,
+                    dataset,
+                    tenant_name,
+                    AuditKind::Deny,
+                    eps,
+                    remaining,
+                );
+                return Err(e);
+            }
             reservation.tenant = Some(ledger);
         }
 
@@ -696,15 +899,9 @@ impl Engine {
         // backends fan out per slab — with byte-identical results, so the
         // branch is a performance decision only.
         let result = match handle.data.as_contiguous() {
-            Some(x) => try_run_mechanism_observed(
-                workload,
-                plan.strategy(),
-                x,
-                eps,
-                eps,
-                &mut rng,
-                &self.telemetry,
-            ),
+            Some(x) => {
+                try_run_mechanism_observed(workload, plan.strategy(), x, eps, eps, &mut rng, tracer)
+            }
             None => {
                 let slabs: Vec<DataSlab<'_>> = (0..handle.data.shard_count())
                     .map(|s| DataSlab {
@@ -722,11 +919,11 @@ impl Engine {
                         eps,
                         rng,
                         &self.shard_exec,
-                        &self.telemetry,
+                        tracer,
                     )
                 };
                 match &self.remote {
-                    Some(remote) => match try_run_mechanism_remote_observed(
+                    Some(remote) => match try_run_mechanism_remote_traced(
                         workload,
                         plan.strategy(),
                         dataset,
@@ -735,7 +932,8 @@ impl Engine {
                         eps,
                         &mut rng,
                         remote,
-                        &self.telemetry,
+                        tracer,
+                        tracer,
                     ) {
                         Ok(r) => Ok(r),
                         Err(RemoteError::Mechanism(e)) => Err(e),
@@ -776,6 +974,7 @@ impl Engine {
             operator: plan.operator(),
             expected_error: plan.expected_error(eps),
             shards: handle.data.shard_count(),
+            trace_id,
         })
     }
 }
@@ -784,26 +983,56 @@ impl Engine {
 /// error return or a panic unwinding through `serve_inner`. Disarmed by
 /// [`RefundOnFailure::commit`] once noise has actually been drawn. When a
 /// tenant quota was also reserved, both ledgers are refunded together.
+///
+/// Both exits emit an audit event carrying the request's trace id: `Commit`
+/// when the spend sticks, `Refund` when the reservation is released — so the
+/// audit stream accounts for every ε that was ever reserved, panics
+/// included.
 struct RefundOnFailure<'a> {
     accountant: &'a Mutex<EpsAccountant>,
     tenant: Option<&'a Arc<Mutex<TenantLedger>>>,
     eps: f64,
     armed: bool,
+    audit: &'a AuditLog,
+    trace_id: u64,
+    dataset: &'a str,
+    tenant_name: Option<&'a str>,
 }
 
 impl RefundOnFailure<'_> {
     fn commit(mut self) {
         self.armed = false;
+        let remaining = lock_recover(self.accountant).remaining();
+        self.audit.emit(
+            self.trace_id,
+            self.dataset,
+            self.tenant_name,
+            AuditKind::Commit,
+            self.eps,
+            remaining,
+        );
     }
 }
 
 impl Drop for RefundOnFailure<'_> {
     fn drop(&mut self) {
         if self.armed {
-            lock_recover(self.accountant).refund(self.eps);
+            let remaining = {
+                let mut a = lock_recover(self.accountant);
+                a.refund(self.eps);
+                a.remaining()
+            };
             if let Some(tenant) = self.tenant {
                 lock_recover(tenant).refund(self.eps);
             }
+            self.audit.emit(
+                self.trace_id,
+                self.dataset,
+                self.tenant_name,
+                AuditKind::Refund,
+                self.eps,
+                remaining,
+            );
         }
     }
 }
@@ -846,13 +1075,7 @@ impl QueryEngine for Engine {
         workload: &Workload,
         eps: f64,
     ) -> Result<QueryResponse, EngineError> {
-        let mut record = RecordRequestOnDrop {
-            telemetry: &self.telemetry,
-            outcome: None,
-        };
-        let result = self.serve_inner(dataset, workload, eps);
-        record.outcome = Some(result.is_ok());
-        result
+        self.serve_with_trace(dataset, workload, eps, None)
     }
 
     fn serve_from_session(
@@ -1057,6 +1280,7 @@ mod tests {
 
     #[test]
     fn budget_reservation_refunds_when_measurement_unwinds() {
+        let audit = AuditLog::new(16);
         let acc = Mutex::new(EpsAccountant::new("d", 1.0));
         lock_recover(&acc).try_spend(0.6).unwrap();
         let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -1065,6 +1289,10 @@ mod tests {
                 tenant: None,
                 eps: 0.6,
                 armed: true,
+                audit: &audit,
+                trace_id: 7,
+                dataset: "d",
+                tenant_name: None,
             };
             panic!("measurement died mid-flight");
         }));
@@ -1073,16 +1301,26 @@ mod tests {
             lock_recover(&acc).spent().abs() < 1e-12,
             "a panicked request must not leak its ε reservation"
         );
-        // The success path keeps the spend.
+        // The unwound reservation is audited as a refund, trace id intact.
+        let events = audit.recent();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, AuditKind::Refund);
+        assert_eq!(events[0].trace_id, 7);
+        // The success path keeps the spend and audits a commit.
         lock_recover(&acc).try_spend(0.4).unwrap();
         RefundOnFailure {
             accountant: &acc,
             tenant: None,
             eps: 0.4,
             armed: true,
+            audit: &audit,
+            trace_id: 8,
+            dataset: "d",
+            tenant_name: None,
         }
         .commit();
         assert!((lock_recover(&acc).spent() - 0.4).abs() < 1e-12);
+        assert_eq!(audit.recent().last().unwrap().kind, AuditKind::Commit);
     }
 
     #[test]

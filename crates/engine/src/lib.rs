@@ -34,6 +34,16 @@
 //!   shard reassignment to surviving workers, per-worker health in
 //!   [`Engine::metrics`] — and byte-identical answers to local serving, even
 //!   through the local fallback taken when the whole pool is down.
+//! * **Observability** — every request carries a deterministic
+//!   [`TraceContext`]; queue wait, SELECT, each mechanism phase, per-shard
+//!   tasks, and remote RPC attempts (plus worker-side spans shipped back
+//!   over the wire) assemble into one span tree per query, retained in a
+//!   bounded [`SpanCollector`] and exportable as Chrome `trace_event` JSON
+//!   via [`Engine::chrome_trace`]. [`render_prometheus`] renders
+//!   [`Engine::metrics`] in Prometheus text format (also served over HTTP
+//!   by [`MetricsExporter`] and the `hdmm-metrics-exporter` binary), and an
+//!   [`AuditLog`] streams every ε reserve/commit/refund/deny as typed,
+//!   trace-correlated events.
 //!
 //! ## Quickstart
 //!
@@ -80,23 +90,28 @@
 mod accountant;
 mod cache;
 mod engine;
+mod exporter;
 mod persist;
+mod prometheus;
 mod server;
 mod session;
 mod singleflight;
 mod sync;
 mod telemetry;
+mod tracing;
 
 pub use accountant::{EpsAccountant, TenantLedger};
 pub use cache::{CacheStats, StrategyCache};
 pub use engine::{DatasetConfig, Engine, EngineOptions};
+pub use exporter::MetricsExporter;
 pub use persist::PlanStore;
+pub use prometheus::render_prometheus;
 pub use server::{EngineServer, ServerOptions, Ticket};
 pub use session::Session;
 pub use singleflight::{FlightOutcome, SingleFlight};
 pub use telemetry::{
-    DatasetMetrics, EngineMetrics, PhaseHistogram, PhaseSnapshot, ShardSpanSnapshot, Telemetry,
-    TelemetrySnapshot,
+    DatasetMetrics, EngineMetrics, ObsMetrics, PhaseHistogram, PhaseSnapshot, ShardSpanSnapshot,
+    Telemetry, TelemetrySnapshot, TenantMetrics,
 };
 
 pub use hdmm_core::{
@@ -104,3 +119,6 @@ pub use hdmm_core::{
     QueryResponse, SessionId, ShardedDataVector,
 };
 pub use hdmm_net::{PoolHealth, RemoteOptions, RetryPolicy, WorkerHealth};
+pub use hdmm_obs::{
+    chrome_trace, AuditEvent, AuditKind, AuditLog, Span, SpanCollector, TraceContext,
+};

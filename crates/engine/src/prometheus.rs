@@ -1,0 +1,417 @@
+//! [`EngineMetrics`] → Prometheus text exposition format (version 0.0.4).
+//!
+//! One function, [`render_prometheus`], turns a metrics snapshot into the
+//! page a scraper expects. The formatting invariants (name sanitization,
+//! label escaping, cumulative histogram buckets, never a `NaN`/`Inf` sample)
+//! live in [`hdmm_obs::PromBuf`]; this module owns the *schema*: which
+//! counters, gauges, and histograms the engine exports and under which
+//! names.
+//!
+//! Conventions:
+//!
+//! * latencies are exported in **seconds** (Prometheus base units), converted
+//!   from the engine's nanosecond histograms;
+//! * histogram `le` bounds are each power-of-two bucket's **inclusive upper
+//!   bound** — the same value the snapshot's `p50`/`p99` report, so a
+//!   quantile computed from the scrape matches [`crate::PhaseSnapshot`];
+//! * non-finite gauge values (an uncapped tenant quota is `+Inf`) are
+//!   skipped rather than rendered, and show up in
+//!   `hdmm_render_skipped_nonfinite` instead.
+
+use crate::telemetry::{EngineMetrics, PhaseSnapshot};
+use hdmm_obs::PromBuf;
+
+/// Renders a metrics snapshot as a Prometheus exposition page.
+pub fn render_prometheus(m: &EngineMetrics) -> String {
+    let mut b = PromBuf::new();
+
+    // ---- serving counters ------------------------------------------------
+    b.family(
+        "hdmm_requests_total",
+        "Requests served, including failures.",
+        "counter",
+    );
+    b.sample_u64("hdmm_requests_total", &[], m.telemetry.requests);
+    b.family(
+        "hdmm_request_failures_total",
+        "Requests that returned a typed error (or panicked).",
+        "counter",
+    );
+    b.sample_u64("hdmm_request_failures_total", &[], m.telemetry.failures);
+    b.family(
+        "hdmm_selects_run_total",
+        "SELECT optimizations actually executed (post cache and dedup).",
+        "counter",
+    );
+    b.sample_u64("hdmm_selects_run_total", &[], m.telemetry.selects_run);
+    b.family(
+        "hdmm_select_dedup_waits_total",
+        "Requests that joined another request's in-flight SELECT.",
+        "counter",
+    );
+    b.sample_u64(
+        "hdmm_select_dedup_waits_total",
+        &[],
+        m.telemetry.dedup_waits,
+    );
+    b.family(
+        "hdmm_plan_disk_hits_total",
+        "Plans loaded from the persistent strategy store instead of optimized.",
+        "counter",
+    );
+    b.sample_u64("hdmm_plan_disk_hits_total", &[], m.telemetry.plan_disk_hits);
+    b.family(
+        "hdmm_remote_fallbacks_total",
+        "Sharded requests re-served locally after a pool-wide remote failure.",
+        "counter",
+    );
+    b.sample_u64(
+        "hdmm_remote_fallbacks_total",
+        &[],
+        m.telemetry.remote_fallbacks,
+    );
+    b.family(
+        "hdmm_slow_queries_total",
+        "Requests slower than the slow-query threshold (span tree force-flushed).",
+        "counter",
+    );
+    b.sample_u64("hdmm_slow_queries_total", &[], m.telemetry.slow_queries);
+    b.family(
+        "hdmm_inflight_selects",
+        "SELECT optimizations running right now.",
+        "gauge",
+    );
+    b.sample_u64("hdmm_inflight_selects", &[], m.telemetry.inflight_selects);
+
+    // ---- strategy cache --------------------------------------------------
+    b.family(
+        "hdmm_cache_hits_total",
+        "Strategy-cache lookups answered from memory.",
+        "counter",
+    );
+    b.sample_u64("hdmm_cache_hits_total", &[], m.cache.hits);
+    b.family(
+        "hdmm_cache_misses_total",
+        "Strategy-cache lookups that required optimization.",
+        "counter",
+    );
+    b.sample_u64("hdmm_cache_misses_total", &[], m.cache.misses);
+    b.family(
+        "hdmm_cache_evictions_total",
+        "Plans dropped to respect cache capacity.",
+        "counter",
+    );
+    b.sample_u64("hdmm_cache_evictions_total", &[], m.cache.evictions);
+    b.family("hdmm_cache_entries", "Plans currently cached.", "gauge");
+    b.sample_u64("hdmm_cache_entries", &[], m.cache.len as u64);
+    b.family("hdmm_cache_capacity", "Maximum cached plans.", "gauge");
+    b.sample_u64("hdmm_cache_capacity", &[], m.cache.capacity as u64);
+
+    // ---- per-phase latency histograms ------------------------------------
+    b.family(
+        "hdmm_phase_duration_seconds",
+        "Per-phase request latency (power-of-two buckets; le is each bucket's \
+         inclusive upper bound).",
+        "histogram",
+    );
+    let phases: [(&str, &PhaseSnapshot); 4] = [
+        ("select", &m.telemetry.select),
+        ("measure", &m.telemetry.measure),
+        ("reconstruct", &m.telemetry.reconstruct),
+        ("answer", &m.telemetry.answer),
+    ];
+    for (name, snap) in phases {
+        b.histogram(
+            "hdmm_phase_duration_seconds",
+            &[("phase", name)],
+            &snap.cumulative_buckets(),
+            snap.sum_ns as f64 * 1e-9,
+            snap.count,
+        );
+    }
+
+    // ---- per-dataset counters and ε gauges -------------------------------
+    b.family(
+        "hdmm_dataset_requests_total",
+        "Requests that resolved to the dataset, including failures.",
+        "counter",
+    );
+    for d in &m.datasets {
+        b.sample_u64(
+            "hdmm_dataset_requests_total",
+            &[("dataset", &d.name)],
+            d.requests,
+        );
+    }
+    b.family(
+        "hdmm_dataset_failures_total",
+        "Requests that failed after resolving to the dataset.",
+        "counter",
+    );
+    for d in &m.datasets {
+        b.sample_u64(
+            "hdmm_dataset_failures_total",
+            &[("dataset", &d.name)],
+            d.failures,
+        );
+    }
+    b.family(
+        "hdmm_dataset_shards",
+        "Slabs the dataset's backend is partitioned into.",
+        "gauge",
+    );
+    for d in &m.datasets {
+        b.sample_u64(
+            "hdmm_dataset_shards",
+            &[("dataset", &d.name)],
+            d.shards as u64,
+        );
+    }
+    for (metric, help, get) in [
+        (
+            "hdmm_dataset_eps_total",
+            "Total \u{3b5} budget granted at registration.",
+            (|d| d.eps_total) as fn(&crate::telemetry::DatasetMetrics) -> f64,
+        ),
+        (
+            "hdmm_dataset_eps_spent",
+            "\u{3b5} spent on committed measurements.",
+            |d| d.eps_spent,
+        ),
+        (
+            "hdmm_dataset_eps_remaining",
+            "\u{3b5} still available to the dataset.",
+            |d| d.eps_remaining,
+        ),
+    ] {
+        b.family(metric, help, "gauge");
+        for d in &m.datasets {
+            let tenant = d.tenant.as_deref().unwrap_or("");
+            b.sample(metric, &[("dataset", &d.name), ("tenant", tenant)], get(d));
+        }
+    }
+
+    // ---- tenant quotas ---------------------------------------------------
+    for (metric, help, get) in [
+        (
+            "hdmm_tenant_eps_cap",
+            "Tenant \u{3b5} quota cap (absent when uncapped).",
+            (|t| t.eps_cap) as fn(&crate::telemetry::TenantMetrics) -> f64,
+        ),
+        (
+            "hdmm_tenant_eps_spent",
+            "\u{3b5} spent across the tenant's datasets.",
+            |t| t.eps_spent,
+        ),
+        (
+            "hdmm_tenant_eps_remaining",
+            "\u{3b5} still available under the tenant quota.",
+            |t| t.eps_remaining,
+        ),
+    ] {
+        if m.tenants.is_empty() {
+            continue;
+        }
+        b.family(metric, help, "gauge");
+        for t in &m.tenants {
+            // An uncapped quota is +Inf: PromBuf skips (and counts) it, so
+            // the sample is simply absent rather than poisonous.
+            b.sample(metric, &[("tenant", &t.tenant)], get(t));
+        }
+    }
+
+    // ---- worker pool -----------------------------------------------------
+    if let Some(pool) = &m.remote {
+        b.family(
+            "hdmm_pool_retries_total",
+            "Task attempts retried after a failure.",
+            "counter",
+        );
+        b.sample_u64("hdmm_pool_retries_total", &[], pool.retries);
+        b.family(
+            "hdmm_pool_reassignments_total",
+            "Shards moved to a surviving worker after their primary failed.",
+            "counter",
+        );
+        b.sample_u64("hdmm_pool_reassignments_total", &[], pool.reassignments);
+        b.family(
+            "hdmm_worker_up",
+            "1 when the worker's last interaction succeeded.",
+            "gauge",
+        );
+        for w in &pool.workers {
+            b.sample_u64("hdmm_worker_up", &[("worker", &w.addr)], w.alive as u64);
+        }
+        b.family(
+            "hdmm_worker_tasks_total",
+            "Tasks the worker completed successfully.",
+            "counter",
+        );
+        for w in &pool.workers {
+            b.sample_u64("hdmm_worker_tasks_total", &[("worker", &w.addr)], w.tasks);
+        }
+        b.family(
+            "hdmm_worker_failures_total",
+            "Failed attempts attributed to the worker.",
+            "counter",
+        );
+        for w in &pool.workers {
+            b.sample_u64(
+                "hdmm_worker_failures_total",
+                &[("worker", &w.addr)],
+                w.failures,
+            );
+        }
+        b.family(
+            "hdmm_worker_mean_task_seconds",
+            "Mean per-task round-trip latency.",
+            "gauge",
+        );
+        for w in &pool.workers {
+            b.sample(
+                "hdmm_worker_mean_task_seconds",
+                &[("worker", &w.addr)],
+                w.mean_task_micros * 1e-6,
+            );
+        }
+        b.family(
+            "hdmm_worker_slabs",
+            "Slabs currently pushed to the worker.",
+            "gauge",
+        );
+        for w in &pool.workers {
+            b.sample_u64("hdmm_worker_slabs", &[("worker", &w.addr)], w.slabs as u64);
+        }
+    }
+
+    // ---- the observability pipeline's own counters -----------------------
+    b.family(
+        "hdmm_spans_collected_total",
+        "Spans pushed into the trace collector.",
+        "counter",
+    );
+    b.sample_u64("hdmm_spans_collected_total", &[], m.obs.spans_collected);
+    b.family(
+        "hdmm_spans_dropped_total",
+        "Spans lost to collector ring overflow.",
+        "counter",
+    );
+    b.sample_u64("hdmm_spans_dropped_total", &[], m.obs.spans_dropped);
+    b.family(
+        "hdmm_trace_capacity",
+        "Spans the collector can retain.",
+        "gauge",
+    );
+    b.sample_u64("hdmm_trace_capacity", &[], m.obs.trace_capacity as u64);
+    b.family(
+        "hdmm_audit_events_total",
+        "\u{3b5}-budget audit events emitted.",
+        "counter",
+    );
+    b.sample_u64("hdmm_audit_events_total", &[], m.obs.audit_events);
+    b.family(
+        "hdmm_audit_subscriber_drops_total",
+        "Audit events dropped on saturated subscriber channels.",
+        "counter",
+    );
+    b.sample_u64(
+        "hdmm_audit_subscriber_drops_total",
+        &[],
+        m.obs.audit_subscriber_drops,
+    );
+
+    // Self-describing render health: how many samples were withheld because
+    // their value was non-finite (uncapped quotas, empty means).
+    let skipped = b.skipped_nonfinite();
+    b.family(
+        "hdmm_render_skipped_nonfinite",
+        "Samples withheld from this page because their value was NaN or Inf.",
+        "gauge",
+    );
+    b.sample_u64("hdmm_render_skipped_nonfinite", &[], skipped);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::{DatasetMetrics, ObsMetrics, TenantMetrics};
+
+    fn sample_metrics() -> EngineMetrics {
+        let telemetry = crate::telemetry::Telemetry::default();
+        telemetry.record_select(std::time::Duration::from_millis(2));
+        EngineMetrics {
+            cache: crate::cache::CacheStats {
+                hits: 3,
+                misses: 1,
+                evictions: 0,
+                len: 1,
+                capacity: 64,
+            },
+            telemetry: telemetry.snapshot(),
+            datasets: vec![DatasetMetrics {
+                name: "taxi".into(),
+                requests: 4,
+                failures: 1,
+                shards: 2,
+                eps_total: 1.0,
+                eps_spent: 0.25,
+                eps_remaining: 0.75,
+                tenant: Some("acme".into()),
+            }],
+            tenants: vec![TenantMetrics {
+                tenant: "acme".into(),
+                eps_cap: f64::INFINITY,
+                eps_spent: 0.25,
+                eps_remaining: f64::INFINITY,
+            }],
+            obs: ObsMetrics {
+                spans_collected: 10,
+                spans_dropped: 2,
+                trace_capacity: 4096,
+                audit_events: 5,
+                audit_subscriber_drops: 0,
+            },
+            remote: None,
+        }
+    }
+
+    #[test]
+    fn renders_core_families() {
+        let page = render_prometheus(&sample_metrics());
+        for needle in [
+            "# TYPE hdmm_requests_total counter",
+            "# TYPE hdmm_phase_duration_seconds histogram",
+            "hdmm_phase_duration_seconds_bucket{phase=\"select\",le=\"+Inf\"} 1",
+            "hdmm_phase_duration_seconds_count{phase=\"select\"} 1",
+            "hdmm_dataset_eps_remaining{dataset=\"taxi\",tenant=\"acme\"} 0.75",
+            "hdmm_tenant_eps_spent{tenant=\"acme\"} 0.25",
+            "hdmm_spans_dropped_total 2",
+        ] {
+            assert!(page.contains(needle), "missing {needle:?} in:\n{page}");
+        }
+    }
+
+    #[test]
+    fn infinite_quota_gauges_are_withheld_not_rendered() {
+        let page = render_prometheus(&sample_metrics());
+        assert!(
+            !page.contains("hdmm_tenant_eps_cap{tenant=\"acme\"}"),
+            "{page}"
+        );
+        assert!(!page.contains("Inf\n"), "no bare Inf values: {page}");
+        // Two withheld samples: the cap and the remaining, both +Inf.
+        assert!(page.contains("hdmm_render_skipped_nonfinite 2"), "{page}");
+    }
+
+    #[test]
+    fn select_sum_is_in_seconds() {
+        let page = render_prometheus(&sample_metrics());
+        let sum_line = page
+            .lines()
+            .find(|l| l.starts_with("hdmm_phase_duration_seconds_sum{phase=\"select\"}"))
+            .unwrap();
+        let v: f64 = sum_line.split(' ').next_back().unwrap().parse().unwrap();
+        assert!((0.001..0.5).contains(&v), "2ms in seconds, got {v}");
+    }
+}

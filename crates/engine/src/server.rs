@@ -14,7 +14,7 @@
 
 use crate::engine::Engine;
 use crate::sync::lock_recover;
-use hdmm_core::{EngineError, QueryEngine, QueryResponse, Workload};
+use hdmm_core::{EngineError, QueryResponse, Workload};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
@@ -45,6 +45,9 @@ struct Job {
     dataset: String,
     workload: Workload,
     eps: f64,
+    /// When the request was accepted onto the queue; its wait becomes the
+    /// trace's `queue` span.
+    enqueued: std::time::Instant,
     responder: SyncSender<Result<QueryResponse, EngineError>>,
 }
 
@@ -124,6 +127,7 @@ impl EngineServer {
             dataset: dataset.to_string(),
             workload: workload.clone(),
             eps,
+            enqueued: std::time::Instant::now(),
             responder,
         };
         let guard = lock_recover(&self.tx);
@@ -194,7 +198,7 @@ fn worker_loop(engine: &Engine, rx: &Mutex<Receiver<Job>>) {
         // engine is unwind-safe here because all its shared state recovers
         // from poisoning (see `engine::lock_recover`).
         let result = catch_unwind(AssertUnwindSafe(|| {
-            engine.serve(&job.dataset, &job.workload, job.eps)
+            engine.serve_queued(&job.dataset, &job.workload, job.eps, job.enqueued)
         }))
         .unwrap_or_else(|panic| {
             let what = panic

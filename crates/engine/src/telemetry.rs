@@ -49,7 +49,7 @@ impl PhaseHistogram {
 
     /// A point-in-time copy of the counters.
     pub fn snapshot(&self) -> PhaseSnapshot {
-        let mut buckets = [0u64; BUCKETS];
+        let mut buckets = vec![0u64; BUCKETS];
         for (out, b) in buckets.iter_mut().zip(&self.buckets) {
             *out = b.load(Ordering::Relaxed);
         }
@@ -71,22 +71,25 @@ impl PhaseHistogram {
             }
             self.max_ns.load(Ordering::Relaxed)
         };
+        let sum_ns = self.sum_ns.load(Ordering::Relaxed);
         PhaseSnapshot {
             count,
             mean_ns: if count == 0 {
                 0.0
             } else {
-                self.sum_ns.load(Ordering::Relaxed) as f64 / count as f64
+                sum_ns as f64 / count as f64
             },
             max_ns: self.max_ns.load(Ordering::Relaxed),
             p50_ns: quantile(0.50),
             p99_ns: quantile(0.99),
+            sum_ns,
+            buckets,
         }
     }
 }
 
 /// Point-in-time summary of one phase histogram.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct PhaseSnapshot {
     /// Observations recorded.
     pub count: u64,
@@ -98,6 +101,31 @@ pub struct PhaseSnapshot {
     pub p50_ns: u64,
     /// 99th-percentile latency upper bound (power-of-two resolution).
     pub p99_ns: u64,
+    /// Total observed latency in nanoseconds (Prometheus `_sum`).
+    pub sum_ns: u64,
+    /// Raw per-bucket counts; bucket `i` covers `[2^i, 2^(i+1) − 1]` ns
+    /// (bucket 0 also absorbs zero-duration observations).
+    pub buckets: Vec<u64>,
+}
+
+impl PhaseSnapshot {
+    /// The Prometheus cumulative-bucket view: `(upper_bound_seconds,
+    /// cumulative_count)` pairs, one per power-of-two bucket, in increasing
+    /// bound order. Each bound is the bucket's **inclusive** upper bound
+    /// (`(2^(i+1) − 1)` ns, in seconds) — the same convention
+    /// [`PhaseSnapshot::p50_ns`]/[`PhaseSnapshot::p99_ns`] report, so a
+    /// quantile read off the rendered histogram matches the snapshot.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut cum = 0u64;
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                cum += n;
+                (((2u64 << i).saturating_sub(1)) as f64 * 1e-9, cum)
+            })
+            .collect()
+    }
 }
 
 impl std::fmt::Display for PhaseSnapshot {
@@ -208,6 +236,7 @@ pub struct Telemetry {
     plan_disk_hits: AtomicU64,
     inflight_selects: AtomicU64,
     remote_fallbacks: AtomicU64,
+    slow_queries: AtomicU64,
 }
 
 impl Telemetry {
@@ -233,6 +262,10 @@ impl Telemetry {
 
     pub(crate) fn record_remote_fallback(&self) {
         self.remote_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_slow_query(&self) {
+        self.slow_queries.fetch_add(1, Ordering::Relaxed);
     }
 
     /// RAII marker for one in-flight SELECT; decrements on drop so the gauge
@@ -264,6 +297,7 @@ impl Telemetry {
             plan_disk_hits: self.plan_disk_hits.load(Ordering::Relaxed),
             inflight_selects: self.inflight_selects.load(Ordering::Relaxed),
             remote_fallbacks: self.remote_fallbacks.load(Ordering::Relaxed),
+            slow_queries: self.slow_queries.load(Ordering::Relaxed),
         }
     }
 }
@@ -335,6 +369,9 @@ pub struct TelemetrySnapshot {
     /// re-served locally from the same request seed — byte-identical answers,
     /// but an operator signal that the worker fleet is unhealthy.
     pub remote_fallbacks: u64,
+    /// Requests slower than [`crate::EngineOptions::slow_query_threshold`];
+    /// each also force-flushed its span tree to the collector.
+    pub slow_queries: u64,
 }
 
 fn write_shard_spans(
@@ -363,14 +400,15 @@ impl std::fmt::Display for TelemetrySnapshot {
         writeln!(
             f,
             "requests={} failures={} selects_run={} dedup_waits={} plan_disk_hits={} \
-             inflight_selects={} remote_fallbacks={}",
+             inflight_selects={} remote_fallbacks={} slow_queries={}",
             self.requests,
             self.failures,
             self.selects_run,
             self.dedup_waits,
             self.plan_disk_hits,
             self.inflight_selects,
-            self.remote_fallbacks
+            self.remote_fallbacks,
+            self.slow_queries
         )?;
         writeln!(f, "  select:      {}", self.select)?;
         writeln!(f, "  measure:     {}", self.measure)?;
@@ -382,9 +420,10 @@ impl std::fmt::Display for TelemetrySnapshot {
     }
 }
 
-/// Per-dataset serving counters, exported with [`crate::Engine::metrics`] so
-/// sharded and dense datasets can be compared from one call.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Per-dataset serving counters and ε-budget gauges, exported with
+/// [`crate::Engine::metrics`] so sharded and dense datasets can be compared
+/// from one call.
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetMetrics {
     /// Dataset name.
     pub name: String,
@@ -394,18 +433,60 @@ pub struct DatasetMetrics {
     pub failures: u64,
     /// How many slabs the dataset's backend is partitioned into.
     pub shards: usize,
+    /// Total ε budget granted at registration.
+    pub eps_total: f64,
+    /// ε spent so far (committed measurements).
+    pub eps_spent: f64,
+    /// ε still available (`eps_total − eps_spent`, floored at 0).
+    pub eps_remaining: f64,
+    /// Owning tenant, when the dataset is charged against a shared quota.
+    pub tenant: Option<String>,
+}
+
+/// Per-tenant ε-quota gauges (the sum across all of the tenant's datasets).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantMetrics {
+    /// Tenant name.
+    pub tenant: String,
+    /// Quota cap (may be infinite when registered but never capped).
+    pub eps_cap: f64,
+    /// ε spent across the tenant's datasets.
+    pub eps_spent: f64,
+    /// ε still available under the quota.
+    pub eps_remaining: f64,
+}
+
+/// Observability-pipeline counters: the span collector's throughput and the
+/// ε-audit stream's, so the monitoring plane can watch its own data loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ObsMetrics {
+    /// Spans pushed into the collector over the engine's lifetime.
+    pub spans_collected: u64,
+    /// Spans lost to collector ring overflow (oldest overwritten).
+    pub spans_dropped: u64,
+    /// Spans the collector can retain.
+    pub trace_capacity: usize,
+    /// ε-audit events emitted.
+    pub audit_events: u64,
+    /// Audit events dropped on saturated subscriber channels.
+    pub audit_subscriber_drops: u64,
 }
 
 /// Everything [`crate::Engine::metrics`] exposes in one call: strategy-cache
-/// counters, the telemetry snapshot, and per-dataset counters.
+/// counters, the telemetry snapshot, per-dataset counters and ε gauges,
+/// tenant quotas, and the observability pipeline's own counters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineMetrics {
     /// Strategy-cache effectiveness counters.
     pub cache: crate::cache::CacheStats,
     /// Per-phase latency histograms and serving counters.
     pub telemetry: TelemetrySnapshot,
-    /// Per-dataset request/failure counters, sorted by dataset name.
+    /// Per-dataset request/failure counters and ε gauges, sorted by name.
     pub datasets: Vec<DatasetMetrics>,
+    /// Per-tenant ε-quota gauges, sorted by tenant name.
+    pub tenants: Vec<TenantMetrics>,
+    /// Span-collector and audit-stream counters.
+    pub obs: ObsMetrics,
     /// Worker-pool health (per-worker liveness, task/failure counters, mean
     /// task latency) when the engine serves through a remote transport.
     pub remote: Option<hdmm_net::PoolHealth>,
@@ -426,10 +507,34 @@ impl std::fmt::Display for EngineMetrics {
         for d in &self.datasets {
             write!(
                 f,
-                "\n  dataset {}: requests={} failures={} shards={}",
-                d.name, d.requests, d.failures, d.shards
+                "\n  dataset {}: requests={} failures={} shards={} ε {:.4}/{:.4}",
+                d.name, d.requests, d.failures, d.shards, d.eps_spent, d.eps_total
+            )?;
+            if let Some(t) = &d.tenant {
+                write!(f, " tenant={t}")?;
+            }
+        }
+        for t in &self.tenants {
+            write!(
+                f,
+                "\n  tenant {}: ε {:.4}/{}",
+                t.tenant,
+                t.eps_spent,
+                if t.eps_cap.is_finite() {
+                    format!("{:.4}", t.eps_cap)
+                } else {
+                    "∞".to_string()
+                }
             )?;
         }
+        write!(
+            f,
+            "\n  spans: collected={} dropped={} capacity={} audit_events={}",
+            self.obs.spans_collected,
+            self.obs.spans_dropped,
+            self.obs.trace_capacity,
+            self.obs.audit_events
+        )?;
         if let Some(pool) = &self.remote {
             write!(f, "\nremote pool: {pool}")?;
         }

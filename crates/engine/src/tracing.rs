@@ -1,0 +1,265 @@
+//! Per-request span recording: the glue between the engine's serving path
+//! and the [`hdmm_obs`] primitives.
+//!
+//! A [`RequestTracer`] lives for exactly one `serve` call. It implements
+//! both hooks the lower layers already speak:
+//!
+//! * [`PhaseObserver`] — the mechanism crates report phase and shard-task
+//!   completions; the tracer forwards every event to the engine's
+//!   [`Telemetry`] histograms (so aggregate metrics are identical with
+//!   tracing on or off) *and* materializes each as a [`Span`];
+//! * [`SpanSink`] — `hdmm-net`'s RPC fan-out records per-attempt spans and
+//!   re-based worker-side spans through this trait, parenting them under the
+//!   pre-allocated phase spans via [`SpanSink::parent_for`].
+//!
+//! Spans are buffered in the tracer and flushed to the engine's
+//! [`SpanCollector`] only at the end of the request — when the request is
+//! sampled, or when it breached the slow-query threshold (the eager emit
+//! that makes `slow_queries` actionable). An unsampled, fast request never
+//! touches the shared collector at all.
+//!
+//! Phase span ids are **pre-allocated** (`queue`=2, `select`=3, `measure`=4,
+//! `reconstruct`=5, `answer`=6, root=1) so children created *during* a phase
+//! can parent under the phase span that is only recorded when the phase
+//! completes.
+
+use crate::telemetry::Telemetry;
+use hdmm_mechanism::{MechanismPhase, PhaseObserver};
+use hdmm_obs::trace::{dur_ns, ROOT_SPAN_ID};
+use hdmm_obs::{Span, SpanCollector, SpanSink, TraceContext};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Pre-allocated span id of the queue-wait span.
+pub(crate) const QUEUE_SPAN_ID: u64 = 2;
+/// Pre-allocated span id of the SELECT span.
+pub(crate) const SELECT_SPAN_ID: u64 = 3;
+/// First id handed out by [`SpanSink::next_span_id`].
+const FIRST_DYNAMIC_SPAN_ID: u64 = 7;
+
+/// The pre-allocated span id of a mechanism phase.
+fn phase_span_id(phase: MechanismPhase) -> u64 {
+    match phase {
+        MechanismPhase::Measure => 4,
+        MechanismPhase::Reconstruct => 5,
+        MechanismPhase::Answer => 6,
+    }
+}
+
+/// Records one request's spans; see the module docs for the lifecycle.
+pub(crate) struct RequestTracer<'a> {
+    ctx: TraceContext,
+    collector: &'a SpanCollector,
+    telemetry: &'a Telemetry,
+    started: Instant,
+    next_id: AtomicU64,
+    spans: Mutex<Vec<Span>>,
+}
+
+impl<'a> RequestTracer<'a> {
+    pub(crate) fn new(
+        ctx: TraceContext,
+        collector: &'a SpanCollector,
+        telemetry: &'a Telemetry,
+    ) -> Self {
+        RequestTracer {
+            ctx,
+            collector,
+            telemetry,
+            started: Instant::now(),
+            next_id: AtomicU64::new(FIRST_DYNAMIC_SPAN_ID),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn trace_id(&self) -> u64 {
+        self.ctx.trace_id
+    }
+
+    /// Records the queue-wait span of a request that sat on the server's
+    /// bounded queue from `enqueued` until now (its serving start).
+    pub(crate) fn record_queue(&self, enqueued: Instant) {
+        let start = self.rel_ns(enqueued);
+        let end = self.rel_ns(Instant::now());
+        self.record(Span::new(
+            self.ctx.trace_id,
+            QUEUE_SPAN_ID,
+            ROOT_SPAN_ID,
+            "queue",
+            start,
+            end.saturating_sub(start),
+        ));
+    }
+
+    /// Records the SELECT span (cache lookup + optional optimization) that
+    /// started at `from`.
+    pub(crate) fn record_select(&self, from: Instant, cache_hit: bool) {
+        let start = self.rel_ns(from);
+        let end = self.rel_ns(Instant::now());
+        self.record(
+            Span::new(
+                self.ctx.trace_id,
+                SELECT_SPAN_ID,
+                ROOT_SPAN_ID,
+                "select",
+                start,
+                end.saturating_sub(start),
+            )
+            .attr("cache_hit", if cache_hit { "true" } else { "false" }),
+        );
+    }
+
+    /// Ends the request: decides slowness against `slow_threshold`, and when
+    /// the request is `sampled` or slow, flushes the root span plus every
+    /// buffered span to the collector. Returns whether the request was slow.
+    pub(crate) fn finish(
+        self,
+        dataset: &str,
+        ok: bool,
+        sampled: bool,
+        slow_threshold: Option<Duration>,
+    ) -> bool {
+        let elapsed = self.started.elapsed();
+        let slow = slow_threshold.is_some_and(|t| elapsed >= t);
+        if sampled || slow {
+            let root = Span::new(
+                self.ctx.trace_id,
+                ROOT_SPAN_ID,
+                0,
+                "request",
+                self.collector.rel_ns(self.started),
+                dur_ns(elapsed),
+            )
+            .attr("dataset", dataset)
+            .attr("outcome", if ok { "ok" } else { "error" })
+            .attr("slow", if slow { "true" } else { "false" });
+            self.collector.push(root);
+            let spans = std::mem::take(&mut *lock(&self.spans));
+            for span in spans {
+                self.collector.push(span);
+            }
+        }
+        slow
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+impl PhaseObserver for RequestTracer<'_> {
+    fn phase_complete(&self, phase: MechanismPhase, elapsed: Duration) {
+        // Telemetry first: histograms stay identical with tracing on or off.
+        self.telemetry.phase_complete(phase, elapsed);
+        let end = self.rel_ns(Instant::now());
+        let dur = dur_ns(elapsed);
+        self.record(Span::new(
+            self.ctx.trace_id,
+            phase_span_id(phase),
+            ROOT_SPAN_ID,
+            phase.name(),
+            end.saturating_sub(dur),
+            dur,
+        ));
+    }
+
+    fn shard_phase_complete(&self, phase: MechanismPhase, shard: usize, elapsed: Duration) {
+        self.telemetry.shard_phase_complete(phase, shard, elapsed);
+        let end = self.rel_ns(Instant::now());
+        let dur = dur_ns(elapsed);
+        let lane = shard.to_string();
+        self.record(
+            Span::new(
+                self.ctx.trace_id,
+                self.next_span_id(),
+                phase_span_id(phase),
+                format!("shard:{}", phase.name()),
+                end.saturating_sub(dur),
+                dur,
+            )
+            .attr("shard", &lane)
+            .attr("lane", &lane),
+        );
+    }
+}
+
+impl SpanSink for RequestTracer<'_> {
+    fn context(&self) -> Option<TraceContext> {
+        Some(self.ctx)
+    }
+
+    fn next_span_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn parent_for(&self, label: &str) -> Option<u64> {
+        match label {
+            "queue" => Some(QUEUE_SPAN_ID),
+            "select" => Some(SELECT_SPAN_ID),
+            "measure" => Some(phase_span_id(MechanismPhase::Measure)),
+            "reconstruct" => Some(phase_span_id(MechanismPhase::Reconstruct)),
+            "answer" => Some(phase_span_id(MechanismPhase::Answer)),
+            _ => None,
+        }
+    }
+
+    fn rel_ns(&self, at: Instant) -> u64 {
+        self.collector.rel_ns(at)
+    }
+
+    fn record(&self, span: Span) {
+        lock(&self.spans).push(span);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_events_feed_both_telemetry_and_spans() {
+        let collector = SpanCollector::new(64);
+        let telemetry = Telemetry::default();
+        let ctx = TraceContext::derive(1, 0);
+        let tracer = RequestTracer::new(ctx, &collector, &telemetry);
+        tracer.phase_complete(MechanismPhase::Measure, Duration::from_micros(10));
+        tracer.shard_phase_complete(MechanismPhase::Measure, 2, Duration::from_micros(4));
+        assert!(!tracer.finish("d", true, true, None), "not slow");
+        let spans = collector.trace(ctx.trace_id);
+        assert_eq!(spans.len(), 3, "request + measure + shard task: {spans:?}");
+        let shard = spans.iter().find(|s| s.name == "shard:measure").unwrap();
+        assert_eq!(shard.parent_id, phase_span_id(MechanismPhase::Measure));
+        assert_eq!(telemetry.snapshot().measure.count, 1);
+    }
+
+    #[test]
+    fn unsampled_fast_requests_never_touch_the_collector() {
+        let collector = SpanCollector::new(64);
+        let telemetry = Telemetry::default();
+        let ctx = TraceContext::derive(1, 1);
+        let tracer = RequestTracer::new(ctx, &collector, &telemetry);
+        tracer.phase_complete(MechanismPhase::Answer, Duration::from_micros(1));
+        assert!(!tracer.finish("d", true, false, Some(Duration::from_secs(3600))));
+        assert_eq!(collector.collected(), 0);
+    }
+
+    #[test]
+    fn slow_requests_flush_even_when_unsampled() {
+        let collector = SpanCollector::new(64);
+        let telemetry = Telemetry::default();
+        let ctx = TraceContext::derive(1, 2);
+        let tracer = RequestTracer::new(ctx, &collector, &telemetry);
+        assert!(tracer.finish("d", false, false, Some(Duration::ZERO)));
+        let spans = collector.trace(ctx.trace_id);
+        assert_eq!(spans.len(), 1);
+        assert!(spans[0]
+            .attrs
+            .iter()
+            .any(|(k, v)| k == "slow" && v == "true"));
+        assert!(spans[0]
+            .attrs
+            .iter()
+            .any(|(k, v)| k == "outcome" && v == "error"));
+    }
+}

@@ -11,11 +11,14 @@
 //! task that timed out but actually completed on the worker changes nothing
 //! when it runs again elsewhere.
 
-use crate::wire::{read_frame, write_frame, ErrorCode, Frame, NetError};
+use crate::wire::{
+    read_frame_ext, write_frame_ext, ErrorCode, Frame, NetError, TraceExt, PROTO_V1, PROTO_V2,
+};
 use hdmm_linalg::StructuredMatrix;
+use hdmm_obs::{NoopSpanSink, Span, SpanSink};
 use std::collections::{HashMap, HashSet};
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -113,6 +116,9 @@ struct WorkerLink {
     failures: AtomicU64,
     task_nanos: AtomicU64,
     loaded: Mutex<HashSet<(String, u64)>>,
+    /// Negotiated protocol version: 0 = not yet probed, [`PROTO_V1`] =
+    /// legacy-only peer, [`PROTO_V2`] = traced frames confirmed.
+    proto: AtomicU8,
 }
 
 impl WorkerLink {
@@ -125,6 +131,7 @@ impl WorkerLink {
             failures: AtomicU64::new(0),
             task_nanos: AtomicU64::new(0),
             loaded: Mutex::new(HashSet::new()),
+            proto: AtomicU8::new(0),
         }
     }
 
@@ -134,7 +141,12 @@ impl WorkerLink {
     /// attempt past it. Any failure drops the connection (the next call
     /// reconnects) — half-read streams cannot be resynchronized, so
     /// reconnect-and-retry is the only safe recovery.
-    fn call(&self, frame: &Frame, timeout: Duration) -> Result<Frame, NetError> {
+    fn call_raw(
+        &self,
+        frame: &Frame,
+        ext: Option<&TraceExt>,
+        timeout: Duration,
+    ) -> Result<(Frame, Option<TraceExt>), NetError> {
         let mut guard = self.conn.lock().expect("worker link");
         let deadline = Instant::now() + timeout;
         if guard.is_none() {
@@ -150,13 +162,56 @@ impl WorkerLink {
             stream: guard.as_mut().expect("connected above"),
             deadline,
         };
-        let exchange = write_frame(&mut stream, frame)
+        let exchange = write_frame_ext(&mut stream, frame, ext)
             .map_err(NetError::from)
-            .and_then(|()| read_frame(&mut stream));
+            .and_then(|()| read_frame_ext(&mut stream));
         if exchange.is_err() {
             *guard = None;
         }
         exchange
+    }
+
+    /// Untraced exchange — always legacy (v1) bytes, accepted by every peer.
+    fn call(&self, frame: &Frame, timeout: Duration) -> Result<Frame, NetError> {
+        self.call_raw(frame, None, timeout).map(|(f, _)| f)
+    }
+
+    /// Traced exchange with per-link version negotiation. An old worker has
+    /// no way to say "unknown version" — its strict magic check drops the
+    /// connection — so the first traced call to an unprobed link tries v2
+    /// and, on a transport/decode failure, downgrades the link to v1 and
+    /// retries once without the extension (losing only that call's worker
+    /// spans, never the call). A v2 success pins the link to v2, after which
+    /// failures are treated as genuine. The one-time downgrade probe may
+    /// spend up to a second `timeout` window; it happens at most once per
+    /// link per process.
+    fn call_traced(
+        &self,
+        frame: &Frame,
+        ext: &TraceExt,
+        timeout: Duration,
+    ) -> Result<(Frame, Option<TraceExt>), NetError> {
+        match self.proto.load(Ordering::Relaxed) {
+            p if p == PROTO_V1 => self.call_raw(frame, None, timeout),
+            p if p == PROTO_V2 => self.call_raw(frame, Some(ext), timeout),
+            _ => match self.call_raw(frame, Some(ext), timeout) {
+                Ok(ok) => {
+                    self.proto.store(PROTO_V2, Ordering::Relaxed);
+                    Ok(ok)
+                }
+                Err(NetError::Io(_) | NetError::Codec(_)) => {
+                    // Distinguish "legacy peer" from "dead peer": only a v1
+                    // success proves the worker is alive but version-blind.
+                    // A dead worker stays unprobed so it can still negotiate
+                    // v2 when it comes back.
+                    let retry = self.call_raw(frame, None, timeout);
+                    self.proto
+                        .store(if retry.is_ok() { PROTO_V1 } else { 0 }, Ordering::Relaxed);
+                    retry
+                }
+                Err(e) => Err(e),
+            },
+        }
     }
 
     fn health(&self) -> WorkerHealth {
@@ -217,6 +272,21 @@ impl std::io::Write for DeadlineStream<'_> {
     }
 }
 
+/// Identity of one RPC attempt inside a request's span tree: which sink to
+/// record into, what to call the span, and which phase span to parent under.
+#[derive(Clone, Copy)]
+struct RpcSpan<'a> {
+    sink: &'a dyn SpanSink,
+    /// Span name: `rpc:forward`, `rpc:apply`, `rpc:load`.
+    name: &'static str,
+    /// Label of the parent phase span ([`SpanSink::parent_for`]).
+    phase: &'a str,
+    /// Shard (or block) index — also the Chrome-trace lane, so concurrent
+    /// shard RPCs render side by side instead of falsely nested.
+    shard: u64,
+    attempt: u32,
+}
+
 /// The coordinator's worker registry and task router.
 pub struct WorkerPool {
     workers: RwLock<Vec<Arc<WorkerLink>>>,
@@ -249,8 +319,7 @@ impl WorkerPool {
             std::thread::scope(|s| {
                 for w in workers.iter() {
                     s.spawn(move || {
-                        let alive =
-                            matches!(w.call(&Frame::Ping, timeout), Ok(Frame::Pong { .. }));
+                        let alive = matches!(w.call(&Frame::Ping, timeout), Ok(Frame::Pong { .. }));
                         w.alive.store(alive, Ordering::Relaxed);
                     });
                 }
@@ -311,7 +380,26 @@ impl WorkerPool {
         let Some((_, link)) = self.pick_worker(&key, 0) else {
             return Err(NetError::NoWorkers);
         };
-        self.push_slab(&link, dataset, shard, rows, values)
+        let rpc = RpcSpan {
+            sink: &NoopSpanSink,
+            name: "rpc:load",
+            phase: "",
+            shard,
+            attempt: 0,
+        };
+        self.push_slab(&link, dataset, shard, rows, values, &rpc)
+    }
+
+    /// Untraced [`WorkerPool::run_slab_task_traced`].
+    pub fn run_slab_task(
+        &self,
+        dataset: &str,
+        shard: u64,
+        factors: &[StructuredMatrix],
+        rows: (u64, u64),
+        values: &[f64],
+    ) -> Result<Vec<f64>, NetError> {
+        self.run_slab_task_traced(dataset, shard, factors, rows, values, &NoopSpanSink, "")
     }
 
     /// Runs one MEASURE phase-1 task: the trailing-factor product over the
@@ -321,13 +409,22 @@ impl WorkerPool {
     /// attempts with doubling backoff, and reassignment to the next live
     /// worker when the primary fails — re-pushing the slab from the
     /// coordinator's authoritative copy (`rows`/`values`) as needed.
-    pub fn run_slab_task(
+    ///
+    /// When `sink` traces, every attempt (including failed and retried ones)
+    /// is recorded as an `rpc:forward` span — annotated with worker address,
+    /// shard, attempt index, and outcome — parented under the phase span
+    /// labeled `phase`, with the worker's own kernel spans re-based beneath
+    /// it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_slab_task_traced(
         &self,
         dataset: &str,
         shard: u64,
         factors: &[StructuredMatrix],
         rows: (u64, u64),
         values: &[f64],
+        sink: &dyn SpanSink,
+        phase: &str,
     ) -> Result<Vec<f64>, NetError> {
         let key = (dataset.to_string(), shard);
         let task = Frame::SlabForward {
@@ -341,13 +438,24 @@ impl WorkerPool {
             let Some((_, link)) = self.pick_worker(&key, attempt) else {
                 break;
             };
+            let rpc = RpcSpan {
+                sink,
+                name: "rpc:forward",
+                phase,
+                shard,
+                attempt,
+            };
             if !link.loaded.lock().expect("loaded set").contains(&key) {
-                if let Err(e) = self.push_slab(&link, dataset, shard, rows, values) {
+                let load = RpcSpan {
+                    name: "rpc:load",
+                    ..rpc
+                };
+                if let Err(e) = self.push_slab(&link, dataset, shard, rows, values, &load) {
                     last_err = self.note_failure(&link, e, attempt, &mut delay);
                     continue;
                 }
             }
-            match self.exec(&link, &task) {
+            match self.exec(&link, &task, &rpc) {
                 Ok(v) => return Ok(v),
                 // The worker restarted and lost the slab: re-push and retry
                 // on the same worker within this attempt.
@@ -356,9 +464,13 @@ impl WorkerPool {
                     ..
                 }) => {
                     link.loaded.lock().expect("loaded set").remove(&key);
+                    let load = RpcSpan {
+                        name: "rpc:load",
+                        ..rpc
+                    };
                     let recovered = self
-                        .push_slab(&link, dataset, shard, rows, values)
-                        .and_then(|()| self.exec(&link, &task));
+                        .push_slab(&link, dataset, shard, rows, values, &load)
+                        .and_then(|()| self.exec(&link, &task, &rpc));
                     match recovered {
                         Ok(v) => return Ok(v),
                         Err(e) => last_err = self.note_failure(&link, e, attempt, &mut delay),
@@ -370,15 +482,30 @@ impl WorkerPool {
         Err(last_err)
     }
 
-    /// Runs one stateless task (RECONSTRUCT passes): trailing factors against
-    /// a payload shipped with the request. `hint` spreads blocks across live
-    /// workers; failures retry on the next live worker with the same policy.
+    /// Untraced [`WorkerPool::apply_traced`].
     pub fn apply(
         &self,
         transpose: bool,
         factors: &[StructuredMatrix],
         payload: &[f64],
         hint: usize,
+    ) -> Result<Vec<f64>, NetError> {
+        self.apply_traced(transpose, factors, payload, hint, &NoopSpanSink, "")
+    }
+
+    /// Runs one stateless task (RECONSTRUCT passes): trailing factors against
+    /// a payload shipped with the request. `hint` spreads blocks across live
+    /// workers; failures retry on the next live worker with the same policy.
+    /// Traced attempts are recorded as `rpc:apply` spans (see
+    /// [`WorkerPool::run_slab_task_traced`]).
+    pub fn apply_traced(
+        &self,
+        transpose: bool,
+        factors: &[StructuredMatrix],
+        payload: &[f64],
+        hint: usize,
+        sink: &dyn SpanSink,
+        phase: &str,
     ) -> Result<Vec<f64>, NetError> {
         let task = Frame::Apply {
             transpose,
@@ -391,7 +518,14 @@ impl WorkerPool {
             let Some(link) = self.pick_any(hint + attempt as usize) else {
                 break;
             };
-            match self.exec(&link, &task) {
+            let rpc = RpcSpan {
+                sink,
+                name: "rpc:apply",
+                phase,
+                shard: hint as u64,
+                attempt,
+            };
+            match self.exec(&link, &task, &rpc) {
                 Ok(v) => return Ok(v),
                 Err(e) => last_err = self.note_failure(&link, e, attempt, &mut delay),
             }
@@ -399,10 +533,77 @@ impl WorkerPool {
         Err(last_err)
     }
 
+    /// One request/response exchange, recorded as one attempt span when the
+    /// sink traces. The attempt span covers connect-to-reply wall time; any
+    /// worker-side spans in the reply are parented beneath it, re-based onto
+    /// the coordinator clock as ending when the reply arrived (accurate to
+    /// within the attempt's network round-trip, since only durations travel).
+    fn roundtrip(
+        &self,
+        link: &WorkerLink,
+        task: &Frame,
+        rpc: &RpcSpan<'_>,
+    ) -> Result<Frame, NetError> {
+        let Some(ctx) = rpc.sink.context() else {
+            return link.call(task, self.policy.task_timeout);
+        };
+        let span_id = rpc.sink.next_span_id();
+        let ext = TraceExt::request(ctx.trace_id, span_id);
+        let start = Instant::now();
+        let result = link.call_traced(task, &ext, self.policy.task_timeout);
+        let end = Instant::now();
+        let outcome = match &result {
+            Ok((Frame::Error { .. }, _)) => "remote-error",
+            Ok(_) => "ok",
+            Err(_) => "transport-error",
+        };
+        let start_ns = rpc.sink.rel_ns(start);
+        let end_ns = rpc.sink.rel_ns(end);
+        let parent = rpc.sink.parent_for(rpc.phase).unwrap_or(ctx.span_id);
+        let lane = rpc.shard.to_string();
+        rpc.sink.record(
+            Span::new(
+                ctx.trace_id,
+                span_id,
+                parent,
+                rpc.name,
+                start_ns,
+                end_ns.saturating_sub(start_ns),
+            )
+            .attr("worker", &link.addr)
+            .attr("shard", rpc.shard.to_string())
+            .attr("attempt", rpc.attempt.to_string())
+            .attr("outcome", outcome)
+            .attr("lane", &lane),
+        );
+        if let Ok((_, Some(reply_ext))) = &result {
+            for ws in &reply_ext.spans {
+                rpc.sink.record(
+                    Span::new(
+                        ctx.trace_id,
+                        rpc.sink.next_span_id(),
+                        span_id,
+                        ws.name.clone(),
+                        end_ns.saturating_sub(ws.dur_ns),
+                        ws.dur_ns,
+                    )
+                    .attr("worker", &link.addr)
+                    .attr("lane", &lane),
+                );
+            }
+        }
+        result.map(|(f, _)| f)
+    }
+
     /// One timed, counted exchange expecting a `Part` response.
-    fn exec(&self, link: &WorkerLink, task: &Frame) -> Result<Vec<f64>, NetError> {
+    fn exec(
+        &self,
+        link: &WorkerLink,
+        task: &Frame,
+        rpc: &RpcSpan<'_>,
+    ) -> Result<Vec<f64>, NetError> {
         let t = Instant::now();
-        match link.call(task, self.policy.task_timeout)? {
+        match self.roundtrip(link, task, rpc)? {
             Frame::Part { values } => {
                 link.tasks.fetch_add(1, Ordering::Relaxed);
                 link.task_nanos
@@ -422,6 +623,7 @@ impl WorkerPool {
         shard: u64,
         rows: (u64, u64),
         values: &[f64],
+        rpc: &RpcSpan<'_>,
     ) -> Result<(), NetError> {
         let frame = Frame::LoadSlab {
             dataset: dataset.to_string(),
@@ -429,7 +631,7 @@ impl WorkerPool {
             rows,
             values: values.to_vec(),
         };
-        match link.call(&frame, self.policy.task_timeout)? {
+        match self.roundtrip(link, &frame, rpc)? {
             Frame::Loaded => {
                 link.alive.store(true, Ordering::Relaxed);
                 link.loaded

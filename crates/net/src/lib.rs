@@ -27,9 +27,13 @@ pub mod wire;
 pub mod worker;
 
 pub use client::{PoolHealth, RetryPolicy, WorkerHealth, WorkerPool};
-pub use remote::{try_run_mechanism_remote_observed, RemoteError, RemoteExecutor, RemoteOptions};
+pub use remote::{
+    try_run_mechanism_remote_observed, try_run_mechanism_remote_traced, RemoteError,
+    RemoteExecutor, RemoteOptions,
+};
 pub use wire::{
-    decode_frame, encode_frame, read_frame, write_frame, ErrorCode, Frame, NetError,
-    MAX_FRAME_BYTES, WIRE_MAGIC,
+    decode_frame, decode_frame_ext, encode_frame, encode_frame_ext, read_frame, read_frame_ext,
+    write_frame, write_frame_ext, ErrorCode, Frame, NetError, TraceExt, WireSpan, MAX_FRAME_BYTES,
+    PROTO_V1, PROTO_V2, WIRE_MAGIC, WIRE_PREFIX,
 };
 pub use worker::{spawn_worker, WorkerHandle, WorkerOptions};

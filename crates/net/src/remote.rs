@@ -28,6 +28,7 @@ use hdmm_mechanism::{
     measure_with, MarginalsAlgebra, Measurements, MechanismError, MechanismPhase, MechanismResult,
     PhaseObserver, ScopedExecutor, ShardExecutor, ShardedView, Strategy,
 };
+use hdmm_obs::{NoopSpanSink, SpanSink};
 use hdmm_workload::Workload;
 use rand::Rng;
 use std::ops::Range;
@@ -160,6 +161,7 @@ fn fan_out_slabs(
     trailing: &[StructuredMatrix],
     observer: &(impl PhaseObserver + ?Sized),
     phase: MechanismPhase,
+    sink: &dyn SpanSink,
 ) -> Result<Vec<Vec<f64>>, NetError> {
     let results: Vec<Result<Vec<f64>, NetError>> = std::thread::scope(|s| {
         let handles: Vec<_> = view
@@ -169,12 +171,14 @@ fn fan_out_slabs(
             .map(|(shard, slab)| {
                 s.spawn(move || {
                     let t = Instant::now();
-                    let part = pool.run_slab_task(
+                    let part = pool.run_slab_task_traced(
                         dataset,
                         shard as u64,
                         trailing,
                         (slab.rows.start as u64, slab.rows.end as u64),
                         slab.values,
+                        sink,
+                        phase.name(),
                     );
                     if part.is_ok() {
                         observer.shard_phase_complete(phase, shard, t.elapsed());
@@ -200,6 +204,7 @@ fn fan_out_apply(
     payloads: &[&[f64]],
     observer: &(impl PhaseObserver + ?Sized),
     phase: MechanismPhase,
+    sink: &dyn SpanSink,
 ) -> Result<Vec<Vec<f64>>, NetError> {
     let results: Vec<Result<Vec<f64>, NetError>> = std::thread::scope(|s| {
         let handles: Vec<_> = payloads
@@ -208,7 +213,8 @@ fn fan_out_apply(
             .map(|(shard, payload)| {
                 s.spawn(move || {
                     let t = Instant::now();
-                    let part = pool.apply(transpose, trailing, payload, shard);
+                    let part =
+                        pool.apply_traced(transpose, trailing, payload, shard, sink, phase.name());
                     if part.is_ok() {
                         observer.shard_phase_complete(phase, shard, t.elapsed());
                     }
@@ -233,6 +239,7 @@ fn owned_trailing(split_trailing: &[&StructuredMatrix]) -> Vec<StructuredMatrix>
 /// workers), the merge and leading contraction run locally through
 /// [`kron_forward_from_parts`] — bitwise identical to
 /// [`kron_forward_sharded`](hdmm_mechanism::kron_forward_sharded).
+#[allow(clippy::too_many_arguments)]
 fn kron_forward_remote(
     exec: &RemoteExecutor,
     dataset: &str,
@@ -240,6 +247,7 @@ fn kron_forward_remote(
     view: &ShardedView<'_>,
     observer: &(impl PhaseObserver + ?Sized),
     phase: MechanismPhase,
+    sink: &dyn SpanSink,
 ) -> Result<Vec<f64>, NetError> {
     let split = leading_split(factors);
     if view
@@ -251,7 +259,7 @@ fn kron_forward_remote(
         ));
     }
     let trailing = owned_trailing(&split.trailing);
-    let parts = fan_out_slabs(exec.pool(), dataset, view, &trailing, observer, phase)?;
+    let parts = fan_out_slabs(exec.pool(), dataset, view, &trailing, observer, phase, sink)?;
     Ok(kron_forward_from_parts(
         factors,
         parts,
@@ -263,6 +271,7 @@ fn kron_forward_remote(
 
 /// The remote forward fan-out over a coordinator-held intermediate (the
 /// inverse-Gram pass of RECONSTRUCT): payload slices ship with the request.
+#[allow(clippy::too_many_arguments)]
 fn kron_forward_remote_payload(
     exec: &RemoteExecutor,
     factors: &[&StructuredMatrix],
@@ -270,6 +279,7 @@ fn kron_forward_remote_payload(
     ranges: &[Range<usize>],
     observer: &(impl PhaseObserver + ?Sized),
     phase: MechanismPhase,
+    sink: &dyn SpanSink,
 ) -> Result<Vec<f64>, NetError> {
     let split = leading_split(factors);
     let rest_n = split.trailing_cols();
@@ -278,7 +288,15 @@ fn kron_forward_remote_payload(
         .iter()
         .map(|r| &x[r.start * rest_n..r.end * rest_n])
         .collect();
-    let parts = fan_out_apply(exec.pool(), false, &trailing, &payloads, observer, phase)?;
+    let parts = fan_out_apply(
+        exec.pool(),
+        false,
+        &trailing,
+        &payloads,
+        observer,
+        phase,
+        sink,
+    )?;
     Ok(kron_forward_from_parts(
         factors,
         parts,
@@ -292,6 +310,7 @@ fn kron_forward_remote_payload(
 /// [`Apply`](crate::Frame::Apply) RPCs over measurement-axis blocks, the
 /// merge and leading transpose run locally — bitwise identical to
 /// [`kron_transpose_sharded`](hdmm_mechanism::kron_transpose_sharded).
+#[allow(clippy::too_many_arguments)]
 fn kron_transpose_remote(
     exec: &RemoteExecutor,
     factors: &[&StructuredMatrix],
@@ -299,6 +318,7 @@ fn kron_transpose_remote(
     domain_ranges: &[Range<usize>],
     observer: &(impl PhaseObserver + ?Sized),
     phase: MechanismPhase,
+    sink: &dyn SpanSink,
 ) -> Result<Vec<f64>, NetError> {
     let split = leading_split(factors);
     let rest_m = split.trailing_rows();
@@ -308,7 +328,15 @@ fn kron_transpose_remote(
         .iter()
         .map(|b| &y[b.start * rest_m..b.end * rest_m])
         .collect();
-    let parts = fan_out_apply(exec.pool(), true, &trailing, &payloads, observer, phase)?;
+    let parts = fan_out_apply(
+        exec.pool(),
+        true,
+        &trailing,
+        &payloads,
+        observer,
+        phase,
+        sink,
+    )?;
     Ok(kron_transpose_from_parts(
         factors,
         parts,
@@ -331,6 +359,7 @@ fn reconstruct_remote(
     view: &ShardedView<'_>,
     exec: &RemoteExecutor,
     observer: &(impl PhaseObserver + ?Sized),
+    sink: &dyn SpanSink,
 ) -> Result<Vec<f64>, NetError> {
     let phase = MechanismPhase::Reconstruct;
     match strategy {
@@ -345,11 +374,11 @@ fn reconstruct_remote(
                 return Ok(hdmm_mechanism::reconstruct(strategy, meas));
             };
             let y = &meas.blocks[0].noisy;
-            let aty = kron_transpose_remote(exec, &refs, y, &ranges, observer, phase)?;
+            let aty = kron_transpose_remote(exec, &refs, y, &ranges, observer, phase, sink)?;
             let gram_pinvs: Vec<StructuredMatrix> =
                 factors.iter().map(StructuredMatrix::gram_pinv).collect();
             let pinv_refs: Vec<&StructuredMatrix> = gram_pinvs.iter().collect();
-            kron_forward_remote_payload(exec, &pinv_refs, &aty, &ranges, observer, phase)
+            kron_forward_remote_payload(exec, &pinv_refs, &aty, &ranges, observer, phase, sink)
         }
         Strategy::Marginals(m) => {
             if view.leading != m.domain.attr_size(0) {
@@ -377,6 +406,7 @@ fn reconstruct_remote(
                     &domain_ranges,
                     observer,
                     phase,
+                    sink,
                 )?;
                 for (acc, b) in mty.iter_mut().zip(&back) {
                     *acc += theta * b;
@@ -388,15 +418,8 @@ fn reconstruct_remote(
     }
 }
 
-/// The full checked remote pipeline with per-phase timing: budget-validated
-/// MEASURE with the slab fan-out over the worker pool, remote RECONSTRUCT,
-/// and local sharded ANSWER over the reconstructed estimate.
-///
-/// Results are bitwise identical to
-/// [`try_run_mechanism_sharded_observed`](hdmm_mechanism::try_run_mechanism_sharded_observed)
-/// on the same view with the same RNG — and therefore to the plain dense
-/// pipeline — for every worker count. On [`RemoteError::Net`] the RNG may be
-/// partially consumed; callers that fall back locally must reseed.
+/// Untraced [`try_run_mechanism_remote_traced`] — the spans are discarded,
+/// everything else (timing callbacks, retry, results) is identical.
 #[allow(clippy::too_many_arguments)]
 pub fn try_run_mechanism_remote_observed(
     workload: &Workload,
@@ -408,6 +431,48 @@ pub fn try_run_mechanism_remote_observed(
     rng: &mut impl Rng,
     exec: &RemoteExecutor,
     observer: &(impl PhaseObserver + ?Sized),
+) -> Result<MechanismResult, RemoteError> {
+    try_run_mechanism_remote_traced(
+        workload,
+        strategy,
+        dataset,
+        view,
+        eps,
+        remaining,
+        rng,
+        exec,
+        observer,
+        &NoopSpanSink,
+    )
+}
+
+/// The full checked remote pipeline with per-phase timing: budget-validated
+/// MEASURE with the slab fan-out over the worker pool, remote RECONSTRUCT,
+/// and local sharded ANSWER over the reconstructed estimate.
+///
+/// Results are bitwise identical to
+/// [`try_run_mechanism_sharded_observed`](hdmm_mechanism::try_run_mechanism_sharded_observed)
+/// on the same view with the same RNG — and therefore to the plain dense
+/// pipeline — for every worker count. On [`RemoteError::Net`] the RNG may be
+/// partially consumed; callers that fall back locally must reseed.
+///
+/// When `sink` traces, every RPC attempt of the fan-out (retries included)
+/// and every worker-side kernel span shipped back in the replies is recorded
+/// into it, parented under the phase spans the sink pre-allocates — giving
+/// one connected span tree per request even across the wire. Tracing never
+/// changes the computation: the sink is consulted outside the numeric path.
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_mechanism_remote_traced(
+    workload: &Workload,
+    strategy: &Strategy,
+    dataset: &str,
+    view: &ShardedView<'_>,
+    eps: f64,
+    remaining: f64,
+    rng: &mut impl Rng,
+    exec: &RemoteExecutor,
+    observer: &(impl PhaseObserver + ?Sized),
+    sink: &dyn SpanSink,
 ) -> Result<MechanismResult, RemoteError> {
     if !(eps.is_finite() && eps > 0.0) {
         return Err(MechanismError::InvalidEpsilon { eps }.into());
@@ -447,12 +512,12 @@ pub fn try_run_mechanism_remote_observed(
                 phase,
             ))
         },
-        &mut |refs| kron_forward_remote(exec, dataset, refs, view, observer, phase),
+        &mut |refs| kron_forward_remote(exec, dataset, refs, view, observer, phase, sink),
     )?;
     observer.phase_complete(MechanismPhase::Measure, t.elapsed());
 
     let t = Instant::now();
-    let x_hat = reconstruct_remote(strategy, &meas, view, exec, observer)?;
+    let x_hat = reconstruct_remote(strategy, &meas, view, exec, observer, sink)?;
     observer.phase_complete(MechanismPhase::Reconstruct, t.elapsed());
 
     let t = Instant::now();

@@ -23,13 +23,13 @@
 //! private data slab). Bind workers to loopback or a trusted private
 //! network only — never expose the port beyond the coordinator's network.
 
-use crate::wire::{read_frame, write_frame, ErrorCode, Frame};
+use crate::wire::{read_frame_ext, write_frame_ext, ErrorCode, Frame, TraceExt, WireSpan};
 use hdmm_linalg::{kmatvec_trailing_slab, kmatvec_transpose_trailing_slab, StructuredMatrix};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Worker tuning knobs.
 #[derive(Debug, Clone, Default)]
@@ -37,6 +37,11 @@ pub struct WorkerOptions {
     /// Artificial latency added before every compute task — fault-injection
     /// hook for tests and demos (a "slow worker"); zero in production.
     pub task_delay: Duration,
+    /// Emulates a pre-versioning worker: v2 (traced) frames are rejected by
+    /// dropping the connection, exactly as an old build's strict `"HNW1"`
+    /// magic check does. Lets tests cover old-worker/new-coordinator skew
+    /// without keeping an old binary around.
+    pub legacy_protocol: bool,
 }
 
 struct Slab {
@@ -145,21 +150,43 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
         if shared.stop.load(Ordering::SeqCst) {
             return;
         }
-        let request = match read_frame(&mut stream) {
-            Ok(f) => f,
+        let (request, ext) = match read_frame_ext(&mut stream) {
+            // Legacy emulation: an old build's strict "HNW1" check turns any
+            // v2 frame into BadMagic and a dropped connection.
+            Ok((_, Some(_))) if shared.opts.legacy_protocol => return,
+            Ok(pair) => pair,
             // EOF, reset, or garbage: drop the connection. The coordinator
             // reconnects and retries; tasks are idempotent.
             Err(_) => return,
         };
-        let response = handle(request, shared);
-        if write_frame(&mut stream, &response).is_err() {
+        // Answer in the version the request arrived in: an old coordinator
+        // (v1 requests) never sees v2 bytes, a new one gets its spans back.
+        let (response, spans) = handle(request, shared);
+        let reply_ext = ext.map(|e| TraceExt {
+            spans: if e.trace_id == 0 { Vec::new() } else { spans },
+            ..e
+        });
+        if write_frame_ext(&mut stream, &response, reply_ext.as_ref()).is_err() {
             return;
         }
     }
 }
 
-fn handle(request: Frame, shared: &Shared) -> Frame {
-    match request {
+/// Times one worker-side section into `spans` (only traced requests pay for
+/// the bookkeeping; the caller drops the vector for untraced ones).
+fn timed<T>(spans: &mut Vec<WireSpan>, name: &'static str, work: impl FnOnce() -> T) -> T {
+    let t = Instant::now();
+    let out = work();
+    spans.push(WireSpan {
+        name: name.to_string(),
+        dur_ns: u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX),
+    });
+    out
+}
+
+fn handle(request: Frame, shared: &Shared) -> (Frame, Vec<WireSpan>) {
+    let mut spans = Vec::new();
+    let response = match request {
         Frame::Ping => Frame::Pong {
             slabs: shared.slabs.lock().expect("slab map").len() as u64,
         },
@@ -170,25 +197,33 @@ fn handle(request: Frame, shared: &Shared) -> Frame {
             values,
         } => {
             if rows.1 <= rows.0 {
-                return Frame::Error {
-                    code: ErrorCode::BadTask,
-                    message: format!("empty slab row range {rows:?}"),
-                };
+                return (
+                    Frame::Error {
+                        code: ErrorCode::BadTask,
+                        message: format!("empty slab row range {rows:?}"),
+                    },
+                    spans,
+                );
             }
             if !values.len().is_multiple_of((rows.1 - rows.0) as usize) {
-                return Frame::Error {
-                    code: ErrorCode::BadTask,
-                    message: format!(
-                        "slab payload of {} cells does not tile rows {rows:?}",
-                        values.len()
-                    ),
-                };
+                return (
+                    Frame::Error {
+                        code: ErrorCode::BadTask,
+                        message: format!(
+                            "slab payload of {} cells does not tile rows {rows:?}",
+                            values.len()
+                        ),
+                    },
+                    spans,
+                );
             }
-            shared
-                .slabs
-                .lock()
-                .expect("slab map")
-                .insert((dataset, shard), Slab { values });
+            timed(&mut spans, "worker:load", || {
+                shared
+                    .slabs
+                    .lock()
+                    .expect("slab map")
+                    .insert((dataset, shard), Slab { values });
+            });
             Frame::Loaded
         }
         Frame::SlabForward {
@@ -199,12 +234,17 @@ fn handle(request: Frame, shared: &Shared) -> Frame {
             std::thread::sleep(shared.opts.task_delay);
             let slabs = shared.slabs.lock().expect("slab map");
             let Some(slab) = slabs.get(&(dataset.clone(), shard)) else {
-                return Frame::Error {
-                    code: ErrorCode::UnknownSlab,
-                    message: format!("no slab {shard} of dataset {dataset:?} loaded"),
-                };
+                return (
+                    Frame::Error {
+                        code: ErrorCode::UnknownSlab,
+                        message: format!("no slab {shard} of dataset {dataset:?} loaded"),
+                    },
+                    spans,
+                );
             };
-            compute(&factors, &slab.values, false)
+            timed(&mut spans, "worker:forward", || {
+                compute(&factors, &slab.values, false)
+            })
         }
         Frame::Apply {
             transpose,
@@ -212,14 +252,17 @@ fn handle(request: Frame, shared: &Shared) -> Frame {
             payload,
         } => {
             std::thread::sleep(shared.opts.task_delay);
-            compute(&factors, &payload, transpose)
+            timed(&mut spans, "worker:apply", || {
+                compute(&factors, &payload, transpose)
+            })
         }
         // Response frames are not valid requests.
         other => Frame::Error {
             code: ErrorCode::BadTask,
             message: format!("frame kind {:?} is not a request", other.kind()),
         },
-    }
+    };
+    (response, spans)
 }
 
 /// Runs a trailing kernel under `catch_unwind` so shape mismatches come back
@@ -245,12 +288,87 @@ fn compute(factors: &[StructuredMatrix], payload: &[f64], transpose: bool) -> Fr
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::wire::NetError;
+    use crate::wire::{read_frame, write_frame, NetError};
 
     fn call(addr: SocketAddr, frame: &Frame) -> Result<Frame, NetError> {
         let mut stream = TcpStream::connect(addr)?;
         write_frame(&mut stream, frame)?;
         read_frame(&mut stream)
+    }
+
+    fn call_v2(
+        addr: SocketAddr,
+        frame: &Frame,
+        ext: &TraceExt,
+    ) -> Result<(Frame, Option<TraceExt>), NetError> {
+        let mut stream = TcpStream::connect(addr)?;
+        write_frame_ext(&mut stream, frame, Some(ext))?;
+        read_frame_ext(&mut stream)
+    }
+
+    #[test]
+    fn traced_requests_get_worker_spans_back() {
+        let w = spawn_worker("127.0.0.1:0", WorkerOptions::default()).unwrap();
+        let load = Frame::LoadSlab {
+            dataset: "d".into(),
+            shard: 0,
+            rows: (0, 2),
+            values: (0..6).map(f64::from).collect(),
+        };
+        let (reply, ext) = call_v2(w.addr(), &load, &TraceExt::request(77, 5)).unwrap();
+        assert_eq!(reply, Frame::Loaded);
+        let ext = ext.expect("v2 request gets a v2 reply");
+        assert_eq!((ext.trace_id, ext.span_id), (77, 5), "identity echoed");
+        assert_eq!(ext.spans.len(), 1);
+        assert_eq!(ext.spans[0].name, "worker:load");
+
+        let fwd = Frame::SlabForward {
+            dataset: "d".into(),
+            shard: 0,
+            factors: vec![StructuredMatrix::total(3)],
+        };
+        let (reply, ext) = call_v2(w.addr(), &fwd, &TraceExt::request(77, 6)).unwrap();
+        assert!(matches!(reply, Frame::Part { .. }));
+        assert_eq!(ext.unwrap().spans[0].name, "worker:forward");
+
+        // v1 requests keep getting v1 replies from the same worker.
+        assert_eq!(
+            call(w.addr(), &Frame::Ping).unwrap(),
+            Frame::Pong { slabs: 1 }
+        );
+        w.kill();
+    }
+
+    #[test]
+    fn untraced_v2_requests_skip_span_bookkeeping() {
+        let w = spawn_worker("127.0.0.1:0", WorkerOptions::default()).unwrap();
+        let (reply, ext) = call_v2(w.addr(), &Frame::Ping, &TraceExt::request(0, 0)).unwrap();
+        assert_eq!(reply, Frame::Pong { slabs: 0 });
+        assert!(ext.unwrap().spans.is_empty());
+        w.kill();
+    }
+
+    #[test]
+    fn legacy_worker_drops_v2_but_answers_v1() {
+        let opts = WorkerOptions {
+            legacy_protocol: true,
+            ..WorkerOptions::default()
+        };
+        let w = spawn_worker("127.0.0.1:0", opts).unwrap();
+        // v1 works against the legacy worker...
+        assert_eq!(
+            call(w.addr(), &Frame::Ping).unwrap(),
+            Frame::Pong { slabs: 0 }
+        );
+        // ...while a traced frame gets the connection dropped, like a real
+        // old binary's BadMagic path.
+        let mut stream = TcpStream::connect(w.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        write_frame_ext(&mut stream, &Frame::Ping, Some(&TraceExt::request(1, 1))).unwrap();
+        assert!(read_frame_ext(&mut stream).is_err());
+        w.kill();
     }
 
     #[test]

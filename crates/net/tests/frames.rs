@@ -6,7 +6,8 @@
 
 use hdmm_linalg::{Matrix, StructuredMatrix};
 use hdmm_net::{
-    decode_frame, encode_frame, read_frame, write_frame, ErrorCode, Frame, MAX_FRAME_BYTES,
+    decode_frame, decode_frame_ext, encode_frame, encode_frame_ext, read_frame, write_frame,
+    ErrorCode, Frame, TraceExt, WireSpan, MAX_FRAME_BYTES,
 };
 use proptest::prelude::*;
 
@@ -166,6 +167,83 @@ proptest! {
         prop_assert!(
             decode_frame(&encoded).is_err(),
             "flip of byte {pos} (xor {flip:#04x}) must be detected"
+        );
+    }
+
+    /// A v2 frame with an arbitrary trace extension round-trips bit-exactly:
+    /// the frame, the trace identity, and every worker-side span.
+    #[test]
+    fn v2_trace_extension_round_trips_bit_exactly(
+        which in 0usize..8,
+        n in 1usize..5,
+        len in 0usize..20,
+        seed in 0u64..10_000,
+        kinds in proptest::collection::vec(0usize..6, 2),
+        trace_id in 0u64..u64::MAX,
+        span_id in 0u64..u64::MAX,
+        spans in proptest::collection::vec((0usize..4, 0u64..u64::MAX), 4),
+        span_count in 0usize..5,
+    ) {
+        const NAMES: [&str; 4] = ["worker:forward", "worker:apply", "worker:load", ""];
+        let frame = frame_from(which, n, len, seed, &kinds);
+        let ext = TraceExt {
+            trace_id,
+            span_id,
+            spans: spans
+                .into_iter()
+                .take(span_count)
+                .map(|(name, dur_ns)| WireSpan {
+                    name: NAMES[name].to_string(),
+                    dur_ns,
+                })
+                .collect(),
+        };
+        let encoded = encode_frame_ext(&frame, Some(&ext));
+        let (back, back_ext) = decode_frame_ext(&encoded).expect("v2 must decode");
+        prop_assert_eq!(&back, &frame);
+        prop_assert_eq!(back_ext.as_ref(), Some(&ext));
+    }
+
+    /// Forward compat: a legacy (v1) frame decodes through the v2-aware
+    /// reader as the same frame with no extension — a new coordinator can
+    /// always talk to an old worker's bytes.
+    #[test]
+    fn v1_bytes_decode_through_the_v2_reader(
+        which in 0usize..8,
+        n in 1usize..5,
+        len in 0usize..20,
+        seed in 0u64..10_000,
+        kinds in proptest::collection::vec(0usize..6, 2),
+    ) {
+        let frame = frame_from(which, n, len, seed, &kinds);
+        let v1 = encode_frame(&frame);
+        let (back, ext) = decode_frame_ext(&v1).expect("v1 must decode via v2 reader");
+        prop_assert_eq!(&back, &frame);
+        prop_assert!(ext.is_none(), "legacy frames carry no extension");
+    }
+
+    /// Backward compat: a v2-aware encoder asked for no extension emits
+    /// byte-identical v1 — an old worker never sees bytes it cannot parse
+    /// from a new coordinator that negotiated down. And the extension is
+    /// pure metadata: stripping it (via the ext-discarding decoder) always
+    /// yields the same frame.
+    #[test]
+    fn untraced_v2_is_byte_identical_v1_and_the_extension_is_pure_metadata(
+        which in 0usize..8,
+        n in 1usize..5,
+        len in 0usize..20,
+        seed in 0u64..10_000,
+        kinds in proptest::collection::vec(0usize..6, 2),
+        trace_id in 1u64..u64::MAX,
+    ) {
+        let frame = frame_from(which, n, len, seed, &kinds);
+        prop_assert_eq!(encode_frame_ext(&frame, None), encode_frame(&frame));
+
+        let traced = encode_frame_ext(&frame, Some(&TraceExt::request(trace_id, 1)));
+        prop_assert!(traced != encode_frame(&frame), "v2 bytes differ from v1");
+        prop_assert_eq!(
+            decode_frame(&traced).expect("ext-discarding decode"),
+            frame
         );
     }
 

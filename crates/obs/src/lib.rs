@@ -1,0 +1,32 @@
+//! # hdmm-obs — observability primitives for the HDMM serving engine
+//!
+//! The serving stack spans threads, shards, and processes: a single query's
+//! latency is the sum of queue wait, SELECT, per-shard RPC round-trips
+//! (retries included), and the merge. Aggregate histograms cannot explain
+//! one slow request, and a private query engine has a resource — the ε
+//! budget — whose consumption must be auditable per request. This crate
+//! holds the pieces, free of any engine dependency so every layer
+//! (mechanism, net, engine) can use them:
+//!
+//! * [`trace`] — [`TraceContext`] (trace id + span id, FNV-derived and
+//!   deterministic under a seed) and [`Span`], the unit of causality;
+//! * [`collector`] — [`SpanCollector`], a sharded bounded ring buffer that
+//!   serving threads push completed spans into without a global lock, with
+//!   drop counting on overflow and Chrome `trace_event` JSON export
+//!   ([`chrome_trace`]) so any query opens in Perfetto / `chrome://tracing`;
+//! * [`prom`] — [`PromBuf`], a Prometheus text-format (version 0.0.4)
+//!   renderer: escaped labels, cumulative histogram buckets, and a guarantee
+//!   that no `NaN`/`Inf` sample values leak into scrape output;
+//! * [`audit`] — the ε-budget audit stream: every reserve / commit / refund
+//!   / denial as a typed [`AuditEvent`] carrying the trace id, kept in a
+//!   bounded log, subscribable over `mpsc`, and dumpable as JSONL.
+
+pub mod audit;
+pub mod collector;
+pub mod prom;
+pub mod trace;
+
+pub use audit::{AuditEvent, AuditKind, AuditLog};
+pub use collector::{chrome_trace, SpanCollector};
+pub use prom::PromBuf;
+pub use trace::{NoopSpanSink, Span, SpanSink, TraceContext};

@@ -1,0 +1,219 @@
+//! Prometheus text-format (exposition format version 0.0.4) rendering.
+//!
+//! [`PromBuf`] is a small append-only builder with the invariants a scraper
+//! cares about baked in:
+//!
+//! * metric names are sanitized to `[a-zA-Z_:][a-zA-Z0-9_:]*` (invalid
+//!   characters become `_`);
+//! * label values are escaped per the spec (`\\`, `\"`, `\n`);
+//! * **no `NaN` or `±Inf` sample value is ever written** — non-finite values
+//!   are skipped and counted in [`PromBuf::skipped_nonfinite`], because a
+//!   single `NaN` sample poisons rate() queries silently while a missing
+//!   sample is visible as absence;
+//! * histograms render the full cumulative-bucket contract: `_bucket` lines
+//!   with non-decreasing counts, a final `le="+Inf"` bucket equal to
+//!   `_count`, plus `_sum` and `_count` (the `le` label is the **inclusive
+//!   upper bound** of each bucket, never a midpoint).
+
+/// Sanitizes a metric name to the Prometheus grammar.
+pub fn metric_name(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len().max(1));
+    for (i, c) in raw.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format.
+pub fn escape_label(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_labels(out: &mut String, labels: &[(&str, &str)]) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&metric_name(k));
+        out.push_str("=\"");
+        out.push_str(&escape_label(v));
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// An append-only Prometheus text-format builder.
+#[derive(Debug, Default)]
+pub struct PromBuf {
+    out: String,
+    skipped_nonfinite: u64,
+}
+
+impl PromBuf {
+    /// An empty buffer.
+    pub fn new() -> PromBuf {
+        PromBuf::default()
+    }
+
+    /// Writes the `# HELP` / `# TYPE` preamble for a metric family.
+    /// `kind` is `counter`, `gauge`, or `histogram`.
+    pub fn family(&mut self, name: &str, help: &str, kind: &str) {
+        let name = metric_name(name);
+        self.out.push_str("# HELP ");
+        self.out.push_str(&name);
+        self.out.push(' ');
+        // HELP text: escape backslash and newline only (spec).
+        for c in help.chars() {
+            match c {
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                c => self.out.push(c),
+            }
+        }
+        self.out.push_str("\n# TYPE ");
+        self.out.push_str(&name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    /// Writes one sample line. Non-finite values are skipped (and counted),
+    /// never written.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        if !value.is_finite() {
+            self.skipped_nonfinite += 1;
+            return;
+        }
+        self.out.push_str(&metric_name(name));
+        write_labels(&mut self.out, labels);
+        self.out.push(' ');
+        self.out.push_str(&fmt_value(value));
+        self.out.push('\n');
+    }
+
+    /// Integer-sample convenience (counters, bucket counts).
+    pub fn sample_u64(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.out.push_str(&metric_name(name));
+        write_labels(&mut self.out, labels);
+        self.out.push(' ');
+        self.out.push_str(&value.to_string());
+        self.out.push('\n');
+    }
+
+    /// Writes a full histogram: one `_bucket` line per `(upper_bound,
+    /// cumulative_count)` entry, the `+Inf` bucket, `_sum`, and `_count`.
+    /// `buckets` must be sorted by upper bound with non-decreasing
+    /// cumulative counts (debug-asserted); upper bounds are rendered as the
+    /// bucket's **inclusive upper bound**.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        buckets: &[(f64, u64)],
+        sum: f64,
+        count: u64,
+    ) {
+        let name = metric_name(name);
+        let mut prev = 0u64;
+        for &(le, cum) in buckets {
+            debug_assert!(cum >= prev, "cumulative bucket counts must not decrease");
+            prev = cum;
+            let le_str = fmt_value(le);
+            let mut all: Vec<(&str, &str)> = labels.to_vec();
+            all.push(("le", &le_str));
+            self.sample_u64(&format!("{name}_bucket"), &all, cum);
+        }
+        let mut all: Vec<(&str, &str)> = labels.to_vec();
+        all.push(("le", "+Inf"));
+        self.sample_u64(&format!("{name}_bucket"), &all, count);
+        self.sample(&format!("{name}_sum"), labels, sum);
+        self.sample_u64(&format!("{name}_count"), labels, count);
+    }
+
+    /// Samples skipped because their value was `NaN` or `±Inf`.
+    pub fn skipped_nonfinite(&self) -> u64 {
+        self.skipped_nonfinite
+    }
+
+    /// The rendered exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Renders a finite float the way Prometheus parsers expect (Go-style:
+/// shortest round-trip decimal; Rust's `{}` for `f64` satisfies this).
+fn fmt_value(v: f64) -> String {
+    debug_assert!(v.is_finite());
+    format!("{v}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(metric_name("hdmm_requests_total"), "hdmm_requests_total");
+        assert_eq!(metric_name("9bad name-x"), "_bad_name_x");
+        assert_eq!(metric_name(""), "_");
+    }
+
+    #[test]
+    fn label_values_escape() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn nonfinite_samples_never_render() {
+        let mut b = PromBuf::new();
+        b.sample("g", &[], f64::NAN);
+        b.sample("g", &[], f64::INFINITY);
+        b.sample("g", &[], 1.5);
+        assert_eq!(b.skipped_nonfinite(), 2);
+        let text = b.finish();
+        assert_eq!(text, "g 1.5\n");
+        assert!(!text.contains("NaN") && !text.contains("inf"));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_contract() {
+        let mut b = PromBuf::new();
+        b.family("lat", "latency", "histogram");
+        b.histogram(
+            "lat",
+            &[("phase", "measure")],
+            &[(0.001, 2), (0.01, 5)],
+            0.042,
+            6,
+        );
+        let text = b.finish();
+        assert!(
+            text.contains("lat_bucket{phase=\"measure\",le=\"0.001\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lat_bucket{phase=\"measure\",le=\"+Inf\"} 6"),
+            "{text}"
+        );
+        assert!(text.contains("lat_sum{phase=\"measure\"} 0.042"), "{text}");
+        assert!(text.contains("lat_count{phase=\"measure\"} 6"), "{text}");
+    }
+}

@@ -214,6 +214,50 @@ fn main() {
         println!("   worker {health}");
     }
 
+    // 8. Observability: every request above carried a deterministic trace
+    //    id and assembled a span tree — queue wait, SELECT, phases, shard
+    //    tasks, and (for #7) the RPC attempts plus worker-side spans that
+    //    crossed the wire. The same engines render their metrics as a
+    //    Prometheus page (`hdmm-metrics-exporter` serves it over HTTP), and
+    //    the trace exports as Chrome `trace_event` JSON that Perfetto or
+    //    `chrome://tracing` loads directly.
+    let prom = remote_twin.render_prometheus();
+    let excerpt: Vec<&str> = prom
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .filter(|l| {
+            l.starts_with("hdmm_requests_total")
+                || l.starts_with("hdmm_phase_duration_seconds_count")
+                || l.starts_with("hdmm_dataset_eps_remaining")
+                || l.starts_with("hdmm_worker_up")
+                || l.starts_with("hdmm_spans_collected_total")
+        })
+        .collect();
+    println!(
+        "\n#8 observability: /metrics excerpt ({} lines total):",
+        prom.lines().count()
+    );
+    for line in excerpt {
+        println!("   {line}");
+    }
+    let trace_path = std::env::temp_dir().join("hdmm_engine_demo_trace.json");
+    match std::fs::write(&trace_path, remote_twin.chrome_trace(remote.trace_id)) {
+        Ok(()) => println!(
+            "   trace {:#018x} written to {} — open in Perfetto or chrome://tracing",
+            remote.trace_id,
+            trace_path.display()
+        ),
+        Err(e) => println!("   trace dump skipped ({e})"),
+    }
+    let audit_tail = remote_twin.audit().recent();
+    println!(
+        "   ε-audit stream tail ({} events total):",
+        audit_tail.len()
+    );
+    for event in audit_tail.iter().rev().take(2).rev() {
+        println!("   {}", event.to_json());
+    }
+
     // The one-call observability surface: cache counters, per-phase latency
     // histograms (select runs once per distinct workload; measure/
     // reconstruct/answer once per served request), per-shard task spans,

@@ -41,7 +41,14 @@ fn spawn_workers(specs: &[Duration]) -> (Vec<WorkerHandle>, RemoteOptions) {
     let handles: Vec<WorkerHandle> = specs
         .iter()
         .map(|&task_delay| {
-            spawn_worker("127.0.0.1:0", WorkerOptions { task_delay }).expect("loopback bind")
+            spawn_worker(
+                "127.0.0.1:0",
+                WorkerOptions {
+                    task_delay,
+                    ..Default::default()
+                },
+            )
+            .expect("loopback bind")
         })
         .collect();
     let opts = RemoteOptions {
@@ -230,7 +237,8 @@ fn rejected_duplicate_registration_never_touches_worker_state() {
         "answers after a rejected duplicate registration must still match dense"
     );
     assert_eq!(
-        engine.metrics().telemetry.remote_fallbacks, 0,
+        engine.metrics().telemetry.remote_fallbacks,
+        0,
         "the original slabs must still be serving remotely"
     );
 }

@@ -14,6 +14,41 @@
 //! strategy plus error accounting, and a MEASURE/RECONSTRUCT shard-task RPC
 //! is a strategy factor list plus a payload.
 //!
+//! # Examples
+//!
+//! Seal a payload, open and read it back, and observe that corruption is a
+//! typed error. The byte-offset assertions double as a format-stability
+//! check: strings are `u64` length-prefixed, scalars are little-endian, and
+//! the trailer is the 8-byte FNV-1a checksum of everything before it
+//! (`docs/DURABILITY.md` §2 builds the WAL frame format on exactly this
+//! layout).
+//!
+//! ```
+//! use hdmm_core::codec::{self, CodecError, Reader};
+//!
+//! let mut frame = Vec::new();
+//! codec::put_str(&mut frame, "census");
+//! codec::put_f64(&mut frame, 0.5);
+//! codec::seal(&mut frame);
+//!
+//! // 8-byte length prefix + "census" + 8-byte f64 + 8-byte checksum trailer.
+//! assert_eq!(frame.len(), 8 + 6 + 8 + 8);
+//! assert_eq!(&frame[..8], 6u64.to_le_bytes().as_slice());
+//! assert_eq!(&frame[8..14], b"census");
+//!
+//! let payload = codec::open(&frame)?;
+//! let mut r = Reader::new(payload);
+//! assert_eq!(r.str()?, "census");
+//! assert_eq!(r.f64()?.to_bits(), 0.5f64.to_bits());
+//! r.expect_end()?;
+//!
+//! // Any flipped bit is detected before a single field is trusted.
+//! let mut bad = frame.clone();
+//! bad[9] ^= 0x01;
+//! assert_eq!(codec::open(&bad), Err(CodecError::ChecksumMismatch));
+//! # Ok::<(), CodecError>(())
+//! ```
+//!
 //! [`PlanStore`]: https://docs.rs/hdmm-engine
 
 use hdmm_linalg::{Csr, Matrix, StructuredMatrix};

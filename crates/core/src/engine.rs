@@ -101,6 +101,13 @@ pub enum EngineError {
     },
     /// The server is shutting down and no longer accepts requests.
     Shutdown,
+    /// The durable budget ledger (write-ahead log) failed: recovery found
+    /// corrupt state it refuses to serve over, or a journal append on a path
+    /// that must be durable (reserve, registration) hit the filesystem.
+    WalFailed {
+        /// What failed, for operators.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -142,6 +149,9 @@ impl std::fmt::Display for EngineError {
                 write!(f, "request queue is full (capacity {capacity}); retry later")
             }
             EngineError::Shutdown => write!(f, "engine server is shutting down"),
+            EngineError::WalFailed { detail } => {
+                write!(f, "budget WAL failed: {detail}")
+            }
         }
     }
 }

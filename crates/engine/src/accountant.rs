@@ -43,6 +43,14 @@ impl EpsAccountant {
     pub(crate) fn refund(&mut self, eps: f64) {
         self.spent = (self.spent - eps).max(0.0);
     }
+
+    /// Restores spend recovered from the durable ledger (WAL replay) onto a
+    /// freshly registered ledger. Clamped to `[0, total]`: recovery is
+    /// conservative, so restored spend may exceed the new grant — the ledger
+    /// then starts exhausted rather than negative.
+    pub(crate) fn restore_spent(&mut self, spent: f64) {
+        self.spent = spent.clamp(0.0, self.total);
+    }
 }
 
 impl BudgetAccountant for EpsAccountant {
@@ -150,6 +158,13 @@ impl TenantLedger {
     /// Releases a reservation whose measurement never completed.
     pub(crate) fn refund(&mut self, eps: f64) {
         self.spent = (self.spent - eps).max(0.0);
+    }
+
+    /// Restores spend recovered from the durable ledger (WAL replay). Unlike
+    /// the dataset ledger, a tenant's spend may legitimately exceed its cap
+    /// (the cap can be lowered below spend), so only negatives are clamped.
+    pub(crate) fn restore_spent(&mut self, spent: f64) {
+        self.spent = spent.max(0.0);
     }
 }
 

@@ -30,6 +30,7 @@ use crate::singleflight::{FlightOutcome, SingleFlight};
 use crate::sync::{lock_recover, read_recover, write_recover};
 use crate::telemetry::{DatasetMetrics, EngineMetrics, ObsMetrics, Telemetry, TenantMetrics};
 use crate::tracing::RequestTracer;
+use crate::wal::{now_unix_ms, RecoveredDataset, Wal, WalRecord};
 use hdmm_core::{
     BudgetAccountant, DataBackend, DenseVector, Domain, EngineError, HdmmOptions, Plan,
     PrivateSession, QueryEngine, QueryResponse, SessionId, ShardedDataVector, Workload,
@@ -95,6 +96,17 @@ pub struct EngineOptions {
     pub trace_sample: u64,
     /// ε-audit events the engine's [`AuditLog`] ring retains.
     pub audit_capacity: usize,
+    /// Directory for the durable ε-ledger ([`crate::wal`]). `None` keeps the
+    /// ledgers in memory only. With a directory set, every budget transition
+    /// is journaled (commits fsynced before the answer is released), the
+    /// ledger state is snapshotted periodically, and [`Engine::open`] replays
+    /// snapshot + log to reconstruct exact spent-budget state after a crash —
+    /// see `docs/DURABILITY.md`.
+    pub wal_dir: Option<std::path::PathBuf>,
+    /// WAL records between automatic snapshots (each snapshot also truncates
+    /// the log). 0 disables automatic snapshotting; the log then grows until
+    /// [`Engine::snapshot_wal`] is called.
+    pub wal_snapshot_every: u64,
 }
 
 impl Default for EngineOptions {
@@ -112,6 +124,8 @@ impl Default for EngineOptions {
             trace_capacity: 4096,
             trace_sample: 1,
             audit_capacity: 1024,
+            wal_dir: None,
+            wal_snapshot_every: 1024,
         }
     }
 }
@@ -256,12 +270,54 @@ pub struct Engine {
     audit: AuditLog,
     /// Per-request trace counter; trace ids derive from `(seed, counter)`.
     next_trace: AtomicU64,
+    /// The durable ε-ledger, when [`EngineOptions::wal_dir`] is set.
+    wal: Option<Wal>,
+    /// Spent-ε recovered from the WAL for datasets not yet re-registered;
+    /// re-registration under the same name re-attaches (and removes) the
+    /// entry, restoring the spend onto the fresh ledger.
+    recovered: Mutex<HashMap<String, RecoveredDataset>>,
 }
 
 impl Engine {
     /// An engine with explicit options.
+    ///
+    /// # Panics
+    /// Panics if [`EngineOptions::wal_dir`] is set and WAL recovery fails
+    /// (corrupt snapshot, unreadable directory). Use [`Engine::open`] to
+    /// handle recovery failure as a typed error instead.
     pub fn new(options: EngineOptions) -> Self {
-        Engine {
+        Engine::open(options).expect("WAL recovery failed")
+    }
+
+    /// An engine with explicit options, running durable-ledger recovery when
+    /// [`EngineOptions::wal_dir`] is set: the ε spent before the crash (or
+    /// clean shutdown) is reconstructed from snapshot + log *before* the
+    /// engine serves its first query. Recovered tenant quotas are live
+    /// immediately; recovered dataset ledgers re-attach when a dataset is
+    /// re-registered under the same name (see `docs/DURABILITY.md` §6).
+    ///
+    /// Fails with [`EngineError::WalFailed`] when the durable state is
+    /// corrupt beyond the tolerated torn tail — serving anyway could
+    /// under-count spent ε, so the engine refuses to start.
+    pub fn open(options: EngineOptions) -> Result<Self, EngineError> {
+        let wal = match &options.wal_dir {
+            Some(dir) => Some(Wal::open(dir.clone(), options.wal_snapshot_every)?),
+            None => None,
+        };
+        let mut tenants = HashMap::new();
+        let mut recovered = HashMap::new();
+        if let Some(wal) = &wal {
+            let state = wal.recovered();
+            for (name, t) in &state.tenants {
+                let mut ledger = TenantLedger::new(name.clone(), t.cap);
+                ledger.restore_spent(t.spent);
+                tenants.insert(name.clone(), Arc::new(Mutex::new(ledger)));
+            }
+            for (name, d) in &state.datasets {
+                recovered.insert(name.clone(), d.clone());
+            }
+        }
+        Ok(Engine {
             cache: StrategyCache::new(options.cache_capacity),
             plan_store: options.cache_dir.clone().map(PlanStore::new),
             inflight: SingleFlight::new(),
@@ -273,10 +329,12 @@ impl Engine {
             audit: AuditLog::new(options.audit_capacity),
             options,
             datasets: RwLock::new(HashMap::new()),
-            tenants: RwLock::new(HashMap::new()),
+            tenants: RwLock::new(tenants),
             next_session: AtomicU64::new(1),
             next_trace: AtomicU64::new(0),
-        }
+            wal,
+            recovered: Mutex::new(recovered),
+        })
     }
 
     /// An engine with default options and the given RNG seed.
@@ -412,13 +470,30 @@ impl Engine {
             if datasets.contains_key(&name) {
                 return Err(EngineError::DatasetExists { name });
             }
-            let accountant = Mutex::new(EpsAccountant::new(name.clone(), config.total_eps));
+            // Journal before apply (still under the write lock, so the WAL's
+            // registration order matches the registry's): if the durable
+            // record cannot be written, the registration fails and nothing
+            // was inserted — no rollback path to get wrong.
+            if let Some(wal) = &self.wal {
+                wal.append(&WalRecord::DatasetRegistered {
+                    name: name.clone(),
+                    total_eps: config.total_eps,
+                    tenant: config.tenant.clone(),
+                })?;
+            }
+            let mut ledger = EpsAccountant::new(name.clone(), config.total_eps);
+            // A crash-recovered ledger under this name re-attaches here: the
+            // new registration's grant and tenant win, the recovered spend is
+            // restored (clamped to the grant — conservative, never negative).
+            if let Some(prior) = lock_recover(&self.recovered).remove(&name) {
+                ledger.restore_spent(prior.spent);
+            }
             datasets.insert(
                 name.clone(),
                 Arc::new(DatasetState {
                     domain,
                     data: Arc::clone(&data),
-                    accountant,
+                    accountant: Mutex::new(ledger),
                     tenant,
                     tenant_name: config.tenant.clone(),
                     rng: Mutex::new(StdRng::seed_from_u64(seed)),
@@ -484,9 +559,35 @@ impl Engine {
         if eps_cap.is_nan() || eps_cap <= 0.0 {
             return Err(EngineError::InvalidEpsilon { eps: eps_cap });
         }
+        // Journal before apply: a quota that was acked must survive restart
+        // (replaying a cap the crash forgot would *loosen* a tenant's limit).
+        if let Some(wal) = &self.wal {
+            wal.append(&WalRecord::TenantQuotaSet {
+                tenant: tenant.to_string(),
+                cap: eps_cap,
+            })?;
+        }
         let ledger = self.tenant_ledger_or_default(tenant);
         lock_recover(&ledger).set_cap(eps_cap);
         Ok(())
+    }
+
+    /// Spent ε recovered from the durable ledger for a dataset that has not
+    /// been re-registered since the restart. Returns `None` once the dataset
+    /// re-attaches (its live ledger then carries the spend) or when nothing
+    /// was recovered under the name.
+    pub fn recovered_spent(&self, dataset: &str) -> Option<f64> {
+        lock_recover(&self.recovered).get(dataset).map(|d| d.spent)
+    }
+
+    /// Forces a durable-ledger snapshot now (serialize ledger state, fsync,
+    /// truncate the log) instead of waiting for
+    /// [`EngineOptions::wal_snapshot_every`]. No-op without a WAL.
+    pub fn snapshot_wal(&self) -> Result<(), EngineError> {
+        match &self.wal {
+            Some(wal) => wal.snapshot_now().map_err(EngineError::from),
+            None => Ok(()),
+        }
     }
 
     /// (cap, spent, remaining) ε for a tenant's quota.
@@ -680,6 +781,7 @@ impl Engine {
                 audit_subscriber_drops: self.audit.subscriber_drops(),
             },
             remote: self.remote.as_ref().map(RemoteExecutor::health),
+            wal: self.wal.as_ref().map(Wal::metrics),
         }
     }
 
@@ -719,6 +821,32 @@ impl Engine {
     /// `/metrics`.
     pub fn render_prometheus(&self) -> String {
         crate::prometheus::render_prometheus(&self.metrics())
+    }
+
+    /// Journals one budget transition to the durable ledger, when present.
+    /// The caller chooses what a failure means: the reserve path fails the
+    /// request (no noise drawn yet), deny/commit/refund paths absorb the
+    /// error (the in-memory transition already happened; the failure is
+    /// counted in [`crate::wal::WalMetrics::append_errors`]).
+    fn journal(
+        &self,
+        kind: AuditKind,
+        dataset: &str,
+        tenant: Option<&str>,
+        eps: f64,
+        trace_id: u64,
+    ) -> Result<(), EngineError> {
+        if let Some(wal) = &self.wal {
+            wal.append(&WalRecord::Budget {
+                kind,
+                dataset: dataset.to_string(),
+                tenant: tenant.map(str::to_string),
+                eps,
+                trace_id,
+                unix_ms: now_unix_ms(),
+            })?;
+        }
+        Ok(())
     }
 
     /// The request lifecycle around [`Engine::serve_inner`]: mints the
@@ -856,6 +984,9 @@ impl Engine {
                         eps,
                         remaining,
                     );
+                    // A denial changes no ledger state; journaling it is
+                    // best-effort forensic context, not a correctness need.
+                    let _ = self.journal(AuditKind::Deny, dataset, tenant_name, eps, trace_id);
                     return Err(e);
                 }
             }
@@ -866,10 +997,16 @@ impl Engine {
             eps,
             armed: true,
             audit: &self.audit,
+            wal: self.wal.as_ref(),
             trace_id,
             dataset,
             tenant_name,
         };
+        // Journal the reservation *after* arming the guard: if the durable
+        // ledger cannot record it, the request fails (no noise drawn yet)
+        // and the guard's drop refunds — journaling the refund too, so the
+        // log stays balanced even on its own error path.
+        self.journal(AuditKind::Reserve, dataset, tenant_name, eps, trace_id)?;
         if let Some(ledger) = &handle.tenant {
             let mut l = lock_recover(ledger);
             let outcome = l.try_spend(eps);
@@ -878,7 +1015,9 @@ impl Engine {
             if let Err(e) = outcome {
                 // The dataset reservation is refunded (and audited) by the
                 // guard's drop; the quota denial gets its own event first so
-                // the stream reads Reserve → Deny → Refund in cause order.
+                // the stream reads Reserve → Deny → Refund in cause order
+                // (the WAL mirrors the same order; replay relies on the
+                // refund following its reserve — see docs/DURABILITY.md §4).
                 self.audit.emit(
                     trace_id,
                     dataset,
@@ -887,6 +1026,7 @@ impl Engine {
                     eps,
                     remaining,
                 );
+                let _ = self.journal(AuditKind::Deny, dataset, tenant_name, eps, trace_id);
                 return Err(e);
             }
             reservation.tenant = Some(ledger);
@@ -994,12 +1134,35 @@ struct RefundOnFailure<'a> {
     eps: f64,
     armed: bool,
     audit: &'a AuditLog,
+    /// The durable ledger, when the engine has one: commit and refund are
+    /// journaled on the same exits that emit the audit events.
+    wal: Option<&'a Wal>,
     trace_id: u64,
     dataset: &'a str,
     tenant_name: Option<&'a str>,
 }
 
 impl RefundOnFailure<'_> {
+    /// Journals one transition to the WAL, best-effort: by the time commit
+    /// or refund runs, the in-memory ledger has already moved, so a journal
+    /// failure degrades durability (counted in
+    /// [`crate::wal::WalMetrics::append_errors`]) rather than failing the
+    /// request. Replay stays conservative either way: a reserve whose
+    /// commit was lost still counts as spent, and a lost refund can only
+    /// over-count spend.
+    fn journal(&self, kind: AuditKind) {
+        if let Some(wal) = self.wal {
+            let _ = wal.append(&WalRecord::Budget {
+                kind,
+                dataset: self.dataset.to_string(),
+                tenant: self.tenant_name.map(str::to_string),
+                eps: self.eps,
+                trace_id: self.trace_id,
+                unix_ms: now_unix_ms(),
+            });
+        }
+    }
+
     fn commit(mut self) {
         self.armed = false;
         let remaining = lock_recover(self.accountant).remaining();
@@ -1011,6 +1174,10 @@ impl RefundOnFailure<'_> {
             self.eps,
             remaining,
         );
+        // The commit append fsyncs (see `WalRecord::durable`) — the caller
+        // only releases the answer after this returns, so an acked spend is
+        // never observable as unspent after a crash (DURABILITY.md §5).
+        self.journal(AuditKind::Commit);
     }
 }
 
@@ -1033,6 +1200,7 @@ impl Drop for RefundOnFailure<'_> {
                 self.eps,
                 remaining,
             );
+            self.journal(AuditKind::Refund);
         }
     }
 }
@@ -1290,6 +1458,7 @@ mod tests {
                 eps: 0.6,
                 armed: true,
                 audit: &audit,
+                wal: None,
                 trace_id: 7,
                 dataset: "d",
                 tenant_name: None,
@@ -1314,6 +1483,7 @@ mod tests {
             eps: 0.4,
             armed: true,
             audit: &audit,
+            wal: None,
             trace_id: 8,
             dataset: "d",
             tenant_name: None,

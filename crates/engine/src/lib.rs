@@ -44,6 +44,13 @@
 //!   by [`MetricsExporter`] and the `hdmm-metrics-exporter` binary), and an
 //!   [`AuditLog`] streams every ε reserve/commit/refund/deny as typed,
 //!   trace-correlated events.
+//! * **Durable ε-ledger** — with [`EngineOptions::wal_dir`] set, every budget
+//!   transition is journaled to a checksummed write-ahead log ([`wal`]),
+//!   commits are fsynced before the answer is released, ledger state is
+//!   snapshotted with log truncation, and [`Engine::open`] replays
+//!   snapshot + log (tolerating a torn final record) so spent ε survives
+//!   crashes — the on-disk format and recovery protocol are specified in
+//!   `docs/DURABILITY.md`.
 //!
 //! ## Quickstart
 //!
@@ -99,6 +106,7 @@ mod singleflight;
 mod sync;
 mod telemetry;
 mod tracing;
+pub mod wal;
 
 pub use accountant::{EpsAccountant, TenantLedger};
 pub use cache::{CacheStats, StrategyCache};
@@ -113,6 +121,7 @@ pub use telemetry::{
     DatasetMetrics, EngineMetrics, ObsMetrics, PhaseHistogram, PhaseSnapshot, ShardSpanSnapshot,
     Telemetry, TelemetrySnapshot, TenantMetrics,
 };
+pub use wal::{Wal, WalError, WalMetrics, WalRecord};
 
 pub use hdmm_core::{
     BudgetAccountant, DataBackend, DenseVector, EngineError, PrivateSession, QueryEngine,

@@ -35,6 +35,36 @@ use std::path::{Path, PathBuf};
 const MAGIC: &[u8; 8] = b"HDMMPLN1";
 
 /// A directory-backed store of serialized plans.
+///
+/// # Examples
+///
+/// A stored plan survives a round trip through disk with its operator and
+/// error accounting intact — this is exactly what lets an engine restart
+/// skip re-running SELECT:
+///
+/// ```
+/// use hdmm_core::{builders, Hdmm};
+/// use hdmm_engine::PlanStore;
+///
+/// let dir = std::env::temp_dir().join(format!("plan-store-doc-{}", std::process::id()));
+/// # let _ = std::fs::remove_dir_all(&dir);
+/// let store = PlanStore::new(&dir);
+///
+/// let workload = builders::prefix_1d(8);
+/// let plan = Hdmm::with_restarts(1).plan(&workload);
+/// let fp = workload.fingerprint();
+///
+/// assert!(store.store(&fp, &plan, workload.domain()));
+/// let reloaded = store.load(&fp, &workload).expect("cached plan reloads");
+/// assert_eq!(reloaded.operator(), plan.operator());
+///
+/// // A corrupt file is a clean miss, never an error.
+/// for entry in std::fs::read_dir(&dir).unwrap() {
+///     std::fs::write(entry.unwrap().path(), b"garbage").unwrap();
+/// }
+/// assert!(store.load(&fp, &workload).is_none());
+/// # let _ = std::fs::remove_dir_all(&dir);
+/// ```
 #[derive(Debug, Clone)]
 pub struct PlanStore {
     dir: PathBuf,

@@ -284,6 +284,56 @@ pub fn render_prometheus(m: &EngineMetrics) -> String {
         }
     }
 
+    // ---- durable ε-ledger (WAL) ------------------------------------------
+    if let Some(w) = &m.wal {
+        b.family(
+            "hdmm_wal_appends_total",
+            "Budget records appended to the durable ledger.",
+            "counter",
+        );
+        b.sample_u64("hdmm_wal_appends_total", &[], w.appends);
+        b.family(
+            "hdmm_wal_fsyncs_total",
+            "fsyncs issued by the durable ledger (commits, admin records, snapshots).",
+            "counter",
+        );
+        b.sample_u64("hdmm_wal_fsyncs_total", &[], w.fsyncs);
+        b.family(
+            "hdmm_wal_snapshots_total",
+            "Ledger snapshots taken (each truncates the log).",
+            "counter",
+        );
+        b.sample_u64("hdmm_wal_snapshots_total", &[], w.snapshots);
+        b.family(
+            "hdmm_wal_append_errors_total",
+            "WAL appends or snapshots that failed at the filesystem.",
+            "counter",
+        );
+        b.sample_u64("hdmm_wal_append_errors_total", &[], w.append_errors);
+        b.family(
+            "hdmm_wal_recovery_replayed",
+            "Records replayed from the log tail at the last startup.",
+            "gauge",
+        );
+        b.sample_u64("hdmm_wal_recovery_replayed", &[], w.recovery_replayed);
+        b.family(
+            "hdmm_wal_recovery_torn_tail",
+            "1 when the last startup trimmed a torn final record.",
+            "gauge",
+        );
+        b.sample_u64(
+            "hdmm_wal_recovery_torn_tail",
+            &[],
+            w.recovery_torn_tail as u64,
+        );
+        b.family(
+            "hdmm_wal_log_bytes",
+            "Current write-ahead-log length in bytes.",
+            "gauge",
+        );
+        b.sample_u64("hdmm_wal_log_bytes", &[], w.log_bytes);
+    }
+
     // ---- the observability pipeline's own counters -----------------------
     b.family(
         "hdmm_spans_collected_total",
@@ -373,6 +423,15 @@ mod tests {
                 audit_subscriber_drops: 0,
             },
             remote: None,
+            wal: Some(crate::wal::WalMetrics {
+                appends: 6,
+                fsyncs: 3,
+                snapshots: 1,
+                append_errors: 0,
+                recovery_replayed: 2,
+                recovery_torn_tail: true,
+                log_bytes: 200,
+            }),
         }
     }
 
@@ -387,6 +446,12 @@ mod tests {
             "hdmm_dataset_eps_remaining{dataset=\"taxi\",tenant=\"acme\"} 0.75",
             "hdmm_tenant_eps_spent{tenant=\"acme\"} 0.25",
             "hdmm_spans_dropped_total 2",
+            "# TYPE hdmm_wal_appends_total counter",
+            "hdmm_wal_appends_total 6",
+            "hdmm_wal_fsyncs_total 3",
+            "hdmm_wal_recovery_replayed 2",
+            "hdmm_wal_recovery_torn_tail 1",
+            "hdmm_wal_log_bytes 200",
         ] {
             assert!(page.contains(needle), "missing {needle:?} in:\n{page}");
         }

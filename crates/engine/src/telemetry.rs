@@ -490,6 +490,9 @@ pub struct EngineMetrics {
     /// Worker-pool health (per-worker liveness, task/failure counters, mean
     /// task latency) when the engine serves through a remote transport.
     pub remote: Option<hdmm_net::PoolHealth>,
+    /// Durable ε-ledger counters (appends, fsyncs, snapshots, recovery) when
+    /// the engine runs with [`crate::EngineOptions::wal_dir`] set.
+    pub wal: Option<crate::wal::WalMetrics>,
 }
 
 impl std::fmt::Display for EngineMetrics {
@@ -537,6 +540,20 @@ impl std::fmt::Display for EngineMetrics {
         )?;
         if let Some(pool) = &self.remote {
             write!(f, "\nremote pool: {pool}")?;
+        }
+        if let Some(w) = &self.wal {
+            write!(
+                f,
+                "\n  wal: appends={} fsyncs={} snapshots={} append_errors={} \
+                 recovered={} torn_tail={} log_bytes={}",
+                w.appends,
+                w.fsyncs,
+                w.snapshots,
+                w.append_errors,
+                w.recovery_replayed,
+                w.recovery_torn_tail,
+                w.log_bytes
+            )?;
         }
         Ok(())
     }

@@ -9,9 +9,31 @@
 //! span trees and server logs on one key.
 //!
 //! The log is deliberately an *event stream*, not a balance store: balances
-//! live in the ledgers, and replaying the stream reproduces them. That makes
-//! this the in-memory prototype of the durable budget WAL on the roadmap —
-//! the same events, fsynced, are the redo log.
+//! live in the ledgers, and replaying the stream reproduces them. The same
+//! events, checksummed and fsynced, are the redo log of the engine's durable
+//! ε-ledger (`hdmm_engine::wal`); `docs/DURABILITY.md` §4 specifies how they
+//! replay.
+//!
+//! # Event ordering under tenant denial
+//!
+//! Budget admission is two-phase: the *dataset* ledger reserves first, then
+//! the owning *tenant* quota is charged. When the dataset reservation
+//! succeeds but the tenant quota refuses it, the request fails — and the
+//! stream records the unwind explicitly rather than pretending the
+//! reservation never happened:
+//!
+//! ```text
+//! Reserve(dataset, ε)   the dataset ledger accepted the hold
+//! Deny(dataset, ε)      the tenant quota refused it (tenant field set)
+//! Refund(dataset, ε)    the hold was released; the ledger is balanced
+//! ```
+//!
+//! Consumers that fold the stream into balances must treat `Deny` as a
+//! no-op (the denied amount was never spent) and pair every `Reserve` with
+//! exactly one later `Commit` or `Refund`. A `Reserve` with *neither* means
+//! the process died mid-request; the durable ledger's recovery deliberately
+//! counts such dangling reservations as spent (`docs/DURABILITY.md` §7
+//! documents this ordering contract, §5 the conservative-replay invariant).
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -286,7 +286,17 @@ impl Engine {
     /// (corrupt snapshot, unreadable directory). Use [`Engine::open`] to
     /// handle recovery failure as a typed error instead.
     pub fn new(options: EngineOptions) -> Self {
-        Engine::open(options).expect("WAL recovery failed")
+        let wal_dir = options.wal_dir.clone();
+        Engine::open(options).unwrap_or_else(|e| {
+            let dir = wal_dir
+                .map(|d| format!(" in {}", d.display()))
+                .unwrap_or_default();
+            panic!(
+                "WAL recovery failed{dir}: {e}; restore the directory from backup \
+                 or move it aside (losing budget history), or call Engine::open \
+                 to handle this as a typed error"
+            )
+        })
     }
 
     /// An engine with explicit options, running durable-ledger recovery when
@@ -1004,9 +1014,15 @@ impl Engine {
         };
         // Journal the reservation *after* arming the guard: if the durable
         // ledger cannot record it, the request fails (no noise drawn yet)
-        // and the guard's drop refunds — journaling the refund too, so the
-        // log stays balanced even on its own error path.
-        self.journal(AuditKind::Reserve, dataset, tenant_name, eps, trace_id)?;
+        // and the guard's drop refunds the in-memory ledger. The guard must
+        // NOT journal that refund — the Reserve never reached the log, so a
+        // Refund record would be unmatched and replay would subtract it from
+        // previously *committed* spend, under-counting ε
+        // (docs/DURABILITY.md §7).
+        if let Err(e) = self.journal(AuditKind::Reserve, dataset, tenant_name, eps, trace_id) {
+            reservation.wal = None;
+            return Err(e);
+        }
         if let Some(ledger) = &handle.tenant {
             let mut l = lock_recover(ledger);
             let outcome = l.try_spend(eps);
@@ -1135,7 +1151,10 @@ struct RefundOnFailure<'a> {
     armed: bool,
     audit: &'a AuditLog,
     /// The durable ledger, when the engine has one: commit and refund are
-    /// journaled on the same exits that emit the audit events.
+    /// journaled on the same exits that emit the audit events. Cleared when
+    /// the Reserve append itself fails, so the drop's refund is *not*
+    /// journaled — an unmatched Refund would under-count committed spend on
+    /// replay (docs/DURABILITY.md §7).
     wal: Option<&'a Wal>,
     trace_id: u64,
     dataset: &'a str,
@@ -1326,6 +1345,55 @@ mod tests {
         ));
         // A failed request spends nothing.
         assert!((engine.budget("d").unwrap().1 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_reserve_append_does_not_journal_an_unmatched_refund() {
+        let dir = std::env::temp_dir().join(format!(
+            "hdmm-engine-reserve-fail-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let engine = Engine::new(EngineOptions {
+                hdmm: HdmmOptions {
+                    restarts: 1,
+                    ..Default::default()
+                },
+                wal_dir: Some(dir.clone()),
+                ..Default::default()
+            });
+            engine
+                .register_dataset("d", Domain::one_dim(8), vec![1.0; 8], 1.0)
+                .unwrap();
+            let w = builders::prefix_1d(8);
+            engine.serve("d", &w, 0.25).unwrap();
+
+            // Every WAL append now fails: the reserve path must fail the
+            // request, refund the in-memory ledger, and journal *neither*
+            // half of the aborted reservation (DURABILITY.md §7) — an
+            // unmatched Refund would subtract the committed 0.25 on replay.
+            let wal = engine.wal.as_ref().unwrap();
+            wal.fail_appends
+                .store(1, std::sync::atomic::Ordering::Relaxed);
+            assert!(matches!(
+                engine.serve("d", &w, 0.25),
+                Err(EngineError::WalFailed { .. })
+            ));
+            wal.fail_appends
+                .store(0, std::sync::atomic::Ordering::Relaxed);
+            // In memory: the failed reservation was refunded.
+            assert!((engine.budget("d").unwrap().1 - 0.25).abs() < 1e-12);
+        }
+        // On disk: recovery reproduces exactly the committed spend.
+        let wal = crate::wal::Wal::open(&dir, 1024).unwrap();
+        let spent = wal.recovered().datasets["d"].spent;
+        assert!(
+            (spent - 0.25).abs() < 1e-12,
+            "recovered spent {spent} != committed 0.25 (unmatched record in WAL)"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -631,6 +631,11 @@ struct WalInner {
     next_seq: u64,
     since_snapshot: u64,
     log_bytes: u64,
+    /// Set when a failed append could not be rolled back: the file may hold
+    /// a partial frame that later appends would bury behind garbage, so the
+    /// WAL fail-stops — every subsequent append and snapshot errors out
+    /// (docs/DURABILITY.md §4.5).
+    poisoned: bool,
 }
 
 /// The append-only budget log: one per engine, owning `wal.log` and
@@ -648,6 +653,10 @@ pub struct Wal {
     fsyncs: AtomicU64,
     snapshots: AtomicU64,
     append_errors: AtomicU64,
+    /// Fault injection for the append path: 0 = off, 1 = fail before
+    /// writing, 2 = write half the frame then fail (a torn append).
+    #[cfg(test)]
+    pub(crate) fail_appends: AtomicU64,
 }
 
 impl std::fmt::Debug for Wal {
@@ -680,6 +689,22 @@ impl Wal {
         let dir = dir.into();
         let io = |e: std::io::Error| WalError::Io(e.to_string());
         std::fs::create_dir_all(&dir).map_err(io)?;
+
+        // Sweep snapshot temp files a crash between create and rename left
+        // behind: recovery never reads them, and removing them here keeps
+        // restarts from accumulating stale `snapshot.tmp.<pid>` debris (and
+        // rules out a recycled pid colliding with one mid-write).
+        if let Ok(entries) = std::fs::read_dir(&dir) {
+            for entry in entries.flatten() {
+                if entry
+                    .file_name()
+                    .to_string_lossy()
+                    .starts_with("snapshot.tmp.")
+                {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
 
         let snap_path = dir.join("snapshot.bin");
         let snapshot = match std::fs::read(&snap_path) {
@@ -729,6 +754,7 @@ impl Wal {
                 next_seq: summary.last_seq + 1,
                 since_snapshot: 0,
                 log_bytes: valid_len,
+                poisoned: false,
             }),
             recovered: state,
             recovery_replayed: summary.replayed,
@@ -737,6 +763,8 @@ impl Wal {
             fsyncs: AtomicU64::new(0),
             snapshots: AtomicU64::new(0),
             append_errors: AtomicU64::new(0),
+            #[cfg(test)]
+            fail_appends: AtomicU64::new(0),
         })
     }
 
@@ -760,11 +788,33 @@ impl Wal {
     /// a reserve fails the request before noise is drawn, a commit/refund
     /// absorbs it (counted in [`WalMetrics::append_errors`]) because the
     /// in-memory transition has already happened.
+    ///
+    /// A failed write is rolled back: the file is truncated to the last
+    /// known-good offset so a partial frame never sits in front of later
+    /// records (recovery stops at the first invalid frame and would silently
+    /// drop everything after it). If that rollback itself fails, the WAL is
+    /// poisoned — every later append and snapshot fail-stops rather than
+    /// appending behind garbage (docs/DURABILITY.md §4.5).
     pub fn append(&self, record: &WalRecord) -> Result<(), WalError> {
         let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if inner.poisoned {
+            self.append_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(WalError::Io(
+                "WAL poisoned: an earlier failed append could not be rolled back".into(),
+            ));
+        }
         let seq = inner.next_seq;
         let frame = encode_record(seq, record);
         let result = (|| -> std::io::Result<()> {
+            #[cfg(test)]
+            match self.fail_appends.load(Ordering::Relaxed) {
+                1 => return Err(std::io::Error::other("injected append failure")),
+                2 => {
+                    inner.file.write_all(&frame[..frame.len() / 2])?;
+                    return Err(std::io::Error::other("injected torn append"));
+                }
+                _ => {}
+            }
             inner.file.write_all(&frame)?;
             if record.durable() {
                 inner.file.sync_data()?;
@@ -774,6 +824,18 @@ impl Wal {
         })();
         if let Err(e) = result {
             self.append_errors.fetch_add(1, Ordering::Relaxed);
+            // Roll the file back to the last known-good offset: commit and
+            // refund callers absorb this error and keep appending, and those
+            // later records must not land behind a partial frame.
+            let good_len = inner.log_bytes;
+            let rollback = inner
+                .file
+                .set_len(good_len)
+                .and_then(|()| inner.file.seek(SeekFrom::Start(good_len)))
+                .map(|_| ());
+            if rollback.is_err() {
+                inner.poisoned = true;
+            }
             return Err(WalError::Io(e.to_string()));
         }
         inner.next_seq += 1;
@@ -802,6 +864,11 @@ impl Wal {
     /// old snapshot + full log, or the new snapshot + a log whose records
     /// are all ≤ `last_seq` and therefore skipped on replay.
     fn snapshot_locked(&self, inner: &mut WalInner) -> Result<(), WalError> {
+        if inner.poisoned {
+            return Err(WalError::Io(
+                "WAL poisoned: an earlier failed append could not be rolled back".into(),
+            ));
+        }
         let io = |e: std::io::Error| WalError::Io(e.to_string());
         let last_seq = inner.next_seq - 1;
         let bytes = encode_snapshot(&inner.state, last_seq);
@@ -1081,6 +1148,43 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("wal.log"), b"NOTAWAL1plusdata").unwrap();
         assert!(matches!(Wal::open(&dir, 0), Err(WalError::Corrupt(_)),));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn failed_append_rolls_back_so_later_records_survive_recovery() {
+        let dir = tmp_dir("rollback");
+        {
+            let wal = Wal::open(&dir, 0).unwrap();
+            wal.append(&budget(AuditKind::Reserve, "d", 0.25)).unwrap();
+            // A torn append: half the frame reaches the file, then the
+            // write "fails". §4.5 requires the partial frame be truncated
+            // away so the next append continues the valid prefix.
+            wal.fail_appends.store(2, Ordering::Relaxed);
+            assert!(wal.append(&budget(AuditKind::Reserve, "d", 0.5)).is_err());
+            wal.fail_appends.store(0, Ordering::Relaxed);
+            wal.append(&budget(AuditKind::Reserve, "d", 0.125)).unwrap();
+            assert_eq!(wal.metrics().append_errors, 1);
+        }
+        let wal = Wal::open(&dir, 0).unwrap();
+        let m = wal.metrics();
+        assert!(!m.recovery_torn_tail, "partial frame was not rolled back");
+        assert_eq!(m.recovery_replayed, 2, "record after the failure was lost");
+        let spent = wal.recovered().datasets["d"].spent;
+        assert!((spent - 0.375).abs() < 1e-12, "recovered spent = {spent}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn open_sweeps_stale_snapshot_tmp_files() {
+        let dir = tmp_dir("tmpsweep");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stale = dir.join("snapshot.tmp.999999");
+        std::fs::write(&stale, b"half-written junk").unwrap();
+        let wal = Wal::open(&dir, 0).unwrap();
+        assert!(!stale.exists(), "stale snapshot temp file survived open");
+        // The sweep touched nothing recovery cares about.
+        assert_eq!(wal.recovered(), &RecoveredState::default());
         let _ = std::fs::remove_dir_all(dir);
     }
 

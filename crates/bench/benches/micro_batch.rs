@@ -1,0 +1,97 @@
+//! The batched answer path: answering `k` follow-up workloads from one
+//! session, loop-of-`serve_from_session` vs one `serve_batch_from_session`.
+//!
+//! Both are pure post-processing of the same reconstructed estimate (zero ε),
+//! and the batch returns bitwise-identical answers — the difference is the
+//! shared Kronecker scratch, which turns per-term intermediate allocation
+//! into buffer reuse across the whole batch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdmm_core::{builders, Domain, QueryEngine, Workload};
+use hdmm_engine::{Engine, EngineOptions};
+use hdmm_optimizer::HdmmOptions;
+
+const BUDGET: f64 = 1e18;
+
+fn quick_engine() -> Engine {
+    Engine::new(EngineOptions {
+        hdmm: HdmmOptions {
+            restarts: 1,
+            ..Default::default()
+        },
+        seed: 0,
+        ..Default::default()
+    })
+}
+
+/// A dashboard-shaped batch of follow-ups over one 2-D domain: prefix
+/// marginals, all marginals, and range queries — each term a Kronecker
+/// product, so the scratch reuse has something to amortize.
+fn follow_ups(domain: &Domain) -> Vec<Workload> {
+    vec![
+        builders::prefix_2d(domain.attr_size(0), domain.attr_size(1)),
+        builders::all_marginals(domain),
+        builders::all_range_2d(domain.attr_size(0), domain.attr_size(1)),
+    ]
+}
+
+fn bench_session_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_answer_batch");
+    group.sample_size(20);
+    // Largest domain first: the big run faults in memory and spins the CPU
+    // up, so the small-size measurements in both groups see the same warm
+    // process instead of whichever group happens to run first eating the
+    // cold-start penalty.
+    for &n in &[64usize, 16] {
+        let domain = Domain::new(&[n, n]);
+        let seed_workload = builders::prefix_2d(n, n);
+        let batch = follow_ups(&domain);
+        let refs: Vec<&Workload> = batch.iter().collect();
+        let engine = quick_engine();
+        engine
+            .register_dataset("d", domain.clone(), vec![1.0; domain.size()], BUDGET)
+            .expect("valid registration");
+        let session = engine
+            .serve("d", &seed_workload, 1.0)
+            .expect("within budget")
+            .session;
+        group.bench_with_input(BenchmarkId::from_parameter(n * n), &(), |b, _| {
+            b.iter(|| {
+                engine
+                    .serve_batch_from_session(session, &refs)
+                    .expect("same domain")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_session_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_answer_loop");
+    group.sample_size(20);
+    for &n in &[64usize, 16] {
+        let domain = Domain::new(&[n, n]);
+        let seed_workload = builders::prefix_2d(n, n);
+        let batch = follow_ups(&domain);
+        let engine = quick_engine();
+        engine
+            .register_dataset("d", domain.clone(), vec![1.0; domain.size()], BUDGET)
+            .expect("valid registration");
+        let session = engine
+            .serve("d", &seed_workload, 1.0)
+            .expect("within budget")
+            .session;
+        group.bench_with_input(BenchmarkId::from_parameter(n * n), &(), |b, _| {
+            b.iter(|| {
+                batch
+                    .iter()
+                    .map(|w| engine.serve_from_session(session, w).expect("same domain"))
+                    .collect::<Vec<_>>()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_batch, bench_session_loop);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! The perf regression gate: assembles and diffs bench-smoke snapshots.
+//!
+//! ```text
+//! bench-diff assemble <out.json> <jsonl>... [--commit <sha>]
+//! bench-diff check <committed.json> <fresh.json>
+//! ```
+//!
+//! `assemble` turns the criterion shim's JSONL records into a
+//! `BENCH_engine.json`-format snapshot stamped with the commit SHA (from
+//! `--commit`, else `$GITHUB_SHA`, else `git rev-parse HEAD`).
+//!
+//! `check` compares fresh vs committed per label on the min-of-samples
+//! statistic and exits non-zero on a regression, printing both commit SHAs so
+//! the log says exactly which baseline the run was held against. Environment:
+//!
+//! * `BENCH_DIFF_THRESHOLD` — failure ratio (default 1.4: fail when a label's
+//!   fresh minimum is >1.4× its committed minimum);
+//! * `BENCH_DIFF_ALLOW_MISSING=1` — tolerate committed labels absent from the
+//!   fresh run (for renames landing together with a snapshot refresh).
+//!
+//! See `docs/PERFORMANCE.md` for the refresh workflow.
+
+use hdmm_bench::snapshot::{
+    compare, parse_jsonl, parse_snapshot, render_report, render_snapshot, Snapshot,
+};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench-diff assemble <out.json> <jsonl>... [--commit <sha>]");
+    eprintln!("       bench-diff check <committed.json> <fresh.json>");
+    ExitCode::from(2)
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn head_commit() -> Option<String> {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return Some(sha);
+        }
+    }
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let sha = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    (!sha.is_empty()).then_some(sha)
+}
+
+fn assemble(args: &[String]) -> Result<(), String> {
+    let mut commit = None;
+    let mut paths = Vec::new();
+    let mut iter = args.iter();
+    let out_path = iter.next().ok_or("missing output path")?;
+    while let Some(a) = iter.next() {
+        if a == "--commit" {
+            commit = Some(iter.next().ok_or("--commit needs a value")?.clone());
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    if paths.is_empty() {
+        return Err("no JSONL inputs given".to_string());
+    }
+    let mut results = Vec::new();
+    for p in &paths {
+        results.extend(parse_jsonl(&read(p)?).map_err(|e| format!("{p}: {e}"))?);
+    }
+    let commit = commit
+        .or_else(head_commit)
+        .ok_or("no --commit, $GITHUB_SHA, or resolvable git HEAD")?;
+    let snap = Snapshot {
+        commit,
+        quick_mode: true,
+        results,
+    };
+    std::fs::write(out_path, render_snapshot(&snap)).map_err(|e| format!("{out_path}: {e}"))?;
+    println!(
+        "bench-diff: wrote {} result(s) at commit {} to {out_path}",
+        snap.results.len(),
+        snap.commit
+    );
+    Ok(())
+}
+
+fn check(args: &[String]) -> Result<bool, String> {
+    let [committed_path, fresh_path] = args else {
+        return Err("check takes exactly <committed.json> <fresh.json>".to_string());
+    };
+    let committed =
+        parse_snapshot(&read(committed_path)?).map_err(|e| format!("{committed_path}: {e}"))?;
+    let fresh = parse_snapshot(&read(fresh_path)?).map_err(|e| format!("{fresh_path}: {e}"))?;
+
+    let threshold = match std::env::var("BENCH_DIFF_THRESHOLD") {
+        Ok(v) => v
+            .parse::<f64>()
+            .ok()
+            .filter(|t| t.is_finite() && *t >= 1.0)
+            .ok_or(format!(
+                "BENCH_DIFF_THRESHOLD must be a ratio >= 1, got '{v}'"
+            ))?,
+        Err(_) => 1.4,
+    };
+    let allow_missing =
+        std::env::var("BENCH_DIFF_ALLOW_MISSING").is_ok_and(|v| !v.is_empty() && v != "0");
+
+    println!(
+        "bench-diff: committed {} ({}) vs fresh {} ({})",
+        committed.commit,
+        if committed.quick_mode {
+            "quick"
+        } else {
+            "full"
+        },
+        fresh.commit,
+        if fresh.quick_mode { "quick" } else { "full" },
+    );
+    let cmp = compare(&committed, &fresh, threshold);
+    print!("{}", render_report(&cmp, threshold));
+    let failed = cmp.failed(allow_missing);
+    if failed {
+        println!(
+            "bench-diff: FAILED — refresh BENCH_engine.json only for intentional changes \
+             (see docs/PERFORMANCE.md)"
+        );
+    } else {
+        println!("bench-diff: ok");
+    }
+    Ok(failed)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let outcome = match cmd.as_str() {
+        "assemble" => assemble(&args[1..]).map(|()| false),
+        "check" => check(&args[1..]),
+        _ => return usage(),
+    };
+    match outcome {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("bench-diff: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,632 @@
+//! Perf-snapshot parsing, assembly, and regression comparison.
+//!
+//! The bench-smoke CI job runs every micro benchmark in quick mode and the
+//! criterion shim appends one JSON record per benchmark to a JSONL file. This
+//! module turns those records into the committed `BENCH_engine.json` snapshot
+//! (`assemble`) and diffs a fresh run against the committed snapshot
+//! (`compare`) so a perf regression fails CI instead of silently shipping.
+//!
+//! The workspace is offline and serde-free, so the snapshot format is parsed
+//! by a small recursive-descent JSON reader below. The schema is tiny and
+//! fully under our control (`hdmm-bench-smoke/v1`): an object with `schema`,
+//! `commit`, `quick_mode`, and a `results` array of
+//! `{label, min_ns, median_ns, mean_ns, samples}` records.
+//!
+//! Comparisons use **`min_ns`**, not the median: quick mode takes 3 samples,
+//! and the minimum is the standard robust statistic against one-sided
+//! scheduling noise (a benchmark can run slow by accident, never fast by
+//! accident).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Snapshot schema identifier; bump when the format changes.
+pub const SCHEMA: &str = "hdmm-bench-smoke/v1";
+
+/// One benchmark's timings, as emitted by the criterion shim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Criterion label, e.g. `engine_warm_cache_hit/128`.
+    pub label: String,
+    /// Fastest sample (the comparison statistic).
+    pub min_ns: u64,
+    /// Median sample.
+    pub median_ns: u64,
+    /// Mean over samples.
+    pub mean_ns: u64,
+    /// Number of samples taken.
+    pub samples: u64,
+}
+
+/// A full perf snapshot: the commit it was taken at plus every bench result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Commit SHA the snapshot was recorded against.
+    pub commit: String,
+    /// Whether the run used `BENCH_QUICK=1` (3 samples).
+    pub quick_mode: bool,
+    /// Per-benchmark timings, in run order.
+    pub results: Vec<BenchResult>,
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (the workspace has no serde).
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Only what the snapshot schema needs.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("JSON parse error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| self.err("utf8"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(&format!("bad number '{text}'")))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        // \uXXXX and rarer escapes never appear in bench
+                        // labels or commit SHAs; reject loudly if they do.
+                        _ => return Err(self.err("unsupported escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through byte-wise.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self
+                        .peek()
+                        .is_some_and(|b| b != b'"' && b != b'\\' && b >= 0x80)
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("utf8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn parse_value(text: &str) -> Result<Json, String> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after JSON value"));
+    }
+    Ok(v)
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self, what: &str) -> Result<u64, String> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
+            _ => Err(format!("field '{what}' is not a non-negative integer")),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err(format!("field '{what}' is not a string")),
+        }
+    }
+
+    fn as_bool(&self, what: &str) -> Result<bool, String> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            _ => Err(format!("field '{what}' is not a boolean")),
+        }
+    }
+}
+
+fn result_from(v: &Json) -> Result<BenchResult, String> {
+    let field = |k: &str| v.get(k).ok_or_else(|| format!("missing field '{k}'"));
+    Ok(BenchResult {
+        label: field("label")?.as_str("label")?.to_string(),
+        min_ns: field("min_ns")?.as_u64("min_ns")?,
+        median_ns: field("median_ns")?.as_u64("median_ns")?,
+        mean_ns: field("mean_ns")?.as_u64("mean_ns")?,
+        samples: field("samples")?.as_u64("samples")?,
+    })
+}
+
+/// Parses a committed `BENCH_engine.json` snapshot, validating the schema tag.
+pub fn parse_snapshot(text: &str) -> Result<Snapshot, String> {
+    let v = parse_value(text)?;
+    let schema = v
+        .get("schema")
+        .ok_or("missing field 'schema'")?
+        .as_str("schema")?;
+    if schema != SCHEMA {
+        return Err(format!("unknown schema '{schema}' (expected '{SCHEMA}')"));
+    }
+    let results = match v.get("results").ok_or("missing field 'results'")? {
+        Json::Arr(items) => items.iter().map(result_from).collect::<Result<_, _>>()?,
+        _ => return Err("field 'results' is not an array".to_string()),
+    };
+    Ok(Snapshot {
+        commit: v
+            .get("commit")
+            .ok_or("missing field 'commit'")?
+            .as_str("commit")?
+            .to_string(),
+        quick_mode: v
+            .get("quick_mode")
+            .ok_or("missing field 'quick_mode'")?
+            .as_bool("quick_mode")?,
+        results,
+    })
+}
+
+/// Parses the criterion shim's JSONL output: one result object per line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<BenchResult>, String> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(|l| result_from(&parse_value(l)?))
+        .collect()
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a snapshot in the committed `BENCH_engine.json` layout (2-space
+/// pretty-print, fields in schema order), ending with a newline.
+pub fn render_snapshot(s: &Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{}\",", json_escape(SCHEMA));
+    let _ = writeln!(out, "  \"commit\": \"{}\",", json_escape(&s.commit));
+    let _ = writeln!(out, "  \"quick_mode\": {},", s.quick_mode);
+    out.push_str("  \"results\": [\n");
+    for (i, r) in s.results.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"label\": \"{}\",", json_escape(&r.label));
+        let _ = writeln!(out, "      \"min_ns\": {},", r.min_ns);
+        let _ = writeln!(out, "      \"median_ns\": {},", r.median_ns);
+        let _ = writeln!(out, "      \"mean_ns\": {},", r.mean_ns);
+        let _ = writeln!(out, "      \"samples\": {}", r.samples);
+        out.push_str(if i + 1 == s.results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------------
+
+/// One label's committed-vs-fresh timing comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelDiff {
+    /// The benchmark label.
+    pub label: String,
+    /// Committed-min baseline in nanoseconds.
+    pub committed_min_ns: u64,
+    /// Fresh-run minimum in nanoseconds.
+    pub fresh_min_ns: u64,
+    /// `fresh / committed`; > 1 is slower than the baseline.
+    pub ratio: f64,
+    /// True when `ratio` exceeds the threshold.
+    pub regressed: bool,
+}
+
+/// The outcome of diffing a fresh run against the committed snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Per-label diffs for labels present in both snapshots, in committed
+    /// order.
+    pub diffs: Vec<LabelDiff>,
+    /// Committed labels absent from the fresh run — a benchmark silently
+    /// disappeared (fails unless explicitly allowed).
+    pub missing_in_fresh: Vec<String>,
+    /// Fresh labels absent from the committed snapshot — newly added
+    /// benchmarks with no baseline yet (reported, never failing).
+    pub new_in_fresh: Vec<String>,
+}
+
+impl Comparison {
+    /// Whether the diff should fail the gate. A vanished benchmark is a
+    /// failure unless `allow_missing` (set while a bench is being renamed and
+    /// the snapshot refresh lands in the same change).
+    pub fn failed(&self, allow_missing: bool) -> bool {
+        self.diffs.iter().any(|d| d.regressed)
+            || (!allow_missing && !self.missing_in_fresh.is_empty())
+    }
+}
+
+/// Diffs `fresh` against `committed` per label using the min-of-samples
+/// statistic: regression ⇔ `fresh.min_ns > threshold × committed.min_ns`.
+///
+/// # Panics
+/// Panics if `threshold` is not a finite value ≥ 1.
+pub fn compare(committed: &Snapshot, fresh: &Snapshot, threshold: f64) -> Comparison {
+    assert!(
+        threshold.is_finite() && threshold >= 1.0,
+        "threshold must be a finite ratio >= 1, got {threshold}"
+    );
+    let fresh_by_label: BTreeMap<&str, &BenchResult> = fresh
+        .results
+        .iter()
+        .map(|r| (r.label.as_str(), r))
+        .collect();
+    let committed_labels: BTreeMap<&str, ()> = committed
+        .results
+        .iter()
+        .map(|r| (r.label.as_str(), ()))
+        .collect();
+
+    let mut diffs = Vec::new();
+    let mut missing = Vec::new();
+    for c in &committed.results {
+        match fresh_by_label.get(c.label.as_str()) {
+            Some(f) => {
+                // max(1) guards a degenerate zero-ns baseline.
+                let ratio = f.min_ns as f64 / (c.min_ns.max(1)) as f64;
+                diffs.push(LabelDiff {
+                    label: c.label.clone(),
+                    committed_min_ns: c.min_ns,
+                    fresh_min_ns: f.min_ns,
+                    ratio,
+                    regressed: ratio > threshold,
+                });
+            }
+            None => missing.push(c.label.clone()),
+        }
+    }
+    let new_in_fresh = fresh
+        .results
+        .iter()
+        .filter(|r| !committed_labels.contains_key(r.label.as_str()))
+        .map(|r| r.label.clone())
+        .collect();
+    Comparison {
+        diffs,
+        missing_in_fresh: missing,
+        new_in_fresh,
+    }
+}
+
+/// Renders the comparison as the human-readable gate report CI prints:
+/// one aligned row per label, slowdowns flagged, missing/new labels listed.
+pub fn render_report(cmp: &Comparison, threshold: f64) -> String {
+    let mut out = String::new();
+    let label_w = cmp
+        .diffs
+        .iter()
+        .map(|d| d.label.len())
+        .chain(std::iter::once("label".len()))
+        .max()
+        .unwrap_or(5);
+    let _ = writeln!(
+        out,
+        "{:<label_w$}  {:>14}  {:>14}  {:>7}  status",
+        "label", "committed min", "fresh min", "ratio"
+    );
+    for d in &cmp.diffs {
+        let status = if d.regressed {
+            "REGRESSED"
+        } else if d.ratio < 1.0 {
+            "faster"
+        } else {
+            "ok"
+        };
+        let _ = writeln!(
+            out,
+            "{:<label_w$}  {:>11} ns  {:>11} ns  {:>6.2}x  {status}",
+            d.label, d.committed_min_ns, d.fresh_min_ns, d.ratio
+        );
+    }
+    for l in &cmp.missing_in_fresh {
+        let _ = writeln!(out, "{l}: MISSING from fresh run");
+    }
+    for l in &cmp.new_in_fresh {
+        let _ = writeln!(out, "{l}: new benchmark (no baseline yet)");
+    }
+    let regressions = cmp.diffs.iter().filter(|d| d.regressed).count();
+    let _ = writeln!(
+        out,
+        "{} labels compared, {} regression(s) at threshold {threshold}x, {} missing, {} new",
+        cmp.diffs.len(),
+        regressions,
+        cmp.missing_in_fresh.len(),
+        cmp.new_in_fresh.len()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(label: &str, min_ns: u64) -> BenchResult {
+        BenchResult {
+            label: label.to_string(),
+            min_ns,
+            median_ns: min_ns + 10,
+            mean_ns: min_ns + 12,
+            samples: 3,
+        }
+    }
+
+    fn snapshot(commit: &str, results: Vec<BenchResult>) -> Snapshot {
+        Snapshot {
+            commit: commit.to_string(),
+            quick_mode: true,
+            results,
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let s = snapshot(
+            "abc123",
+            vec![result("warm/128", 1000), result("cold/32", 77)],
+        );
+        let parsed = parse_snapshot(&render_snapshot(&s)).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn parses_the_shim_jsonl_line_format() {
+        let text = "{\"label\":\"engine_warm_cache_hit/128\",\"min_ns\":64336,\"median_ns\":64830,\"mean_ns\":65738,\"samples\":3}\n";
+        let rows = parse_jsonl(text).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].label, "engine_warm_cache_hit/128");
+        assert_eq!(rows[0].min_ns, 64336);
+    }
+
+    #[test]
+    fn jsonl_skips_blank_lines_and_rejects_garbage() {
+        assert_eq!(parse_jsonl("\n  \n").unwrap().len(), 0);
+        assert!(parse_jsonl("{\"label\":}").is_err());
+        assert!(parse_jsonl("{\"label\":\"x\"}").is_err(), "missing fields");
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let mut text = render_snapshot(&snapshot("abc", vec![]));
+        text = text.replace("hdmm-bench-smoke/v1", "hdmm-bench-smoke/v0");
+        assert!(parse_snapshot(&text).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn regression_is_flagged_beyond_threshold_only() {
+        let committed = snapshot("old", vec![result("a", 1000), result("b", 1000)]);
+        let fresh = snapshot("new", vec![result("a", 1399), result("b", 1401)]);
+        let cmp = compare(&committed, &fresh, 1.4);
+        assert!(!cmp.diffs[0].regressed, "1.399x is within the 1.4x budget");
+        assert!(cmp.diffs[1].regressed, "1.401x is over budget");
+        assert!(cmp.failed(false));
+    }
+
+    #[test]
+    fn faster_and_new_labels_never_fail() {
+        let committed = snapshot("old", vec![result("a", 1000)]);
+        let fresh = snapshot("new", vec![result("a", 30), result("brand_new", 5)]);
+        let cmp = compare(&committed, &fresh, 1.4);
+        assert!(!cmp.failed(false));
+        assert_eq!(cmp.new_in_fresh, vec!["brand_new".to_string()]);
+    }
+
+    #[test]
+    fn vanished_benchmark_fails_unless_allowed() {
+        let committed = snapshot("old", vec![result("a", 1000), result("gone", 50)]);
+        let fresh = snapshot("new", vec![result("a", 900)]);
+        let cmp = compare(&committed, &fresh, 1.4);
+        assert_eq!(cmp.missing_in_fresh, vec!["gone".to_string()]);
+        assert!(cmp.failed(false));
+        assert!(!cmp.failed(true));
+    }
+
+    #[test]
+    fn report_names_both_commits_nowhere_but_caller() {
+        // render_report is per-label only; commit SHAs are printed by the
+        // binary so they appear exactly once. Here: the table is aligned and
+        // mentions every label.
+        let committed = snapshot("old", vec![result("a", 1000)]);
+        let fresh = snapshot("new", vec![result("a", 2000)]);
+        let cmp = compare(&committed, &fresh, 1.4);
+        let report = render_report(&cmp, 1.4);
+        assert!(report.contains("REGRESSED"));
+        assert!(report.contains("1 regression(s)"));
+    }
+
+    #[test]
+    fn committed_snapshot_on_disk_parses() {
+        // The real committed baseline must stay readable by this parser —
+        // this is the format-stability check for the gate's input.
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_engine.json"
+        ))
+        .expect("committed BENCH_engine.json exists");
+        let snap = parse_snapshot(&text).unwrap();
+        assert!(snap.quick_mode);
+        assert!(snap
+            .results
+            .iter()
+            .any(|r| r.label == "engine_warm_cache_hit/128"));
+        assert!(!snap.commit.is_empty());
+    }
+}

@@ -51,7 +51,7 @@ pub use data::{DataBackend, DenseVector, ShardedDataVector};
 pub use engine::{
     BudgetAccountant, EngineError, PrivateSession, QueryEngine, QueryResponse, SessionId,
 };
-pub use hdmm_mechanism::{MarginalsStrategy, MechanismResult, Strategy};
+pub use hdmm_mechanism::{MarginalsStrategy, MechanismResult, PreparedReconstruct, Strategy};
 pub use hdmm_optimizer::{HdmmOptions, Selected};
 pub use hdmm_workload::{
     builders, census, predicates, Domain, ProductTerm, Workload, WorkloadFingerprint, WorkloadGrams,

@@ -20,11 +20,12 @@
 
 use crate::sync::{read_recover, write_recover};
 use hdmm_core::{Plan, WorkloadFingerprint};
+use hdmm_mechanism::PreparedReconstruct;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// Counters describing cache effectiveness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -47,6 +48,11 @@ struct CacheEntry {
     /// Logical-clock stamp of the last touch; the globally smallest stamp is
     /// the LRU entry.
     last_used: AtomicU64,
+    /// The strategy's reconstruction factorization (`(AᵀA)⁺` and friends),
+    /// built lazily on the first serve of this plan and reused by every
+    /// later request — the warm-path cost that motivated
+    /// [`PreparedReconstruct`]. Reset whenever the plan is replaced.
+    prepared: OnceLock<Arc<PreparedReconstruct>>,
 }
 
 /// Number of shards; hits on different fingerprints rarely collide, and even
@@ -124,6 +130,36 @@ impl StrategyCache {
             .map(|e| Arc::clone(&e.plan))
     }
 
+    /// The reconstruction factorization for `plan`, memoized alongside the
+    /// cache entry for `key`: the first caller builds it (`(AᵀA)⁺`, the
+    /// per-factor inverse Grams, or the marginals algebra — the dominant
+    /// per-request cost of a warm cache hit), every later caller clones an
+    /// `Arc`. The factorization is a pure deterministic function of the
+    /// strategy, so reusing it is bitwise identical to rebuilding it.
+    ///
+    /// Falls back to an unmemoized build when the entry is gone (evicted
+    /// between the caller's `get` and this call) or holds a different plan
+    /// (replaced by a racing insert) — correctness never depends on the
+    /// cache's retention.
+    pub fn prepared(
+        &self,
+        key: &WorkloadFingerprint,
+        plan: &Arc<Plan>,
+    ) -> Arc<PreparedReconstruct> {
+        let shard = read_recover(self.shard(key));
+        if let Some(entry) = shard.get(key) {
+            if Arc::ptr_eq(&entry.plan, plan) {
+                return Arc::clone(
+                    entry
+                        .prepared
+                        .get_or_init(|| Arc::new(PreparedReconstruct::new(plan.strategy()))),
+                );
+            }
+        }
+        drop(shard);
+        Arc::new(PreparedReconstruct::new(plan.strategy()))
+    }
+
     /// Inserts a plan, evicting least-recently-used entries when over
     /// capacity (LRU across all shards).
     pub fn insert(&self, key: WorkloadFingerprint, plan: Arc<Plan>) {
@@ -133,16 +169,20 @@ impl StrategyCache {
             match shard.entry(key) {
                 Entry::Occupied(mut e) => {
                     // Concurrent planners may race on the same miss; keep one
-                    // entry, refreshed.
+                    // entry, refreshed. The prepared factorization belongs to
+                    // the old plan: drop it so the next serve rebuilds it
+                    // from the plan actually stored.
                     let entry = e.get_mut();
                     entry.plan = plan;
                     entry.last_used.store(stamp, Ordering::Relaxed);
+                    entry.prepared = OnceLock::new();
                     false
                 }
                 Entry::Vacant(v) => {
                     v.insert(CacheEntry {
                         plan,
                         last_used: AtomicU64::new(stamp),
+                        prepared: OnceLock::new(),
                     });
                     true
                 }
@@ -251,6 +291,27 @@ mod tests {
         assert!(cache.peek(&w1.fingerprint()).is_none(), "w1 was evicted");
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (0, 0), "peek counts nothing");
+    }
+
+    #[test]
+    fn prepared_is_memoized_per_entry_and_reset_on_reinsert() {
+        let cache = StrategyCache::new(2);
+        let w = builders::prefix_1d(8);
+        let fp = w.fingerprint();
+        cache.insert(fp.clone(), plan_of(&w));
+        let plan = cache.get(&fp).unwrap();
+        let p1 = cache.prepared(&fp, &plan);
+        let p2 = cache.prepared(&fp, &plan);
+        assert!(Arc::ptr_eq(&p1, &p2), "second lookup reuses the build");
+        // Replacing the plan invalidates the memoized factorization.
+        cache.insert(fp.clone(), plan_of(&w));
+        let plan2 = cache.get(&fp).unwrap();
+        let p3 = cache.prepared(&fp, &plan2);
+        assert!(!Arc::ptr_eq(&p1, &p3), "reinsert resets the memo");
+        // A stale plan (no longer the cached one) still gets a working
+        // factorization, just unmemoized.
+        let p4 = cache.prepared(&fp, &plan);
+        assert!(!Arc::ptr_eq(&p3, &p4));
     }
 
     #[test]

@@ -37,8 +37,8 @@ use hdmm_core::{
     WorkloadFingerprint, WorkloadGrams,
 };
 use hdmm_mechanism::{
-    try_run_mechanism_observed, try_run_mechanism_sharded_observed, DataSlab, ScopedExecutor,
-    ShardedView,
+    try_run_mechanism_prepared_observed, try_run_mechanism_sharded_prepared_observed, DataSlab,
+    PhaseObserver, ScopedExecutor, ShardedView,
 };
 use hdmm_net::{try_run_mechanism_remote_traced, RemoteError, RemoteExecutor, RemoteOptions};
 use hdmm_obs::{AuditKind, AuditLog, Span, SpanCollector, TraceContext};
@@ -639,23 +639,34 @@ impl Engine {
     /// (counted in [`crate::TelemetrySnapshot::dedup_waits`]).
     pub fn plan(&self, workload: &Workload) -> (Arc<Plan>, bool) {
         let fingerprint = workload.fingerprint();
-        if let Some(plan) = self.cache.get(&fingerprint) {
+        self.plan_keyed(&fingerprint, workload)
+    }
+
+    /// [`Engine::plan`] with the fingerprint supplied by the caller, so the
+    /// serving path hashes the workload once and reuses the key for the
+    /// prepared-reconstruct lookup.
+    fn plan_keyed(
+        &self,
+        fingerprint: &WorkloadFingerprint,
+        workload: &Workload,
+    ) -> (Arc<Plan>, bool) {
+        if let Some(plan) = self.cache.get(fingerprint) {
             return (plan, true);
         }
         // SELECT can take seconds while cached requests keep flowing: the
         // optimization runs outside every lock, under single-flight dedup.
         let freshly_optimized = std::cell::Cell::new(false);
-        let (plan, outcome) = self.inflight.run(&fingerprint, || {
+        let (plan, outcome) = self.inflight.run(fingerprint, || {
             // A completed flight may have populated the cache between our
             // miss and leader election; don't optimize twice.
-            if let Some(plan) = self.cache.peek(&fingerprint) {
+            if let Some(plan) = self.cache.peek(fingerprint) {
                 return plan;
             }
             // Lazy reload from the persistent store: a plan optimized before
             // a restart is exactly as good now (selection is a pure function
             // of the workload), so a disk hit skips SELECT entirely.
             if let Some(store) = &self.plan_store {
-                if let Some(plan) = store.load(&fingerprint, workload) {
+                if let Some(plan) = store.load(fingerprint, workload) {
                     let plan = Arc::new(plan);
                     self.telemetry.record_plan_disk_hit();
                     self.cache.insert(fingerprint.clone(), Arc::clone(&plan));
@@ -679,7 +690,7 @@ impl Engine {
         // of anyone but this leader's tail.
         if freshly_optimized.get() {
             if let Some(store) = &self.plan_store {
-                store.store(&fingerprint, &plan, workload.domain());
+                store.store(fingerprint, &plan, workload.domain());
             }
         }
         (plan, false)
@@ -712,6 +723,27 @@ impl Engine {
         self.sessions
             .get(id)
             .ok_or(EngineError::UnknownSession { id })
+    }
+
+    /// Answers a batch of follow-up workloads from a stored session in one
+    /// call — the serving-layer face of [`Session::answer_batch`]. All
+    /// workloads share one set of Kronecker scratch buffers, so a dashboard
+    /// refiring `k` follow-ups pays one reconstruction (already done at
+    /// session creation) and `k` allocation-free answer passes. Zero
+    /// additional ε; entry `i` is bitwise identical to answering
+    /// `workloads[i]` through the session individually. The whole batch is
+    /// recorded as one answer-phase observation.
+    pub fn serve_batch_from_session(
+        &self,
+        id: SessionId,
+        workloads: &[&Workload],
+    ) -> Result<Vec<Vec<f64>>, EngineError> {
+        let session = self.session(id)?;
+        let t = Instant::now();
+        let out = session.answer_batch(workloads)?;
+        self.telemetry
+            .phase_complete(hdmm_mechanism::MechanismPhase::Answer, t.elapsed());
+        Ok(out)
     }
 
     /// Drops a session, releasing its domain-sized estimate immediately
@@ -946,8 +978,16 @@ impl Engine {
     ) -> Result<QueryResponse, EngineError> {
         // SELECT (cache-aware, single-flight) — pure, no data, no budget.
         let select_started = Instant::now();
-        let (plan, cache_hit) = self.plan(workload);
+        let fingerprint = workload.fingerprint();
+        let (plan, cache_hit) = self.plan_keyed(&fingerprint, workload);
         tracer.record_select(select_started, cache_hit);
+
+        // The strategy's reconstruction factorization, memoized next to the
+        // cached plan: the first request for a plan builds `(AᵀA)⁺` (or the
+        // per-factor/marginals equivalent), every later warm hit reuses it —
+        // pure post-processing of the strategy, so answers are bitwise
+        // unchanged.
+        let prepared = self.cache.prepared(&fingerprint, &plan);
 
         // One u64 off the dataset's stream seeds a per-request RNG: the
         // dataset lock is held for nanoseconds, and the answer sequence is
@@ -1055,9 +1095,16 @@ impl Engine {
         // backends fan out per slab — with byte-identical results, so the
         // branch is a performance decision only.
         let result = match handle.data.as_contiguous() {
-            Some(x) => {
-                try_run_mechanism_observed(workload, plan.strategy(), x, eps, eps, &mut rng, tracer)
-            }
+            Some(x) => try_run_mechanism_prepared_observed(
+                workload,
+                plan.strategy(),
+                &prepared,
+                x,
+                eps,
+                eps,
+                &mut rng,
+                tracer,
+            ),
             None => {
                 let slabs: Vec<DataSlab<'_>> = (0..handle.data.shard_count())
                     .map(|s| DataSlab {
@@ -1067,9 +1114,10 @@ impl Engine {
                     .collect();
                 let view = ShardedView::new(handle.data.leading_len(), slabs);
                 let local = |rng: &mut StdRng| {
-                    try_run_mechanism_sharded_observed(
+                    try_run_mechanism_sharded_prepared_observed(
                         workload,
                         plan.strategy(),
+                        &prepared,
                         &view,
                         eps,
                         eps,
@@ -1345,6 +1393,30 @@ mod tests {
         ));
         // A failed request spends nothing.
         assert!((engine.budget("d").unwrap().1 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_from_session_matches_individual_follow_ups_bitwise() {
+        let engine = quick_engine(11);
+        engine
+            .register_dataset("d", Domain::one_dim(8), vec![3.0; 8], 1.0)
+            .unwrap();
+        let w = builders::prefix_1d(8);
+        let resp = engine.serve("d", &w, 0.5).unwrap();
+        let ranges = builders::all_range_1d(8);
+        let batch = engine
+            .serve_batch_from_session(resp.session, &[&w, &ranges])
+            .unwrap();
+        assert_eq!(
+            batch[0],
+            engine.serve_from_session(resp.session, &w).unwrap()
+        );
+        assert_eq!(
+            batch[1],
+            engine.serve_from_session(resp.session, &ranges).unwrap()
+        );
+        // Post-processing: the batch spent nothing.
+        assert!((engine.budget("d").unwrap().1 - 0.5).abs() < 1e-12);
     }
 
     #[test]

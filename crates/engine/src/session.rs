@@ -49,6 +49,30 @@ impl Session {
     pub fn estimate(&self) -> &[f64] {
         &self.x_hat
     }
+
+    /// Answers a batch of follow-up workloads against this session's
+    /// estimate, sharing one set of Kronecker scratch buffers across every
+    /// term of every workload — the amortized form of calling
+    /// [`PrivateSession::answer`] in a loop. Entry `i` is bitwise identical
+    /// to `self.answer(workloads[i])`, and like any post-processing of `x̄`
+    /// the batch consumes zero additional privacy budget.
+    ///
+    /// All-or-nothing: a domain mismatch on any workload fails the batch
+    /// before anything is answered.
+    pub fn answer_batch(&self, workloads: &[&Workload]) -> Result<Vec<Vec<f64>>, EngineError> {
+        for w in workloads {
+            if w.domain() != &self.domain {
+                return Err(EngineError::DomainMismatch {
+                    expected: self.domain.clone(),
+                    got: w.domain().clone(),
+                });
+            }
+        }
+        Ok(hdmm_mechanism::answer_many_from_parts(
+            &self.x_hat,
+            workloads,
+        ))
+    }
 }
 
 impl PrivateSession for Session {
@@ -106,6 +130,27 @@ mod tests {
         let other = builders::prefix_1d(8);
         assert!(matches!(
             s.answer(&other),
+            Err(EngineError::DomainMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_matches_individual_answers_bitwise() {
+        let s = session();
+        let prefix = builders::prefix_1d(4);
+        let ranges = builders::all_range_1d(4);
+        let batch = s.answer_batch(&[&prefix, &ranges]).unwrap();
+        assert_eq!(batch[0], s.answer(&prefix).unwrap());
+        assert_eq!(batch[1], s.answer(&ranges).unwrap());
+    }
+
+    #[test]
+    fn batch_is_all_or_nothing_on_domain_mismatch() {
+        let s = session();
+        let good = builders::prefix_1d(4);
+        let bad = builders::prefix_1d(8);
+        assert!(matches!(
+            s.answer_batch(&[&good, &bad]),
             Err(EngineError::DomainMismatch { .. })
         ));
     }

@@ -136,31 +136,64 @@ impl Csr {
     /// # Panics
     /// Panics if `x.len() != self.cols()`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "csr matvec dimension mismatch");
         let mut y = vec![0.0; self.rows];
-        for (r, out) in y.iter_mut().enumerate() {
-            let mut acc = 0.0;
-            for (c, v) in self.row_entries(r) {
-                acc += v * x[c];
-            }
-            *out = acc;
-        }
+        self.matvec_into(x, &mut y);
         y
+    }
+
+    /// `A·x` written into a caller-provided buffer. Each row reduces through
+    /// [`crate::simd::dot_indexed`] (the 4-lane gather dot), so the per-row
+    /// summation order is the documented lane order.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()` or `out.len() != self.rows()`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "csr matvec dimension mismatch");
+        assert_eq!(out.len(), self.rows, "csr matvec output length mismatch");
+        for (r, out) in out.iter_mut().enumerate() {
+            *out = self.row_dot(r, x);
+        }
+    }
+
+    /// The dot product of row `r` with `x`, reduced through
+    /// [`crate::simd::dot_indexed`] — the single reduction kernel shared by
+    /// `matvec` and the row-restricted slab kernels so sharded and unsharded
+    /// sparse products stay bitwise identical.
+    ///
+    /// # Panics
+    /// Panics if `r` is out of bounds or an index exceeds `x.len()`.
+    #[inline]
+    pub fn row_dot(&self, r: usize, x: &[f64]) -> f64 {
+        let span = self.indptr[r]..self.indptr[r + 1];
+        crate::simd::dot_indexed(&self.data[span.clone()], &self.indices[span], x)
     }
 
     /// `Aᵀ·y` in O(nnz).
     pub fn rmatvec(&self, y: &[f64]) -> Vec<f64> {
-        assert_eq!(y.len(), self.rows, "csr rmatvec dimension mismatch");
         let mut x = vec![0.0; self.cols];
+        self.rmatvec_into(y, &mut x);
+        x
+    }
+
+    /// `Aᵀ·y` accumulated into a caller-provided buffer (`out` is
+    /// overwritten). The scatter stays sequential in entry order — duplicate
+    /// column indices make a vectorized scatter unsound, and the ascending
+    /// entry order is what the structured `Sparse` mode kernels replay.
+    ///
+    /// # Panics
+    /// Panics if `y.len() != self.rows()` or `out.len() != self.cols()`.
+    pub fn rmatvec_into(&self, y: &[f64], out: &mut [f64]) {
+        assert_eq!(y.len(), self.rows, "csr rmatvec dimension mismatch");
+        assert_eq!(out.len(), self.cols, "csr rmatvec output length mismatch");
+        out.fill(0.0);
         for (r, &yr) in y.iter().enumerate() {
             if yr == 0.0 {
                 continue;
             }
             for (c, v) in self.row_entries(r) {
-                x[c] += v * yr;
+                out[c] += v * yr;
             }
         }
-        x
     }
 
     /// Gram matrix `AᵀA` as a dense matrix, accumulated row by row in

@@ -66,6 +66,9 @@ pub fn kmatvec(factors: &[&Matrix], x: &[f64]) -> Vec<f64> {
     let expected: usize = factors.iter().map(|f| f.cols()).product();
     assert_eq!(x.len(), expected, "kmatvec input length mismatch");
     let mut cur = x.to_vec();
+    // Ping-pong between `cur` and one scratch buffer instead of allocating a
+    // fresh `next` per factor.
+    let mut buf = Vec::new();
     // `right` = product of output dimensions of already-applied factors
     // (factors are applied last-to-first, i.e. fastest index first).
     let mut right = 1usize;
@@ -73,9 +76,10 @@ pub fn kmatvec(factors: &[&Matrix], x: &[f64]) -> Vec<f64> {
         let a = factors[k];
         let (m, n) = a.shape();
         let left = cur.len() / (n * right);
-        let mut next = vec![0.0; left * m * right];
-        apply_mode(a, &cur, &mut next, left, m, n, right);
-        cur = next;
+        buf.clear();
+        buf.resize(left * m * right, 0.0);
+        apply_mode(a, &cur, &mut buf, left, m, n, right);
+        std::mem::swap(&mut cur, &mut buf);
         right *= m;
     }
     cur
@@ -86,21 +90,37 @@ pub fn kmatvec_transpose(factors: &[&Matrix], y: &[f64]) -> Vec<f64> {
     let expected: usize = factors.iter().map(|f| f.rows()).product();
     assert_eq!(y.len(), expected, "kmatvec_transpose input length mismatch");
     let mut cur = y.to_vec();
+    let mut buf = Vec::new();
     let mut right = 1usize;
     for k in (0..factors.len()).rev() {
         let a = factors[k];
         let (m, n) = a.shape(); // we apply Aᵀ: maps length-m mode to length-n mode
         let left = cur.len() / (m * right);
-        let mut next = vec![0.0; left * n * right];
-        apply_mode_transpose(a, &cur, &mut next, left, m, n, right);
-        cur = next;
+        buf.clear();
+        buf.resize(left * n * right, 0.0);
+        apply_mode_transpose(a, &cur, &mut buf, left, m, n, right);
+        std::mem::swap(&mut cur, &mut buf);
         right *= n;
     }
     cur
 }
 
+/// Column-panel width for the cache-blocked `right > 1` contractions: 64
+/// columns × 8 bytes × a typical `right` of a few dozen keeps the active
+/// source panel inside L1/L2 while every output row streams over it.
+/// Blocking only reorders *which output row* is touched when — each output
+/// element still accumulates its `c` contributions in ascending order, so
+/// the tiling is bitwise invisible.
+pub(crate) const PANEL: usize = 64;
+
 /// Contracts factor `a` (m×n) along the middle mode of a (left, n, right)
 /// tensor: `next[l, r_out, r] = Σ_c a[r_out, c] · cur[l, c, r]`.
+///
+/// Numeric contract: when `right == 1` the contraction *is* a dense matvec
+/// per `l` block and reduces through [`crate::simd::dot`] — bitwise equal to
+/// [`Matrix::matvec`]. When `right > 1` each output element accumulates its
+/// `c` contributions in ascending order via element-wise
+/// [`crate::simd::axpy`], tiled into [`PANEL`]-column blocks for locality.
 pub(crate) fn apply_mode(
     a: &Matrix,
     cur: &[f64],
@@ -110,19 +130,31 @@ pub(crate) fn apply_mode(
     n: usize,
     right: usize,
 ) {
+    if right == 1 {
+        for l in 0..left {
+            let src = &cur[l * n..(l + 1) * n];
+            let dst = &mut next[l * m..(l + 1) * m];
+            for (r_out, d) in dst.iter_mut().enumerate() {
+                *d = crate::simd::dot(a.row(r_out), src);
+            }
+        }
+        return;
+    }
     for l in 0..left {
         let cur_base = l * n * right;
         let next_base = l * m * right;
-        for r_out in 0..m {
-            let a_row = a.row(r_out);
-            let dst = &mut next[next_base + r_out * right..next_base + (r_out + 1) * right];
-            for (c, &av) in a_row.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let src = &cur[cur_base + c * right..cur_base + (c + 1) * right];
-                for (d, &s) in dst.iter_mut().zip(src) {
-                    *d += av * s;
+        for c0 in (0..n).step_by(PANEL) {
+            let c1 = (c0 + PANEL).min(n);
+            for r_out in 0..m {
+                let a_row = a.row(r_out);
+                let dst = &mut next[next_base + r_out * right..next_base + (r_out + 1) * right];
+                for (c, &av) in a_row[c0..c1].iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let c = c0 + c;
+                    let src = &cur[cur_base + c * right..cur_base + (c + 1) * right];
+                    crate::simd::axpy(av, src, dst);
                 }
             }
         }
@@ -130,6 +162,10 @@ pub(crate) fn apply_mode(
 }
 
 /// Same contraction with `aᵀ`: `next[l, c, r] = Σ_{r_in} a[r_in, c] · cur[l, r_in, r]`.
+///
+/// Same numeric contract as [`apply_mode`]: per output element the `r_in`
+/// contributions accumulate in ascending order (the `right == 1` case is a
+/// [`Matrix::t_matvec`]-shaped axpy scatter; blocking never reorders a sum).
 pub(crate) fn apply_mode_transpose(
     a: &Matrix,
     cur: &[f64],
@@ -139,19 +175,34 @@ pub(crate) fn apply_mode_transpose(
     n: usize,
     right: usize,
 ) {
+    if right == 1 {
+        for l in 0..left {
+            let src = &cur[l * m..(l + 1) * m];
+            let dst = &mut next[l * n..(l + 1) * n];
+            for (r_in, &s) in src.iter().enumerate() {
+                if s == 0.0 {
+                    continue;
+                }
+                crate::simd::axpy(s, a.row(r_in), dst);
+            }
+        }
+        return;
+    }
     for l in 0..left {
         let cur_base = l * m * right;
         let next_base = l * n * right;
-        for r_in in 0..m {
-            let a_row = a.row(r_in);
-            let src = &cur[cur_base + r_in * right..cur_base + (r_in + 1) * right];
-            for (c, &av) in a_row.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let dst = &mut next[next_base + c * right..next_base + (c + 1) * right];
-                for (d, &s) in dst.iter_mut().zip(src) {
-                    *d += av * s;
+        for c0 in (0..n).step_by(PANEL) {
+            let c1 = (c0 + PANEL).min(n);
+            for r_in in 0..m {
+                let a_row = a.row(r_in);
+                let src = &cur[cur_base + r_in * right..cur_base + (r_in + 1) * right];
+                for (c, &av) in a_row[c0..c1].iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let c = c0 + c;
+                    let dst = &mut next[next_base + c * right..next_base + (c + 1) * right];
+                    crate::simd::axpy(av, src, dst);
                 }
             }
         }

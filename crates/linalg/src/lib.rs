@@ -42,6 +42,7 @@ mod lsmr;
 mod lu;
 mod matrix;
 mod pinv;
+pub mod simd;
 mod slab;
 mod structured;
 
@@ -59,7 +60,8 @@ pub use slab::{
     kmatvec_transpose_trailing_slab, leading_split, matvec_rows, partition_rows, LeadingSplit,
 };
 pub use structured::{
-    kmatvec_structured, kmatvec_transpose_structured, StructuredMatrix, SPARSE_DENSITY_THRESHOLD,
+    kmatvec_structured, kmatvec_structured_scratch, kmatvec_transpose_structured,
+    kmatvec_transpose_structured_scratch, KronScratch, StructuredMatrix, SPARSE_DENSITY_THRESHOLD,
 };
 
 /// Errors produced by factorizations and solvers.

@@ -227,10 +227,7 @@ impl Matrix {
                 if aik == 0.0 {
                     continue;
                 }
-                let b_row = other.row(k);
-                for (j, &bkj) in b_row.iter().enumerate() {
-                    out_row[j] += aik * bkj;
-                }
+                crate::simd::axpy(aik, other.row(k), out_row);
             }
         }
         out
@@ -252,9 +249,7 @@ impl Matrix {
                     continue;
                 }
                 let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (j, &bkj) in b_row.iter().enumerate() {
-                    out_row[j] += aki * bkj;
-                }
+                crate::simd::axpy(aki, b_row, out_row);
             }
         }
         out
@@ -271,12 +266,7 @@ impl Matrix {
         for i in 0..self.rows {
             let a_row = self.row(i);
             for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0;
-                for (a, b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out[(i, j)] = acc;
+                out[(i, j)] = crate::simd::dot(a_row, other.row(j));
             }
         }
         out
@@ -293,9 +283,7 @@ impl Matrix {
                     continue;
                 }
                 let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (j, &vj) in row.iter().enumerate().skip(i) {
-                    out_row[j] += vi * vj;
-                }
+                crate::simd::axpy(vi, &row[i..], &mut out_row[i..]);
             }
         }
         // Mirror the upper triangle.
@@ -312,33 +300,50 @@ impl Matrix {
     /// # Panics
     /// Panics if `x.len() != self.cols()`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut y = vec![0.0; self.rows];
-        for (r, out) in y.iter_mut().enumerate() {
-            let row = self.row(r);
-            let mut acc = 0.0;
-            for (a, b) in row.iter().zip(x) {
-                acc += a * b;
-            }
-            *out = acc;
-        }
+        self.matvec_into(x, &mut y);
         y
+    }
+
+    /// Matrix–vector product written into a caller-provided buffer, so warm
+    /// serving paths can reuse allocations. Uses the [`crate::simd::dot`]
+    /// lane-reduction order; `slab::matvec_rows` must stay on the same kernel
+    /// (sharded MEASURE is byte-compared against this path).
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()` or `out.len() != self.rows()`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(out.len(), self.rows, "matvec output length mismatch");
+        for (r, out) in out.iter_mut().enumerate() {
+            *out = crate::simd::dot(self.row(r), x);
+        }
     }
 
     /// Transposed matrix–vector product `selfᵀ * x`.
     pub fn t_matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.rows, "t_matvec dimension mismatch");
         let mut y = vec![0.0; self.cols];
+        self.t_matvec_into(x, &mut y);
+        y
+    }
+
+    /// Transposed matrix–vector product accumulated into a caller-provided
+    /// buffer (`out` is overwritten). Row contributions are applied in
+    /// ascending row order via element-wise [`crate::simd::axpy`], so the
+    /// result is bitwise identical to the historical scalar loop.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.rows()` or `out.len() != self.cols()`.
+    pub fn t_matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "t_matvec dimension mismatch");
+        assert_eq!(out.len(), self.cols, "t_matvec output length mismatch");
+        out.fill(0.0);
         for (r, &xr) in x.iter().enumerate() {
             if xr == 0.0 {
                 continue;
             }
-            let row = self.row(r);
-            for (yi, &a) in y.iter_mut().zip(row) {
-                *yi += a * xr;
-            }
+            crate::simd::axpy(xr, self.row(r), out);
         }
-        y
     }
 
     /// Elementwise sum `self + other`.

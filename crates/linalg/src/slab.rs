@@ -93,6 +93,7 @@ impl LeadingSplit<'_> {
 /// Panics if the slab length is not aligned to the trailing modes.
 pub fn kmatvec_trailing_slab(trailing: &[&StructuredMatrix], x_slab: &[f64]) -> Vec<f64> {
     let mut cur = x_slab.to_vec();
+    let mut buf = Vec::new();
     let mut right = 1usize;
     for a in trailing.iter().rev() {
         let (m, n) = a.shape();
@@ -102,9 +103,10 @@ pub fn kmatvec_trailing_slab(trailing: &[&StructuredMatrix], x_slab: &[f64]) -> 
             "slab length not aligned to trailing modes"
         );
         let left = cur.len() / (n * right);
-        let mut next = vec![0.0; left * m * right];
-        apply_mode_structured(a, &cur, &mut next, left, m, n, right);
-        cur = next;
+        buf.clear();
+        buf.resize(left * m * right, 0.0);
+        apply_mode_structured(a, &cur, &mut buf, left, m, n, right);
+        std::mem::swap(&mut cur, &mut buf);
         right *= m;
     }
     cur
@@ -117,6 +119,7 @@ pub fn kmatvec_trailing_slab(trailing: &[&StructuredMatrix], x_slab: &[f64]) -> 
 /// Panics if the slab length is not aligned to the trailing modes.
 pub fn kmatvec_transpose_trailing_slab(trailing: &[&StructuredMatrix], y_slab: &[f64]) -> Vec<f64> {
     let mut cur = y_slab.to_vec();
+    let mut buf = Vec::new();
     let mut right = 1usize;
     for a in trailing.iter().rev() {
         let (m, n) = a.shape();
@@ -126,9 +129,10 @@ pub fn kmatvec_transpose_trailing_slab(trailing: &[&StructuredMatrix], y_slab: &
             "slab length not aligned to trailing modes"
         );
         let left = cur.len() / (m * right);
-        let mut next = vec![0.0; left * n * right];
-        apply_mode_transpose_structured(a, &cur, &mut next, left, m, n, right);
-        cur = next;
+        buf.clear();
+        buf.resize(left * n * right, 0.0);
+        apply_mode_transpose_structured(a, &cur, &mut buf, left, m, n, right);
+        std::mem::swap(&mut cur, &mut buf);
         right *= n;
     }
     cur
@@ -168,6 +172,14 @@ pub fn apply_leading_rows(
     }
     match a {
         StructuredMatrix::Dense(d) => {
+            if right == 1 {
+                // Same lane-dot kernel as `apply_mode`'s right == 1 path (and
+                // `Matrix::matvec`), so the row restriction is bit-invisible.
+                for (slot, r_out) in out.iter_mut().zip(rows) {
+                    *slot = crate::simd::dot(d.row(r_out), t);
+                }
+                return;
+            }
             for r_out in rows.clone() {
                 let a_row = d.row(r_out);
                 let dst = &mut out[(r_out - rows.start) * right..(r_out - rows.start + 1) * right];
@@ -175,37 +187,33 @@ pub fn apply_leading_rows(
                     if av == 0.0 {
                         continue;
                     }
-                    let src = &t[c * right..(c + 1) * right];
-                    for (d, &s) in dst.iter_mut().zip(src) {
-                        *d += av * s;
-                    }
+                    crate::simd::axpy(av, &t[c * right..(c + 1) * right], dst);
                 }
             }
         }
         StructuredMatrix::Sparse(s) => {
+            if right == 1 {
+                // Same `Csr::row_dot` reduction as the unsharded kernel.
+                for (slot, r_out) in out.iter_mut().zip(rows) {
+                    *slot = s.row_dot(r_out, t);
+                }
+                return;
+            }
             for r_out in rows.clone() {
                 let dst = &mut out[(r_out - rows.start) * right..(r_out - rows.start + 1) * right];
                 for (c, v) in s.row_entries(r_out) {
-                    let src = &t[c * right..(c + 1) * right];
-                    for (d, sv) in dst.iter_mut().zip(src) {
-                        *d += v * sv;
-                    }
+                    crate::simd::axpy(v, &t[c * right..(c + 1) * right], dst);
                 }
             }
         }
         StructuredMatrix::Identity { scale, .. } => {
-            for (d, s) in out.iter_mut().zip(&t[rows.start * right..rows.end * right]) {
-                *d = s * scale;
-            }
+            crate::simd::scale_into(*scale, &t[rows.start * right..rows.end * right], out);
         }
         StructuredMatrix::Total { scale, .. } => {
             // m == 1, so `rows` can only be 0..1: the single output row is the
             // full sequential sum over the mode, as in the unsharded kernel.
             for c in 0..n {
-                let src = &t[c * right..(c + 1) * right];
-                for (d, s) in out.iter_mut().zip(src) {
-                    *d += s * scale;
-                }
+                crate::simd::axpy(*scale, &t[c * right..(c + 1) * right], out);
             }
         }
         StructuredMatrix::Prefix { scale, .. } => {
@@ -216,14 +224,9 @@ pub fn apply_leading_rows(
                 let src = &t[c * right..(c + 1) * right];
                 if c >= rows.start {
                     let dst = &mut out[(c - rows.start) * right..(c - rows.start + 1) * right];
-                    for ((a, d), s) in acc.iter_mut().zip(dst).zip(src) {
-                        *a += s;
-                        *d = *a * scale;
-                    }
+                    crate::simd::cumsum_step(&mut acc, src, dst, *scale);
                 } else {
-                    for (a, s) in acc.iter_mut().zip(src) {
-                        *a += s;
-                    }
+                    crate::simd::axpy(1.0, src, &mut acc);
                 }
             }
         }
@@ -233,9 +236,12 @@ pub fn apply_leading_rows(
             let nn = *nn;
             let mut sums = vec![0.0; (nn + 1) * right];
             for c in 0..nn {
-                for r in 0..right {
-                    sums[(c + 1) * right + r] = sums[c * right + r] + t[c * right + r];
-                }
+                let (done, rest) = sums.split_at_mut((c + 1) * right);
+                crate::simd::add_into(
+                    &done[c * right..],
+                    &t[c * right..(c + 1) * right],
+                    &mut rest[..right],
+                );
             }
             let mut row = 0usize;
             'outer: for i in 0..nn {
@@ -246,9 +252,12 @@ pub fn apply_leading_rows(
                     if row >= rows.start {
                         let dst =
                             &mut out[(row - rows.start) * right..(row - rows.start + 1) * right];
-                        for (r, d) in dst.iter_mut().enumerate() {
-                            *d = scale * (sums[(j + 1) * right + r] - sums[i * right + r]);
-                        }
+                        crate::simd::diff_scaled(
+                            &sums[(j + 1) * right..(j + 2) * right],
+                            &sums[i * right..(i + 1) * right],
+                            *scale,
+                            dst,
+                        );
                     }
                     row += 1;
                 }
@@ -301,9 +310,7 @@ pub fn apply_leading_transpose_rows(
                         continue;
                     }
                     let dst = &mut out[(c - rows.start) * right..(c - rows.start + 1) * right];
-                    for (d, &s) in dst.iter_mut().zip(src) {
-                        *d += av * s;
-                    }
+                    crate::simd::axpy(av, src, dst);
                 }
             }
         }
@@ -315,24 +322,18 @@ pub fn apply_leading_transpose_rows(
                         continue;
                     }
                     let dst = &mut out[(c - rows.start) * right..(c - rows.start + 1) * right];
-                    for (d, sv) in dst.iter_mut().zip(src) {
-                        *d += v * sv;
-                    }
+                    crate::simd::axpy(v, src, dst);
                 }
             }
         }
         StructuredMatrix::Identity { scale, .. } => {
-            for (d, s) in out.iter_mut().zip(&t[rows.start * right..rows.end * right]) {
-                *d = s * scale;
-            }
+            crate::simd::scale_into(*scale, &t[rows.start * right..rows.end * right], out);
         }
         StructuredMatrix::Total { scale, .. } => {
             let src = &t[..right];
             for c in rows.clone() {
                 let dst = &mut out[(c - rows.start) * right..(c - rows.start + 1) * right];
-                for (d, s) in dst.iter_mut().zip(src) {
-                    *d = s * scale;
-                }
+                crate::simd::scale_into(*scale, src, dst);
             }
         }
         StructuredMatrix::Prefix { scale, .. } => {
@@ -342,14 +343,9 @@ pub fn apply_leading_transpose_rows(
                 let src = &t[c * right..(c + 1) * right];
                 if c < rows.end {
                     let dst = &mut out[(c - rows.start) * right..(c - rows.start + 1) * right];
-                    for ((a, d), s) in acc.iter_mut().zip(dst).zip(src) {
-                        *a += s;
-                        *d = *a * scale;
-                    }
+                    crate::simd::cumsum_step(&mut acc, src, dst, *scale);
                 } else {
-                    for (a, s) in acc.iter_mut().zip(src) {
-                        *a += s;
-                    }
+                    crate::simd::axpy(1.0, src, &mut acc);
                 }
             }
         }
@@ -362,25 +358,19 @@ pub fn apply_leading_transpose_rows(
             for i in 0..nn {
                 for j in i..nn {
                     let src = &t[row * right..(row + 1) * right];
-                    for (r, s) in src.iter().enumerate() {
-                        diff[i * right + r] += s;
-                        diff[(j + 1) * right + r] -= s;
-                    }
+                    crate::simd::axpy(1.0, src, &mut diff[i * right..(i + 1) * right]);
+                    crate::simd::axpy(-1.0, src, &mut diff[(j + 1) * right..(j + 2) * right]);
                     row += 1;
                 }
             }
             let mut acc = vec![0.0; right];
             for c in 0..rows.end {
+                let diff_row = &diff[c * right..(c + 1) * right];
                 if c >= rows.start {
                     let dst = &mut out[(c - rows.start) * right..(c - rows.start + 1) * right];
-                    for (r, d) in dst.iter_mut().enumerate() {
-                        acc[r] += diff[c * right + r];
-                        *d = scale * acc[r];
-                    }
+                    crate::simd::cumsum_step(&mut acc, diff_row, dst, *scale);
                 } else {
-                    for (r, a) in acc.iter_mut().enumerate() {
-                        *a += diff[c * right + r];
-                    }
+                    crate::simd::axpy(1.0, diff_row, &mut acc);
                 }
             }
         }
@@ -389,8 +379,9 @@ pub fn apply_leading_transpose_rows(
 }
 
 /// Dense matvec restricted to a row block, replicating [`Matrix::matvec`]'s
-/// per-row accumulation exactly (no zero-skipping) so a row-partitioned
-/// explicit strategy measures bitwise identically to the unsharded path.
+/// per-row reduction exactly — the same [`crate::simd::dot`] lane order — so
+/// a row-partitioned explicit strategy measures bitwise identically to the
+/// unsharded path. These two call sites must always share one dot kernel.
 ///
 /// # Panics
 /// Panics on shape mismatches or `rows` out of bounds.
@@ -399,12 +390,7 @@ pub fn matvec_rows(a: &Matrix, x: &[f64], rows: Range<usize>, out: &mut [f64]) {
     assert!(rows.end <= a.rows(), "row range out of bounds");
     assert_eq!(out.len(), rows.len(), "output length mismatch");
     for (slot, r) in out.iter_mut().zip(rows) {
-        let row = a.row(r);
-        let mut acc = 0.0;
-        for (av, b) in row.iter().zip(x) {
-            acc += av * b;
-        }
-        *slot = acc;
+        *slot = crate::simd::dot(a.row(r), x);
     }
 }
 

@@ -196,11 +196,19 @@ impl StructuredMatrix {
                     acc += v;
                     sums.push(acc);
                 }
-                let mut y = Vec::with_capacity(n * (n + 1) / 2);
+                // Row block i is scale·(S[i+1..=n] − S[i]) — one lane kernel
+                // per block, bitwise identical to the historical scalar loop.
+                let mut y = vec![0.0; n * (n + 1) / 2];
+                let mut row = 0;
                 for i in 0..*n {
-                    for j in i..*n {
-                        y.push(scale * (sums[j + 1] - sums[i]));
-                    }
+                    let len = *n - i;
+                    crate::simd::offset_diff_scaled(
+                        &sums[i + 1..*n + 1],
+                        sums[i],
+                        *scale,
+                        &mut y[row..row + len],
+                    );
+                    row += len;
                 }
                 y
             }
@@ -528,39 +536,90 @@ impl LinOp for StructuredMatrix {
 /// factor's closed-form kernel, so an `Identity` mode is a scaled copy and a
 /// `Prefix` mode a strided cumulative sum instead of an O(m·n) dense product.
 pub fn kmatvec_structured(factors: &[&StructuredMatrix], x: &[f64]) -> Vec<f64> {
-    let expected: usize = factors.iter().map(|f| f.cols()).product();
-    assert_eq!(x.len(), expected, "kmatvec input length mismatch");
-    // Flatten nested Kron factors so every mode is a leaf kernel.
-    let flat = flatten(factors);
-    let mut cur = x.to_vec();
-    let mut right = 1usize;
-    for a in flat.iter().rev() {
-        let (m, n) = a.shape();
-        let left = cur.len() / (n * right);
-        let mut next = vec![0.0; left * m * right];
-        apply_mode_structured(a, &cur, &mut next, left, m, n, right);
-        cur = next;
-        right *= m;
-    }
-    cur
+    let mut scratch = KronScratch::new();
+    run_structured(factors, x, &mut scratch, false);
+    std::mem::take(&mut scratch.cur)
 }
 
 /// Implicit transposed product `(A₁ ⊗ … ⊗ A_d)ᵀ·y` over structured factors.
 pub fn kmatvec_transpose_structured(factors: &[&StructuredMatrix], y: &[f64]) -> Vec<f64> {
-    let expected: usize = factors.iter().map(|f| f.rows()).product();
-    assert_eq!(y.len(), expected, "kmatvec_transpose input length mismatch");
+    let mut scratch = KronScratch::new();
+    run_structured(factors, y, &mut scratch, true);
+    std::mem::take(&mut scratch.cur)
+}
+
+/// Reusable ping-pong buffers for the mode contractions of Algorithm 1.
+///
+/// One contraction chain needs exactly two buffers (current tensor and the
+/// one being produced); batched answer paths thread one `KronScratch`
+/// through many products so the warm serving path stops allocating. Buffer
+/// reuse is bitwise invisible: the target buffer is zero-filled before every
+/// contraction, exactly like the fresh allocation it replaces.
+#[derive(Debug, Default)]
+pub struct KronScratch {
+    cur: Vec<f64>,
+    buf: Vec<f64>,
+}
+
+impl KronScratch {
+    /// Empty scratch; buffers grow to the largest intermediate they see.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// [`kmatvec_structured`] into caller-owned scratch; returns the result
+/// slice (alive until the scratch is reused). Bitwise identical to the
+/// allocating variant.
+pub fn kmatvec_structured_scratch<'a>(
+    factors: &[&StructuredMatrix],
+    x: &[f64],
+    scratch: &'a mut KronScratch,
+) -> &'a [f64] {
+    run_structured(factors, x, scratch, false);
+    &scratch.cur
+}
+
+/// [`kmatvec_transpose_structured`] into caller-owned scratch.
+pub fn kmatvec_transpose_structured_scratch<'a>(
+    factors: &[&StructuredMatrix],
+    y: &[f64],
+    scratch: &'a mut KronScratch,
+) -> &'a [f64] {
+    run_structured(factors, y, scratch, true);
+    &scratch.cur
+}
+
+fn run_structured(
+    factors: &[&StructuredMatrix],
+    x: &[f64],
+    scratch: &mut KronScratch,
+    transpose: bool,
+) {
+    let expected: usize = factors
+        .iter()
+        .map(|f| if transpose { f.rows() } else { f.cols() })
+        .product();
+    assert_eq!(x.len(), expected, "kmatvec input length mismatch");
+    // Flatten nested Kron factors so every mode is a leaf kernel.
     let flat = flatten(factors);
-    let mut cur = y.to_vec();
+    scratch.cur.clear();
+    scratch.cur.extend_from_slice(x);
     let mut right = 1usize;
     for a in flat.iter().rev() {
         let (m, n) = a.shape();
-        let left = cur.len() / (m * right);
-        let mut next = vec![0.0; left * n * right];
-        apply_mode_transpose_structured(a, &cur, &mut next, left, m, n, right);
-        cur = next;
-        right *= n;
+        let (in_dim, out_dim) = if transpose { (m, n) } else { (n, m) };
+        let left = scratch.cur.len() / (in_dim * right);
+        scratch.buf.clear();
+        scratch.buf.resize(left * out_dim * right, 0.0);
+        if transpose {
+            apply_mode_transpose_structured(a, &scratch.cur, &mut scratch.buf, left, m, n, right);
+        } else {
+            apply_mode_structured(a, &scratch.cur, &mut scratch.buf, left, m, n, right);
+        }
+        std::mem::swap(&mut scratch.cur, &mut scratch.buf);
+        right *= out_dim;
     }
-    cur
 }
 
 pub(crate) fn flatten<'a>(factors: &[&'a StructuredMatrix]) -> Vec<&'a StructuredMatrix> {
@@ -588,33 +647,26 @@ pub(crate) fn apply_mode_structured(
     match a {
         Dense(d) => apply_mode(d, cur, next, left, m, n, right),
         Identity { scale, .. } => {
-            for (d, s) in next.iter_mut().zip(cur) {
-                *d = s * scale;
-            }
+            crate::simd::scale_into(*scale, cur, next);
         }
         Total { scale, .. } => {
             for l in 0..left {
                 let dst = &mut next[l * right..(l + 1) * right];
                 for c in 0..n {
                     let src = &cur[l * n * right + c * right..l * n * right + (c + 1) * right];
-                    for (d, s) in dst.iter_mut().zip(src) {
-                        *d += s * scale;
-                    }
+                    crate::simd::axpy(*scale, src, dst);
                 }
             }
         }
         Prefix { scale, .. } => {
             let mut acc = vec![0.0; right];
             for l in 0..left {
-                acc.iter_mut().for_each(|v| *v = 0.0);
+                acc.fill(0.0);
                 let base = l * n * right;
                 for c in 0..n {
                     let src = &cur[base + c * right..base + (c + 1) * right];
                     let dst = &mut next[base + c * right..base + (c + 1) * right];
-                    for ((a, d), s) in acc.iter_mut().zip(dst).zip(src) {
-                        *a += s;
-                        *d = *a * scale;
-                    }
+                    crate::simd::cumsum_step(&mut acc, src, dst, *scale);
                 }
             }
         }
@@ -625,25 +677,38 @@ pub(crate) fn apply_mode_structured(
             for l in 0..left {
                 let cur_base = l * n * right;
                 for c in 0..nn {
-                    for r in 0..right {
-                        sums[(c + 1) * right + r] =
-                            sums[c * right + r] + cur[cur_base + c * right + r];
-                    }
+                    let (done, rest) = sums.split_at_mut((c + 1) * right);
+                    crate::simd::add_into(
+                        &done[c * right..],
+                        &cur[cur_base + c * right..cur_base + (c + 1) * right],
+                        &mut rest[..right],
+                    );
                 }
                 let next_base = l * m * right;
                 let mut row = 0;
                 for i in 0..nn {
                     for j in i..nn {
                         let dst = &mut next[next_base + row * right..next_base + (row + 1) * right];
-                        for (r, d) in dst.iter_mut().enumerate() {
-                            *d = scale * (sums[(j + 1) * right + r] - sums[i * right + r]);
-                        }
+                        crate::simd::diff_scaled(
+                            &sums[(j + 1) * right..(j + 2) * right],
+                            &sums[i * right..(i + 1) * right],
+                            *scale,
+                            dst,
+                        );
                         row += 1;
                     }
                 }
             }
         }
         Sparse(s) => {
+            if right == 1 {
+                // One lane-dot per output row — the same kernel (and
+                // therefore the same bits) as `Csr::matvec`.
+                for l in 0..left {
+                    s.matvec_into(&cur[l * n..(l + 1) * n], &mut next[l * m..(l + 1) * m]);
+                }
+                return;
+            }
             for l in 0..left {
                 let cur_base = l * n * right;
                 let next_base = l * m * right;
@@ -651,9 +716,7 @@ pub(crate) fn apply_mode_structured(
                     let dst = &mut next[next_base + rr * right..next_base + (rr + 1) * right];
                     for (c, v) in s.row_entries(rr) {
                         let src = &cur[cur_base + c * right..cur_base + (c + 1) * right];
-                        for (d, sv) in dst.iter_mut().zip(src) {
-                            *d += v * sv;
-                        }
+                        crate::simd::axpy(v, src, dst);
                     }
                 }
             }
@@ -675,18 +738,14 @@ pub(crate) fn apply_mode_transpose_structured(
     match a {
         Dense(d) => apply_mode_transpose(d, cur, next, left, m, n, right),
         Identity { scale, .. } => {
-            for (d, s) in next.iter_mut().zip(cur) {
-                *d = s * scale;
-            }
+            crate::simd::scale_into(*scale, cur, next);
         }
         Total { scale, .. } => {
             for l in 0..left {
                 let src = &cur[l * right..(l + 1) * right];
                 for c in 0..n {
                     let dst = &mut next[l * n * right + c * right..l * n * right + (c + 1) * right];
-                    for (d, s) in dst.iter_mut().zip(src) {
-                        *d = s * scale;
-                    }
+                    crate::simd::scale_into(*scale, src, dst);
                 }
             }
         }
@@ -694,15 +753,12 @@ pub(crate) fn apply_mode_transpose_structured(
             // (Pᵀ)·: reversed running sums along the mode.
             let mut acc = vec![0.0; right];
             for l in 0..left {
-                acc.iter_mut().for_each(|v| *v = 0.0);
+                acc.fill(0.0);
                 let base = l * n * right;
                 for c in (0..n).rev() {
                     let src = &cur[base + c * right..base + (c + 1) * right];
                     let dst = &mut next[base + c * right..base + (c + 1) * right];
-                    for ((a, d), s) in acc.iter_mut().zip(dst).zip(src) {
-                        *a += s;
-                        *d = *a * scale;
-                    }
+                    crate::simd::cumsum_step(&mut acc, src, dst, *scale);
                 }
             }
         }
@@ -711,16 +767,14 @@ pub(crate) fn apply_mode_transpose_structured(
             let nn = *nn;
             let mut diff = vec![0.0; (nn + 1) * right];
             for l in 0..left {
-                diff.iter_mut().for_each(|v| *v = 0.0);
+                diff.fill(0.0);
                 let cur_base = l * m * right;
                 let mut row = 0;
                 for i in 0..nn {
                     for j in i..nn {
                         let src = &cur[cur_base + row * right..cur_base + (row + 1) * right];
-                        for (r, s) in src.iter().enumerate() {
-                            diff[i * right + r] += s;
-                            diff[(j + 1) * right + r] -= s;
-                        }
+                        crate::simd::axpy(1.0, src, &mut diff[i * right..(i + 1) * right]);
+                        crate::simd::axpy(-1.0, src, &mut diff[(j + 1) * right..(j + 2) * right]);
                         row += 1;
                     }
                 }
@@ -728,10 +782,12 @@ pub(crate) fn apply_mode_transpose_structured(
                 let mut acc = vec![0.0; right];
                 for c in 0..nn {
                     let dst = &mut next[next_base + c * right..next_base + (c + 1) * right];
-                    for (r, d) in dst.iter_mut().enumerate() {
-                        acc[r] += diff[c * right + r];
-                        *d = scale * acc[r];
-                    }
+                    crate::simd::cumsum_step(
+                        &mut acc,
+                        &diff[c * right..(c + 1) * right],
+                        dst,
+                        *scale,
+                    );
                 }
             }
         }
@@ -743,9 +799,7 @@ pub(crate) fn apply_mode_transpose_structured(
                     let src = &cur[cur_base + rr * right..cur_base + (rr + 1) * right];
                     for (c, v) in s.row_entries(rr) {
                         let dst = &mut next[next_base + c * right..next_base + (c + 1) * right];
-                        for (d, sv) in dst.iter_mut().zip(src) {
-                            *d += v * sv;
-                        }
+                        crate::simd::axpy(v, src, dst);
                     }
                 }
             }

@@ -28,13 +28,18 @@ pub use budget::{try_measure, try_run_mechanism, MechanismError};
 pub use marginals::{MarginalsAlgebra, MarginalsStrategy};
 pub use mechanism::MeasuredBlock;
 pub use mechanism::{
-    answer_workload, measure, reconstruct, run_mechanism, Measurements, MechanismResult,
+    answer_many_from_parts, answer_workload, measure, reconstruct, reconstruct_with, run_mechanism,
+    Measurements, MechanismResult, PreparedReconstruct,
 };
-pub use phases::{try_run_mechanism_observed, MechanismPhase, NoopObserver, PhaseObserver};
+pub use phases::{
+    try_run_mechanism_observed, try_run_mechanism_prepared_observed, MechanismPhase, NoopObserver,
+    PhaseObserver,
+};
 pub use sharded::{
     answer_sharded, explicit_forward_sharded, kron_forward_from_parts, kron_forward_sharded,
     kron_transpose_from_parts, kron_transpose_sharded, measure_sharded, measure_with,
-    reconstruct_sharded, try_run_mechanism_sharded_observed, DataSlab, ScopedExecutor,
-    SerialExecutor, ShardExecutor, ShardedView,
+    reconstruct_sharded, reconstruct_sharded_with, try_run_mechanism_sharded_observed,
+    try_run_mechanism_sharded_prepared_observed, DataSlab, ScopedExecutor, SerialExecutor,
+    ShardExecutor, ShardedView,
 };
 pub use strategy::{Strategy, UnionGroup};

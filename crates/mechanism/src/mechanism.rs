@@ -5,8 +5,8 @@ use crate::error::gram_pinv;
 use crate::laplace::add_laplace_noise;
 use crate::{MarginalsAlgebra, Strategy};
 use hdmm_linalg::{
-    kmatvec_structured, kmatvec_transpose_structured, lsmr, LinOp, LsmrOptions, ScaledOp,
-    StackedOp, StructuredMatrix,
+    kmatvec_structured, kmatvec_transpose_structured, lsmr, KronScratch, LinOp, LsmrOptions,
+    Matrix, ScaledOp, StackedOp, StructuredMatrix,
 };
 use hdmm_workload::Workload;
 use rand::Rng;
@@ -111,6 +111,63 @@ pub fn measure(strategy: &Strategy, x: &[f64], eps: f64, rng: &mut impl Rng) -> 
     Measurements { blocks, eps }
 }
 
+/// The strategy-only half of RECONSTRUCT, factored out so a serving layer
+/// answering many requests against one cached strategy pays for it once.
+///
+/// Everything here is a pure deterministic function of the strategy — no
+/// measurements, no randomness — so `reconstruct_with(&prepared, s, m)` is
+/// bitwise identical to `reconstruct(s, m)` whether `prepared` was built
+/// moments ago or cached across requests:
+///
+/// * explicit: the `n×n` inverse Gram `(AᵀA)⁺` (a Cholesky or eigendecomposed
+///   pseudo-inverse — the dominant cost of a warm explicit request);
+/// * Kronecker: the per-factor inverse Grams `(AᵢᵀAᵢ)⁺`;
+/// * marginals: the subset-sum algebra tables and the §7.2 weight vector `v`
+///   with `(MᵀM)⁺ = G(v)`;
+/// * union: nothing — LSMR has no reusable strategy-only factorization.
+#[derive(Debug, Clone)]
+pub enum PreparedReconstruct {
+    /// `(AᵀA)⁺` for an explicit strategy.
+    Explicit {
+        /// The inverse Gram.
+        gram_pinv: Matrix,
+    },
+    /// Per-factor `(AᵢᵀAᵢ)⁺` for a Kronecker strategy.
+    Kron {
+        /// One inverse Gram per factor, in factor order.
+        gram_pinvs: Vec<StructuredMatrix>,
+    },
+    /// The marginals subset algebra and pseudo-inverse weights.
+    Marginals {
+        /// Möbius/subset-sum tables for the strategy domain.
+        algebra: MarginalsAlgebra,
+        /// Weights `v` with `(MᵀM)⁺ = G(v)`.
+        v: Vec<f64>,
+    },
+    /// Union strategies reconstruct iteratively; nothing to precompute.
+    Union,
+}
+
+impl PreparedReconstruct {
+    /// Precomputes the reconstruction operator for `strategy`.
+    pub fn new(strategy: &Strategy) -> Self {
+        match strategy {
+            Strategy::Explicit(a) => PreparedReconstruct::Explicit {
+                gram_pinv: gram_pinv(a),
+            },
+            Strategy::Kron(factors) => PreparedReconstruct::Kron {
+                gram_pinvs: factors.iter().map(StructuredMatrix::gram_pinv).collect(),
+            },
+            Strategy::Marginals(m) => {
+                let algebra = MarginalsAlgebra::new(&m.domain);
+                let v = algebra.g_inverse_weights(&m.gram_weights());
+                PreparedReconstruct::Marginals { algebra, v }
+            }
+            Strategy::Union(_) => PreparedReconstruct::Union,
+        }
+    }
+}
+
 /// RECONSTRUCT: least-squares estimate `x̄` of the data vector from noisy
 /// measurements (post-processing; consumes no privacy budget).
 ///
@@ -122,24 +179,39 @@ pub fn measure(strategy: &Strategy, x: &[f64], eps: f64, rng: &mut impl Rng) -> 
 /// * marginals: `M⁺y = G(v)·Mᵀy` through the subset algebra (§7.2);
 /// * union: no closed-form pseudo-inverse — noise-whitened LSMR over the
 ///   stacked implicit operator (§7.2, reference \[14\]).
+///
+/// Builds the strategy factorization fresh each call; serving paths that
+/// answer many requests against one strategy should build a
+/// [`PreparedReconstruct`] once and call [`reconstruct_with`].
 pub fn reconstruct(strategy: &Strategy, meas: &Measurements) -> Vec<f64> {
-    match strategy {
-        Strategy::Explicit(a) => {
+    reconstruct_with(&PreparedReconstruct::new(strategy), strategy, meas)
+}
+
+/// [`reconstruct`] with the strategy-only factorization supplied by the
+/// caller. Bitwise identical to `reconstruct` for a `prepared` built from the
+/// same strategy (the factorization is a pure function of the strategy).
+///
+/// # Panics
+/// Panics if `prepared` was built from a different strategy variant.
+pub fn reconstruct_with(
+    prepared: &PreparedReconstruct,
+    strategy: &Strategy,
+    meas: &Measurements,
+) -> Vec<f64> {
+    match (strategy, prepared) {
+        (Strategy::Explicit(a), PreparedReconstruct::Explicit { gram_pinv }) => {
             let y = &meas.blocks[0].noisy;
             // A⁺ = (AᵀA)⁺Aᵀ.
-            gram_pinv(a).matvec(&a.t_matvec(y))
+            gram_pinv.matvec(&a.t_matvec(y))
         }
-        Strategy::Kron(factors) => {
+        (Strategy::Kron(factors), PreparedReconstruct::Kron { gram_pinvs }) => {
             let y = &meas.blocks[0].noisy;
             let refs: Vec<&StructuredMatrix> = factors.iter().collect();
             let aty = kmatvec_transpose_structured(&refs, y);
-            let gram_pinvs: Vec<StructuredMatrix> =
-                factors.iter().map(StructuredMatrix::gram_pinv).collect();
             let pinv_refs: Vec<&StructuredMatrix> = gram_pinvs.iter().collect();
             kmatvec_structured(&pinv_refs, &aty)
         }
-        Strategy::Marginals(m) => {
-            let algebra = MarginalsAlgebra::new(&m.domain);
+        (Strategy::Marginals(m), PreparedReconstruct::Marginals { algebra, v }) => {
             // Mᵀy = Σ_a θ_a·Q_aᵀ·y_a over the measured marginals.
             let n = m.domain.size();
             let mut mty = vec![0.0; n];
@@ -159,10 +231,9 @@ pub fn reconstruct(strategy: &Strategy, meas: &Measurements) -> Vec<f64> {
                 }
             }
             // x̄ = (MᵀM)⁺·Mᵀy = G(v)·Mᵀy.
-            let v = algebra.g_inverse_weights(&m.gram_weights());
-            algebra.g_apply(&v, &mty)
+            algebra.g_apply(v, &mty)
         }
-        Strategy::Union(groups) => {
+        (Strategy::Union(groups), PreparedReconstruct::Union) => {
             // Whiten each block by its noise scale and solve jointly over the
             // stacked structured Kronecker operators.
             let mut ops: Vec<Box<dyn LinOp>> = Vec::with_capacity(groups.len());
@@ -178,12 +249,29 @@ pub fn reconstruct(strategy: &Strategy, meas: &Measurements) -> Vec<f64> {
             let stacked = StackedOp::new(ops);
             lsmr(&stacked, &rhs, &LsmrOptions::default()).x
         }
+        _ => panic!("PreparedReconstruct was built from a different strategy variant"),
     }
 }
 
 /// Answers the workload on the reconstructed estimate: `ans = W·x̄`.
 pub fn answer_workload(workload: &Workload, x_hat: &[f64]) -> Vec<f64> {
     workload.answer(x_hat)
+}
+
+/// ANSWER for a batch: evaluates several workloads against one reconstructed
+/// estimate, sharing one set of Kronecker scratch buffers across every
+/// product term. Each entry is bitwise identical to
+/// `answer_workload(workloads[i], x_hat)`.
+///
+/// This is the amortization point for follow-up queries: MEASURE and
+/// RECONSTRUCT ran once, and each additional workload costs only its own
+/// `W·x̄` pass with no per-term allocation.
+pub fn answer_many_from_parts(x_hat: &[f64], workloads: &[&Workload]) -> Vec<Vec<f64>> {
+    let mut scratch = KronScratch::new();
+    workloads
+        .iter()
+        .map(|w| w.answer_with(x_hat, &mut scratch))
+        .collect()
 }
 
 /// Runs the complete ε-differentially-private pipeline (Theorem 7: privacy
@@ -306,6 +394,17 @@ mod tests {
             (empirical / analytic - 1.0).abs() < 0.25,
             "empirical {empirical} vs analytic {analytic}"
         );
+    }
+
+    #[test]
+    fn batch_answers_match_individual_answers_bitwise() {
+        let w1 = builders::prefix_2d(4, 5);
+        let w2 = builders::all_marginals(&Domain::new(&[4, 5]));
+        let x_hat = data(20);
+        let batch = answer_many_from_parts(&x_hat, &[&w1, &w2]);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0], w1.answer(&x_hat));
+        assert_eq!(batch[1], w2.answer(&x_hat));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! histograms without this crate depending on any telemetry machinery.
 
 use crate::budget::{try_measure, MechanismError};
-use crate::{reconstruct, MechanismResult, Strategy};
+use crate::{reconstruct, reconstruct_with, MechanismResult, PreparedReconstruct, Strategy};
 use hdmm_workload::Workload;
 use rand::Rng;
 use std::time::{Duration, Instant};
@@ -99,6 +99,38 @@ pub fn try_run_mechanism_observed(
     Ok(MechanismResult { x_hat, answers })
 }
 
+/// [`try_run_mechanism_observed`] with the strategy factorization supplied by
+/// the caller, so warm cache hits skip rebuilding `(AᵀA)⁺` on every request.
+/// Bitwise identical to the unprepared variant for a `prepared` built from
+/// `strategy` — the factorization is a pure function of the strategy, and the
+/// RECONSTRUCT timing the observer sees now reflects only the per-request
+/// work.
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_mechanism_prepared_observed(
+    workload: &Workload,
+    strategy: &Strategy,
+    prepared: &PreparedReconstruct,
+    x: &[f64],
+    eps: f64,
+    remaining: f64,
+    rng: &mut impl Rng,
+    observer: &impl PhaseObserver,
+) -> Result<MechanismResult, MechanismError> {
+    let t = Instant::now();
+    let meas = try_measure(strategy, x, eps, remaining, workload.domain().size(), rng)?;
+    observer.phase_complete(MechanismPhase::Measure, t.elapsed());
+
+    let t = Instant::now();
+    let x_hat = reconstruct_with(prepared, strategy, &meas);
+    observer.phase_complete(MechanismPhase::Reconstruct, t.elapsed());
+
+    let t = Instant::now();
+    let answers = workload.answer(&x_hat);
+    observer.phase_complete(MechanismPhase::Answer, t.elapsed());
+
+    Ok(MechanismResult { x_hat, answers })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +184,36 @@ mod tests {
             crate::try_run_mechanism(&w, &s, &[2.0; 8], 1.0, 1.0, &mut StdRng::seed_from_u64(3))
                 .unwrap();
         assert_eq!(observed.answers, plain.answers);
+    }
+
+    #[test]
+    fn prepared_matches_unprepared_bitwise_per_seed() {
+        let w = builders::prefix_1d(8);
+        let s = Strategy::identity(w.domain());
+        let prepared = PreparedReconstruct::new(&s);
+        let got = try_run_mechanism_prepared_observed(
+            &w,
+            &s,
+            &prepared,
+            &[2.0; 8],
+            1.0,
+            1.0,
+            &mut StdRng::seed_from_u64(3),
+            &NoopObserver,
+        )
+        .unwrap();
+        let plain = try_run_mechanism_observed(
+            &w,
+            &s,
+            &[2.0; 8],
+            1.0,
+            1.0,
+            &mut StdRng::seed_from_u64(3),
+            &NoopObserver,
+        )
+        .unwrap();
+        assert_eq!(got.x_hat, plain.x_hat);
+        assert_eq!(got.answers, plain.answers);
     }
 
     #[test]

@@ -36,7 +36,9 @@
 use crate::budget::MechanismError;
 use crate::laplace::add_laplace_noise;
 use crate::phases::{MechanismPhase, PhaseObserver};
-use crate::{MarginalsAlgebra, MeasuredBlock, Measurements, MechanismResult, Strategy};
+use crate::{
+    MarginalsAlgebra, MeasuredBlock, Measurements, MechanismResult, PreparedReconstruct, Strategy,
+};
 use hdmm_linalg::{
     apply_leading_rows, apply_leading_transpose_rows, kmatvec_trailing_slab,
     kmatvec_transpose_trailing_slab, leading_split, matvec_rows, partition_rows, StructuredMatrix,
@@ -597,36 +599,67 @@ pub fn reconstruct_sharded(
     exec: &dyn ShardExecutor,
     observer: &(impl PhaseObserver + ?Sized),
 ) -> Vec<f64> {
+    reconstruct_sharded_with(
+        &PreparedReconstruct::new(strategy),
+        strategy,
+        meas,
+        view,
+        exec,
+        observer,
+    )
+}
+
+/// [`reconstruct_sharded`] with the strategy factorization supplied by the
+/// caller ([`PreparedReconstruct`]); the fan-out no longer rebuilds the
+/// per-factor inverse Grams (Kron) or the subset algebra (marginals) per
+/// request. Bitwise identical to `reconstruct_sharded` for a `prepared` built
+/// from the same strategy.
+///
+/// # Panics
+/// Panics if `prepared` was built from a different strategy variant.
+pub fn reconstruct_sharded_with(
+    prepared: &PreparedReconstruct,
+    strategy: &Strategy,
+    meas: &Measurements,
+    view: &ShardedView<'_>,
+    exec: &dyn ShardExecutor,
+    observer: &(impl PhaseObserver + ?Sized),
+) -> Vec<f64> {
     let phase = MechanismPhase::Reconstruct;
     match strategy {
         // Explicit strategies live on small 1-D domains; unions need the
         // global iterative LSMR solve. Both keep the plain serial path.
-        Strategy::Explicit(_) | Strategy::Union(_) => crate::reconstruct(strategy, meas),
+        Strategy::Explicit(_) | Strategy::Union(_) => {
+            crate::reconstruct_with(prepared, strategy, meas)
+        }
         Strategy::Kron(factors) => {
+            let PreparedReconstruct::Kron { gram_pinvs } = prepared else {
+                panic!("PreparedReconstruct was built from a different strategy variant");
+            };
             let refs: Vec<&StructuredMatrix> = factors.iter().collect();
             let split = leading_split(&refs);
             let lead_n = split.leading.cols();
             let rest_n = split.trailing_cols();
             let Some(ranges) = view.ranges_on_axis(lead_n, rest_n) else {
-                return crate::reconstruct(strategy, meas);
+                return crate::reconstruct_with(prepared, strategy, meas);
             };
             let y = &meas.blocks[0].noisy;
             let aty = kron_transpose_sharded(&refs, y, &ranges, exec, observer, phase);
-            let gram_pinvs: Vec<StructuredMatrix> =
-                factors.iter().map(StructuredMatrix::gram_pinv).collect();
             let pinv_refs: Vec<&StructuredMatrix> = gram_pinvs.iter().collect();
             let aty_view =
                 ShardedView::new(lead_n, ranges_to_slabs(&ranges, &aty, lead_n, aty.len()));
             kron_forward_sharded(&pinv_refs, &aty_view, exec, observer, phase)
         }
         Strategy::Marginals(m) => {
+            let PreparedReconstruct::Marginals { algebra, v } = prepared else {
+                panic!("PreparedReconstruct was built from a different strategy variant");
+            };
             // Marginal factors put their attribute-0 block (cols = n₁) first,
             // so the fan-out needs the view's slab ranges to live on that
             // axis; fall back to the plain path otherwise.
             if view.leading != m.domain.attr_size(0) {
-                return crate::reconstruct(strategy, meas);
+                return crate::reconstruct_with(prepared, strategy, meas);
             }
-            let algebra = MarginalsAlgebra::new(&m.domain);
             let n = m.domain.size();
             let domain_ranges: Vec<Range<usize>> =
                 view.slabs.iter().map(|s| s.rows.clone()).collect();
@@ -655,8 +688,7 @@ pub fn reconstruct_sharded(
                     *acc += theta * b;
                 }
             }
-            let v = algebra.g_inverse_weights(&m.gram_weights());
-            algebra.g_apply(&v, &mty)
+            algebra.g_apply(v, &mty)
         }
     }
 }
@@ -756,6 +788,55 @@ pub fn try_run_mechanism_sharded_observed(
 
     let t = Instant::now();
     let x_hat = reconstruct_sharded(strategy, &meas, view, exec, observer);
+    observer.phase_complete(MechanismPhase::Reconstruct, t.elapsed());
+
+    let t = Instant::now();
+    let answers = answer_sharded(workload, &x_hat, view.shard_count(), exec, observer);
+    observer.phase_complete(MechanismPhase::Answer, t.elapsed());
+
+    Ok(MechanismResult { x_hat, answers })
+}
+
+/// [`try_run_mechanism_sharded_observed`] with the strategy factorization
+/// supplied by the caller, mirroring
+/// [`try_run_mechanism_prepared_observed`](crate::try_run_mechanism_prepared_observed)
+/// for the fan-out path. Bitwise identical to the unprepared sharded variant
+/// for a `prepared` built from `strategy`.
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_mechanism_sharded_prepared_observed(
+    workload: &Workload,
+    strategy: &Strategy,
+    prepared: &PreparedReconstruct,
+    view: &ShardedView<'_>,
+    eps: f64,
+    remaining: f64,
+    rng: &mut impl Rng,
+    exec: &dyn ShardExecutor,
+    observer: &(impl PhaseObserver + ?Sized),
+) -> Result<MechanismResult, MechanismError> {
+    if !(eps.is_finite() && eps > 0.0) {
+        return Err(MechanismError::InvalidEpsilon { eps });
+    }
+    if eps > remaining * (1.0 + 1e-12) {
+        return Err(MechanismError::BudgetExhausted {
+            requested: eps,
+            remaining,
+        });
+    }
+    let expected = workload.domain().size();
+    if view.total_len() != expected {
+        return Err(MechanismError::DataVectorMismatch {
+            expected,
+            got: view.total_len(),
+        });
+    }
+
+    let t = Instant::now();
+    let meas = measure_sharded(strategy, view, eps, rng, exec, observer);
+    observer.phase_complete(MechanismPhase::Measure, t.elapsed());
+
+    let t = Instant::now();
+    let x_hat = reconstruct_sharded_with(prepared, strategy, &meas, view, exec, observer);
     observer.phase_complete(MechanismPhase::Reconstruct, t.elapsed());
 
     let t = Instant::now();
@@ -871,6 +952,47 @@ mod tests {
                         s.kind()
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_sharded_is_bitwise_identical_to_unprepared() {
+        for (w, s) in strategies() {
+            let n = w.domain().size();
+            let leading = w.domain().attr_size(0);
+            let x = data(n);
+            let prepared = PreparedReconstruct::new(&s);
+            for shards in [1usize, 2, leading] {
+                let view = view_of(&x, leading, shards);
+                let plain = try_run_mechanism_sharded_observed(
+                    &w,
+                    &s,
+                    &view,
+                    1.0,
+                    1.0,
+                    &mut StdRng::seed_from_u64(42),
+                    &SerialExecutor,
+                    &NoopObserver,
+                )
+                .unwrap();
+                let got = try_run_mechanism_sharded_prepared_observed(
+                    &w,
+                    &s,
+                    &prepared,
+                    &view,
+                    1.0,
+                    1.0,
+                    &mut StdRng::seed_from_u64(42),
+                    &SerialExecutor,
+                    &NoopObserver,
+                )
+                .unwrap();
+                assert!(
+                    bits_eq(&got.x_hat, &plain.x_hat) && bits_eq(&got.answers, &plain.answers),
+                    "{} shards={shards}: prepared path diverges",
+                    s.kind()
+                );
             }
         }
     }

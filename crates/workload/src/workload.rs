@@ -1,7 +1,9 @@
 //! Union-of-products workloads (Definition 3 and §4.3, `ImpVec` output form).
 
 use crate::Domain;
-use hdmm_linalg::{kmatvec_structured, kron_all, Matrix, StructuredMatrix};
+use hdmm_linalg::{
+    kmatvec_structured, kmatvec_structured_scratch, kron_all, KronScratch, Matrix, StructuredMatrix,
+};
 
 /// One weighted product `w·(W₁ ⊗ … ⊗ W_d)`: a per-attribute query matrix for
 /// each attribute of the domain, kept in structured form so regular blocks
@@ -62,6 +64,20 @@ impl ProductTerm {
             }
         }
         y
+    }
+
+    /// [`ProductTerm::answer`] appended onto `out`, running the Kronecker
+    /// product through caller-owned scratch so a batch of answers shares its
+    /// buffers. Bitwise identical to `answer` (same kernels, same weight
+    /// application).
+    pub fn answer_into(&self, x: &[f64], scratch: &mut KronScratch, out: &mut Vec<f64>) {
+        let refs: Vec<&StructuredMatrix> = self.factors.iter().collect();
+        let y = kmatvec_structured_scratch(&refs, x, scratch);
+        if self.weight != 1.0 {
+            out.extend(y.iter().map(|v| v * self.weight));
+        } else {
+            out.extend_from_slice(y);
+        }
     }
 
     /// Implicit representation size in stored values (Σ per-factor storage;
@@ -155,10 +171,18 @@ impl Workload {
 
     /// Answers all queries on data vector `x`, stacking terms in order.
     pub fn answer(&self, x: &[f64]) -> Vec<f64> {
+        let mut scratch = KronScratch::new();
+        self.answer_with(x, &mut scratch)
+    }
+
+    /// [`Workload::answer`] through caller-owned scratch buffers, so a batch
+    /// of workloads answered against one estimate allocates its Kronecker
+    /// intermediates once. Bitwise identical to `answer`.
+    pub fn answer_with(&self, x: &[f64], scratch: &mut KronScratch) -> Vec<f64> {
         assert_eq!(x.len(), self.domain.size(), "data vector size mismatch");
         let mut out = Vec::with_capacity(self.query_count());
         for t in &self.terms {
-            out.extend(t.answer(x));
+            t.answer_into(x, scratch, &mut out);
         }
         out
     }

@@ -1,0 +1,170 @@
+//! Bitwise-equality properties for the SIMD lane kernels.
+//!
+//! Every public kernel in `hdmm_linalg::simd` dispatches to a hand-unrolled
+//! 4-lane path when the `simd` feature is on (the default) and to
+//! `simd::scalar` otherwise. The whole byte-identity story of the serving
+//! layer (sharded == dense == remote, bit for bit) rests on the two paths
+//! agreeing exactly, so these tests pin `to_bits` equality — not approximate
+//! closeness — between the dispatched kernel and its scalar reference across
+//! lengths that cover every tail shape: shorter than one lane block
+//! (1–5), around the 32-lane-block unroll boundary (127/128/129), and a
+//! long vector (1000).
+//!
+//! CI additionally runs the `hdmm-linalg` unit tests with
+//! `--no-default-features`, where the dispatched functions *are* the scalar
+//! ones; this suite is what exercises the wide path in the default build.
+
+use hdmm_linalg::simd;
+use proptest::prelude::*;
+
+/// Lengths covering empty-tail, partial-tail, and multi-block cases.
+const LENS: [usize; 9] = [1, 2, 3, 4, 5, 127, 128, 129, 1000];
+
+fn len() -> impl Strategy<Value = usize> {
+    (0..LENS.len()).prop_map(|i| LENS[i])
+}
+
+/// Finite values spanning sign and magnitude; sums here are exactly the
+/// kind of partially-cancelling reductions where reassociation would show.
+fn values(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0e6..1.0e6f64, n)
+}
+
+fn pair() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    len().prop_flat_map(|n| (values(n), values(n)))
+}
+
+fn triple() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, Vec<f64>)> {
+    len().prop_flat_map(|n| (values(n), values(n), values(n)))
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dot_matches_scalar_bitwise(ab in pair()) {
+        let (a, b) = ab;
+        prop_assert_eq!(
+            simd::dot(&a, &b).to_bits(),
+            simd::scalar::dot(&a, &b).to_bits()
+        );
+    }
+
+    #[test]
+    fn dot_indexed_matches_scalar_bitwise(
+        gathered in len().prop_flat_map(|n| {
+            (values(n), values(257), proptest::collection::vec(0usize..257, n))
+        })
+    ) {
+        let (vals, x, idx) = gathered;
+        prop_assert_eq!(
+            simd::dot_indexed(&vals, &idx, &x).to_bits(),
+            simd::scalar::dot_indexed(&vals, &idx, &x).to_bits()
+        );
+    }
+
+    #[test]
+    fn axpy_matches_scalar_bitwise(xy in pair(), alpha in -100.0..100.0f64) {
+        let (x, y) = xy;
+        let mut wide = y.clone();
+        let mut reference = y;
+        simd::axpy(alpha, &x, &mut wide);
+        simd::scalar::axpy(alpha, &x, &mut reference);
+        prop_assert_eq!(bits(&wide), bits(&reference));
+    }
+
+    #[test]
+    fn scale_into_matches_scalar_bitwise(x in len().prop_flat_map(values), alpha in -100.0..100.0f64) {
+        let mut wide = vec![0.0; x.len()];
+        let mut reference = vec![0.0; x.len()];
+        simd::scale_into(alpha, &x, &mut wide);
+        simd::scalar::scale_into(alpha, &x, &mut reference);
+        prop_assert_eq!(bits(&wide), bits(&reference));
+    }
+
+    #[test]
+    fn add_into_matches_scalar_bitwise(ab in pair()) {
+        let (a, b) = ab;
+        let mut wide = vec![0.0; a.len()];
+        let mut reference = vec![0.0; a.len()];
+        simd::add_into(&a, &b, &mut wide);
+        simd::scalar::add_into(&a, &b, &mut reference);
+        prop_assert_eq!(bits(&wide), bits(&reference));
+    }
+
+    #[test]
+    fn cumsum_step_matches_scalar_bitwise(
+        state in triple(),
+        scale in -100.0..100.0f64
+    ) {
+        let (acc, src, _) = state;
+        let n = acc.len();
+        let (mut acc_wide, mut acc_ref) = (acc.clone(), acc);
+        let (mut dst_wide, mut dst_ref) = (vec![0.0; n], vec![0.0; n]);
+        // Two steps so the carried accumulator state is also compared.
+        for _ in 0..2 {
+            simd::cumsum_step(&mut acc_wide, &src, &mut dst_wide, scale);
+            simd::scalar::cumsum_step(&mut acc_ref, &src, &mut dst_ref, scale);
+            prop_assert_eq!(bits(&acc_wide), bits(&acc_ref));
+            prop_assert_eq!(bits(&dst_wide), bits(&dst_ref));
+        }
+    }
+
+    #[test]
+    fn diff_scaled_matches_scalar_bitwise(state in triple(), scale in -100.0..100.0f64) {
+        let (hi, lo, _) = state;
+        let mut wide = vec![0.0; hi.len()];
+        let mut reference = vec![0.0; hi.len()];
+        simd::diff_scaled(&hi, &lo, scale, &mut wide);
+        simd::scalar::diff_scaled(&hi, &lo, scale, &mut reference);
+        prop_assert_eq!(bits(&wide), bits(&reference));
+    }
+
+    #[test]
+    fn offset_diff_scaled_matches_scalar_bitwise(
+        src in len().prop_flat_map(values),
+        base in -1.0e6..1.0e6f64,
+        scale in -100.0..100.0f64
+    ) {
+        let mut wide = vec![0.0; src.len()];
+        let mut reference = vec![0.0; src.len()];
+        simd::offset_diff_scaled(&src, base, scale, &mut wide);
+        simd::scalar::offset_diff_scaled(&src, base, scale, &mut reference);
+        prop_assert_eq!(bits(&wide), bits(&reference));
+    }
+}
+
+/// The `+0.0` tail-neutrality claim the wide reductions rely on, pinned
+/// explicitly: signed zeros and partial-lane tails still agree bitwise.
+#[test]
+fn signed_zero_and_tail_edges_agree_bitwise() {
+    for n in LENS {
+        let a: Vec<f64> = (0..n)
+            .map(|i| {
+                if i % 3 == 0 {
+                    -0.0
+                } else {
+                    (i as f64) - (n as f64) / 2.0
+                }
+            })
+            .collect();
+        let b: Vec<f64> = (0..n)
+            .map(|i| if i % 5 == 0 { 0.0 } else { -1.25 })
+            .collect();
+        assert_eq!(
+            simd::dot(&a, &b).to_bits(),
+            simd::scalar::dot(&a, &b).to_bits(),
+            "dot bits diverge at n={n}"
+        );
+        let idx: Vec<usize> = (0..n).map(|i| (i * 7) % n.max(1)).collect();
+        assert_eq!(
+            simd::dot_indexed(&a, &idx, &b).to_bits(),
+            simd::scalar::dot_indexed(&a, &idx, &b).to_bits(),
+            "dot_indexed bits diverge at n={n}"
+        );
+    }
+}

@@ -22,6 +22,7 @@ pub mod opt_kron;
 pub mod opt_marginals;
 pub mod opt_plus;
 pub mod planner;
+pub mod restart;
 
 pub use opt0::{opt0, opt0_with, Opt0Options, Opt0Result, PIdentity};
 pub use opt_hdmm::{default_ps, opt_hdmm, opt_hdmm_grams, HdmmOptions, Selected};
@@ -29,3 +30,4 @@ pub use opt_kron::{opt_kron, OptKronOptions, OptKronResult};
 pub use opt_marginals::{opt_marginals, MarginalsObjective, OptMarginalsResult};
 pub use opt_plus::{group_terms, opt_plus, OptPlusResult};
 pub use planner::{optimize_with_choice, select_optimizer, OptimizerChoice, PlanDecision};
+pub use restart::restart_seed;

@@ -18,6 +18,7 @@ use crate::opt_hdmm::{opt_hdmm_grams, HdmmOptions, Selected};
 use crate::opt_kron::{opt_kron, OptKronOptions};
 use crate::opt_marginals::opt_marginals;
 use crate::opt_plus::{group_terms, opt_plus};
+use crate::restart::restart_seed;
 use hdmm_linalg::StructuredMatrix;
 use hdmm_mechanism::Strategy;
 use hdmm_workload::{Workload, WorkloadGrams};
@@ -157,7 +158,12 @@ pub fn optimize_with_choice(
 ) -> Selected {
     let d = grams.dims();
     let k = grams.terms().len();
-    let mut rng = StdRng::seed_from_u64(opts.seed);
+    // One derived RNG stream per (restart, operator) cell — the same
+    // contract as [`opt_hdmm_grams`], so a targeted run's restart-`r`
+    // candidate is bitwise the cell Algorithm 2 would have produced.
+    let cell = |restart: usize, operator: &str| {
+        StdRng::seed_from_u64(restart_seed(opts.seed, restart as u64, operator))
+    };
 
     let mut best = Selected {
         strategy: Strategy::identity(grams.domain()),
@@ -180,8 +186,12 @@ pub fn optimize_with_choice(
             // 1-D: the union collapses to one explicit Gram Σ w²·G.
             let wtw = grams.explicit();
             let p = ps.first().copied().unwrap_or(1).max(1);
-            for _ in 0..opts.restarts.max(1) {
-                let res = opt0_with(&wtw, &Opt0Options { p, max_iter: 120 }, &mut rng);
+            for restart in 0..opts.restarts.max(1) {
+                let res = opt0_with(
+                    &wtw,
+                    &Opt0Options { p, max_iter: 120 },
+                    &mut cell(restart, "opt0"),
+                );
                 if valid(res.residual) && res.residual < best.squared_error {
                     best = Selected {
                         strategy: Strategy::Explicit(res.pident.matrix()),
@@ -192,8 +202,12 @@ pub fn optimize_with_choice(
             }
         }
         OptimizerChoice::Kron => {
-            for _ in 0..opts.restarts.max(1) {
-                let res = opt_kron(grams, &OptKronOptions::new(ps.to_vec()), &mut rng);
+            for restart in 0..opts.restarts.max(1) {
+                let res = opt_kron(
+                    grams,
+                    &OptKronOptions::new(ps.to_vec()),
+                    &mut cell(restart, "kron"),
+                );
                 if valid(res.residual) && res.residual < best.squared_error {
                     best = Selected {
                         strategy: Strategy::kron(res.factors()),
@@ -205,9 +219,9 @@ pub fn optimize_with_choice(
         }
         OptimizerChoice::Plus => {
             let partition = group_terms(grams, opts.union_groups);
-            for _ in 0..opts.restarts.max(1) {
+            for restart in 0..opts.restarts.max(1) {
                 if partition.len() >= 2 {
-                    let res = opt_plus(grams, &partition, ps, &mut rng);
+                    let res = opt_plus(grams, &partition, ps, &mut cell(restart, "plus"));
                     if valid(res.squared_error) && res.squared_error < best.squared_error {
                         best = Selected {
                             squared_error: res.squared_error,
@@ -216,7 +230,11 @@ pub fn optimize_with_choice(
                         };
                     }
                 } else {
-                    let res = opt_kron(grams, &OptKronOptions::new(ps.to_vec()), &mut rng);
+                    let res = opt_kron(
+                        grams,
+                        &OptKronOptions::new(ps.to_vec()),
+                        &mut cell(restart, "kron"),
+                    );
                     if valid(res.residual) && res.residual < best.squared_error {
                         best = Selected {
                             strategy: Strategy::kron(res.factors()),
@@ -228,8 +246,8 @@ pub fn optimize_with_choice(
             }
         }
         OptimizerChoice::Marginals => {
-            for _ in 0..opts.restarts.max(1) {
-                let res = opt_marginals(grams, &mut rng);
+            for restart in 0..opts.restarts.max(1) {
+                let res = opt_marginals(grams, &mut cell(restart, "marginals"));
                 if valid(res.squared_error) && res.squared_error < best.squared_error {
                     best = Selected {
                         squared_error: res.squared_error,

@@ -25,9 +25,18 @@ pub mod planner;
 pub mod restart;
 
 pub use opt0::{opt0, opt0_with, Opt0Options, Opt0Result, PIdentity};
-pub use opt_hdmm::{default_ps, opt_hdmm, opt_hdmm_grams, HdmmOptions, Selected};
+pub use opt_hdmm::{
+    default_ps, opt_hdmm, opt_hdmm_grams, opt_hdmm_grams_observed, HdmmOptions, Selected,
+};
 pub use opt_kron::{opt_kron, OptKronOptions, OptKronResult};
 pub use opt_marginals::{opt_marginals, MarginalsObjective, OptMarginalsResult};
 pub use opt_plus::{group_terms, opt_plus, OptPlusResult};
-pub use planner::{optimize_with_choice, select_optimizer, OptimizerChoice, PlanDecision};
-pub use restart::restart_seed;
+pub use planner::{
+    optimize_with_choice, optimize_with_choice_observed, select_optimizer, OptimizerChoice,
+    PlanDecision,
+};
+pub use restart::{restart_seed, RestartExecutor, RestartObserver};
+
+/// The serving-facing name for [`HdmmOptions`]: restart count and restart-grid
+/// thread count live here (`OptimizerOptions::{restarts, threads}`).
+pub use opt_hdmm::HdmmOptions as OptimizerOptions;

@@ -9,11 +9,12 @@
 use crate::opt_kron::{opt_kron, OptKronOptions};
 use crate::opt_marginals::opt_marginals;
 use crate::opt_plus::{group_terms, opt_plus};
-use crate::restart::restart_seed;
+use crate::restart::{restart_seed, RestartExecutor, RestartObserver};
 use hdmm_mechanism::Strategy;
 use hdmm_workload::{Workload, WorkloadGrams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Instant;
 
 /// Options for `OPT_HDMM`.
 #[derive(Debug, Clone)]
@@ -29,6 +30,11 @@ pub struct HdmmOptions {
     pub marginals_max_dims: usize,
     /// Per-attribute p override (`None` → the §7.1 convention).
     pub ps: Option<Vec<usize>>,
+    /// Worker threads for the restart grid: `0` fans out one lane per
+    /// available core, `1` is the serial reference path. Any value produces
+    /// bitwise identical selections — see [`crate::restart`] for the
+    /// contract.
+    pub threads: usize,
 }
 
 impl Default for HdmmOptions {
@@ -39,8 +45,19 @@ impl Default for HdmmOptions {
             union_groups: 2,
             marginals_max_dims: 14,
             ps: None,
+            threads: default_threads(),
         }
     }
+}
+
+/// The default restart-grid lane count: `HDMM_SELECT_THREADS` when set and
+/// parseable (CI pins the suite to `1` for a serial reference run), else `0`
+/// (one lane per core).
+fn default_threads() -> usize {
+    std::env::var("HDMM_SELECT_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
 }
 
 /// The selected strategy and its error.
@@ -88,15 +105,52 @@ fn valid(e: f64) -> bool {
 /// Runs Algorithm 2 directly on workload Grams (large structured workloads
 /// where `W` itself is never materialized).
 pub fn opt_hdmm_grams(grams: &WorkloadGrams, ps: &[usize], opts: &HdmmOptions) -> Selected {
-    let d = grams.dims();
-    let k = grams.terms().len();
+    opt_hdmm_grams_observed(grams, ps, opts, &())
+}
 
-    // Line 1: best = (Identity, error_I).
-    let mut best = Selected {
+/// The Identity fallback of Algorithm 2's first line.
+pub(crate) fn identity_fallback(grams: &WorkloadGrams) -> Selected {
+    Selected {
         strategy: Strategy::identity(grams.domain()),
         squared_error: grams.frobenius_norm_sq(),
         operator: "identity",
-    };
+    }
+}
+
+/// Folds restart-cell candidates in grid order under strict `<` — the
+/// deterministic argmin merge. Because every candidate came from its own
+/// derived RNG stream, this fold over results computed in *any* order (or on
+/// any thread) equals the serial loop's result bit for bit; strict `<` means
+/// loss ties resolve to the earliest grid cell (lowest restart index, then
+/// operator order within the restart).
+pub(crate) fn fold_candidates(
+    mut best: Selected,
+    candidates: impl IntoIterator<Item = Option<Selected>>,
+) -> Selected {
+    for cand in candidates.into_iter().flatten() {
+        if cand.squared_error < best.squared_error {
+            best = cand;
+        }
+    }
+    best
+}
+
+/// [`opt_hdmm_grams`] with a per-cell completion observer (telemetry spans,
+/// progress counters). The observer sees cells in completion order; the
+/// returned selection is order-independent.
+///
+/// Every `(restart, operator)` cell draws from its own derived stream
+/// ([`restart_seed`]), so a cell's candidate is independent of restart count,
+/// operator applicability, and evaluation order — which is what lets
+/// [`RestartExecutor`] fan the grid over threads without changing the argmin.
+pub fn opt_hdmm_grams_observed(
+    grams: &WorkloadGrams,
+    ps: &[usize],
+    opts: &HdmmOptions,
+    observer: &dyn RestartObserver,
+) -> Selected {
+    let d = grams.dims();
+    let k = grams.terms().len();
 
     // The union partition is RNG-free, so every restart shares it.
     let partition = if k >= 2 && d >= 2 {
@@ -105,51 +159,66 @@ pub fn opt_hdmm_grams(grams: &WorkloadGrams, ps: &[usize], opts: &HdmmOptions) -
     } else {
         None
     };
+    let partition = partition.as_ref();
+    let run_marginals = d >= 2 && d <= opts.marginals_max_dims;
 
-    // Every (restart, operator) cell draws from its own derived stream, so a
-    // cell's candidate is independent of restart count, operator
-    // applicability, and evaluation order — the precondition for fanning the
-    // grid over threads without changing the argmin.
+    // Enumerate the restart grid in its canonical order: restart-major,
+    // operators in {⊗, +, M} order within each restart.
+    let mut cells: Vec<(usize, &'static str)> = Vec::new();
     for restart in 0..opts.restarts.max(1) {
-        let cell = |operator: &str| {
-            StdRng::seed_from_u64(restart_seed(opts.seed, restart as u64, operator))
-        };
-
-        // OPT_⊗ — always applicable.
-        let kron = opt_kron(grams, &OptKronOptions::new(ps.to_vec()), &mut cell("kron"));
-        if valid(kron.residual) && kron.residual < best.squared_error {
-            best = Selected {
-                strategy: Strategy::kron(kron.factors()),
-                squared_error: kron.residual,
-                operator: "kron",
-            };
+        cells.push((restart, "kron"));
+        if partition.is_some() {
+            cells.push((restart, "plus"));
         }
-
-        // OPT_+ — unions with more than one structural group.
-        if let Some(partition) = &partition {
-            let plus = opt_plus(grams, partition, ps, &mut cell("plus"));
-            if valid(plus.squared_error) && plus.squared_error < best.squared_error {
-                best = Selected {
-                    squared_error: plus.squared_error,
-                    strategy: plus.strategy,
-                    operator: "plus",
-                };
-            }
-        }
-
-        // OPT_M — multi-dimensional domains with tractably many subsets.
-        if d >= 2 && d <= opts.marginals_max_dims {
-            let m = opt_marginals(grams, &mut cell("marginals"));
-            if valid(m.squared_error) && m.squared_error < best.squared_error {
-                best = Selected {
-                    squared_error: m.squared_error,
-                    strategy: Strategy::Marginals(m.strategy),
-                    operator: "marginals",
-                };
-            }
+        if run_marginals {
+            cells.push((restart, "marginals"));
         }
     }
-    best
+
+    let jobs: Vec<_> = cells
+        .into_iter()
+        .map(|(restart, operator)| {
+            move || {
+                let started = Instant::now();
+                let mut rng =
+                    StdRng::seed_from_u64(restart_seed(opts.seed, restart as u64, operator));
+                let candidate = match operator {
+                    "kron" => {
+                        let res = opt_kron(grams, &OptKronOptions::new(ps.to_vec()), &mut rng);
+                        valid(res.residual).then(|| Selected {
+                            strategy: Strategy::kron(res.factors()),
+                            squared_error: res.residual,
+                            operator: "kron",
+                        })
+                    }
+                    "plus" => {
+                        let res = opt_plus(grams, partition.unwrap(), ps, &mut rng);
+                        valid(res.squared_error).then_some(Selected {
+                            squared_error: res.squared_error,
+                            strategy: res.strategy,
+                            operator: "plus",
+                        })
+                    }
+                    _ => {
+                        let res = opt_marginals(grams, &mut rng);
+                        valid(res.squared_error).then_some(Selected {
+                            squared_error: res.squared_error,
+                            strategy: Strategy::Marginals(res.strategy),
+                            operator: "marginals",
+                        })
+                    }
+                };
+                let loss = candidate
+                    .as_ref()
+                    .map_or(f64::INFINITY, |c| c.squared_error);
+                observer.restart_complete(operator, restart, loss, started.elapsed());
+                candidate
+            }
+        })
+        .collect();
+
+    let results = RestartExecutor::new(opts.threads).run(jobs);
+    fold_candidates(identity_fallback(grams), results)
 }
 
 #[cfg(test)]

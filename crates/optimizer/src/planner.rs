@@ -14,16 +14,19 @@
 //! * `Exhaustive` → full Algorithm 2.
 
 use crate::opt0::{opt0_with, Opt0Options};
-use crate::opt_hdmm::{opt_hdmm_grams, HdmmOptions, Selected};
+use crate::opt_hdmm::{
+    fold_candidates, identity_fallback, opt_hdmm_grams_observed, HdmmOptions, Selected,
+};
 use crate::opt_kron::{opt_kron, OptKronOptions};
 use crate::opt_marginals::opt_marginals;
 use crate::opt_plus::{group_terms, opt_plus};
-use crate::restart::restart_seed;
+use crate::restart::{restart_seed, RestartExecutor, RestartObserver};
 use hdmm_linalg::StructuredMatrix;
 use hdmm_mechanism::Strategy;
 use hdmm_workload::{Workload, WorkloadGrams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Instant;
 
 /// Which optimization operator to run for a workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,20 +159,25 @@ pub fn optimize_with_choice(
     opts: &HdmmOptions,
     choice: OptimizerChoice,
 ) -> Selected {
+    optimize_with_choice_observed(grams, ps, opts, choice, &())
+}
+
+/// [`optimize_with_choice`] with a per-cell completion observer. Restarts fan
+/// out over [`RestartExecutor`] (`opts.threads` lanes); each restart draws
+/// from its own derived stream ([`restart_seed`]) under the same contract as
+/// Algorithm 2, so the selection is bitwise identical at any thread count.
+pub fn optimize_with_choice_observed(
+    grams: &WorkloadGrams,
+    ps: &[usize],
+    opts: &HdmmOptions,
+    choice: OptimizerChoice,
+    observer: &dyn RestartObserver,
+) -> Selected {
+    if choice == OptimizerChoice::Exhaustive {
+        return opt_hdmm_grams_observed(grams, ps, opts, observer);
+    }
     let d = grams.dims();
     let k = grams.terms().len();
-    // One derived RNG stream per (restart, operator) cell — the same
-    // contract as [`opt_hdmm_grams`], so a targeted run's restart-`r`
-    // candidate is bitwise the cell Algorithm 2 would have produced.
-    let cell = |restart: usize, operator: &str| {
-        StdRng::seed_from_u64(restart_seed(opts.seed, restart as u64, operator))
-    };
-
-    let mut best = Selected {
-        strategy: Strategy::identity(grams.domain()),
-        squared_error: grams.frobenius_norm_sq(),
-        operator: "identity",
-    };
     let valid = |e: f64| e.is_finite() && e > 0.0;
 
     // Resolve inapplicable choices to the nearest applicable operator.
@@ -179,91 +187,90 @@ pub fn optimize_with_choice(
         OptimizerChoice::Plus if k < 2 || d < 2 => OptimizerChoice::Kron,
         c => c,
     };
-
-    match choice {
-        OptimizerChoice::Exhaustive => return opt_hdmm_grams(grams, ps, opts),
-        OptimizerChoice::Opt0 => {
-            // 1-D: the union collapses to one explicit Gram Σ w²·G.
-            let wtw = grams.explicit();
-            let p = ps.first().copied().unwrap_or(1).max(1);
-            for restart in 0..opts.restarts.max(1) {
-                let res = opt0_with(
-                    &wtw,
-                    &Opt0Options { p, max_iter: 120 },
-                    &mut cell(restart, "opt0"),
-                );
-                if valid(res.residual) && res.residual < best.squared_error {
-                    best = Selected {
-                        strategy: Strategy::Explicit(res.pident.matrix()),
-                        squared_error: res.residual,
-                        operator: "opt0",
-                    };
-                }
-            }
-        }
-        OptimizerChoice::Kron => {
-            for restart in 0..opts.restarts.max(1) {
-                let res = opt_kron(
-                    grams,
-                    &OptKronOptions::new(ps.to_vec()),
-                    &mut cell(restart, "kron"),
-                );
-                if valid(res.residual) && res.residual < best.squared_error {
-                    best = Selected {
-                        strategy: Strategy::kron(res.factors()),
-                        squared_error: res.residual,
-                        operator: "kron",
-                    };
-                }
-            }
-        }
+    // A union whose partition collapsed to one group runs OPT_⊗ instead —
+    // resolved before the fan-out so every cell runs the same operator.
+    let partition = match choice {
         OptimizerChoice::Plus => {
-            let partition = group_terms(grams, opts.union_groups);
-            for restart in 0..opts.restarts.max(1) {
-                if partition.len() >= 2 {
-                    let res = opt_plus(grams, &partition, ps, &mut cell(restart, "plus"));
-                    if valid(res.squared_error) && res.squared_error < best.squared_error {
-                        best = Selected {
-                            squared_error: res.squared_error,
-                            strategy: res.strategy,
-                            operator: "plus",
-                        };
-                    }
-                } else {
-                    let res = opt_kron(
-                        grams,
-                        &OptKronOptions::new(ps.to_vec()),
-                        &mut cell(restart, "kron"),
-                    );
-                    if valid(res.residual) && res.residual < best.squared_error {
-                        best = Selected {
-                            strategy: Strategy::kron(res.factors()),
-                            squared_error: res.residual,
-                            operator: "kron",
-                        };
-                    }
-                }
+            let p = group_terms(grams, opts.union_groups);
+            if p.len() >= 2 {
+                Some(p)
+            } else {
+                None
             }
         }
-        OptimizerChoice::Marginals => {
-            for restart in 0..opts.restarts.max(1) {
-                let res = opt_marginals(grams, &mut cell(restart, "marginals"));
-                if valid(res.squared_error) && res.squared_error < best.squared_error {
-                    best = Selected {
-                        squared_error: res.squared_error,
-                        strategy: Strategy::Marginals(res.strategy),
-                        operator: "marginals",
-                    };
-                }
+        _ => None,
+    };
+    let choice = match (choice, &partition) {
+        (OptimizerChoice::Plus, None) => OptimizerChoice::Kron,
+        (c, _) => c,
+    };
+    let partition = partition.as_ref();
+
+    // 1-D: the union collapses to one explicit Gram Σ w²·G, shared by every
+    // restart (it is RNG-free).
+    let wtw = (choice == OptimizerChoice::Opt0).then(|| grams.explicit());
+    let wtw = wtw.as_ref();
+
+    let restarts = opts.restarts.max(1);
+    let exec = RestartExecutor::new(opts.threads);
+
+    // Each restart computes its candidate from a cell-derived RNG stream;
+    // the in-order fold below is the deterministic argmin merge.
+    let run_cell = |restart: usize| -> Option<Selected> {
+        let started = Instant::now();
+        let operator = choice.tag();
+        let mut rng = StdRng::seed_from_u64(restart_seed(opts.seed, restart as u64, operator));
+        let candidate = match choice {
+            OptimizerChoice::Exhaustive => unreachable!("delegated to opt_hdmm_grams_observed"),
+            OptimizerChoice::Opt0 => {
+                let p = ps.first().copied().unwrap_or(1).max(1);
+                let res = opt0_with(wtw.unwrap(), &Opt0Options { p, max_iter: 120 }, &mut rng);
+                valid(res.residual).then(|| Selected {
+                    strategy: Strategy::Explicit(res.pident.matrix()),
+                    squared_error: res.residual,
+                    operator: "opt0",
+                })
             }
-        }
-    }
-    best
+            OptimizerChoice::Kron => {
+                let res = opt_kron(grams, &OptKronOptions::new(ps.to_vec()), &mut rng);
+                valid(res.residual).then(|| Selected {
+                    strategy: Strategy::kron(res.factors()),
+                    squared_error: res.residual,
+                    operator: "kron",
+                })
+            }
+            OptimizerChoice::Plus => {
+                let res = opt_plus(grams, partition.unwrap(), ps, &mut rng);
+                valid(res.squared_error).then_some(Selected {
+                    squared_error: res.squared_error,
+                    strategy: res.strategy,
+                    operator: "plus",
+                })
+            }
+            OptimizerChoice::Marginals => {
+                let res = opt_marginals(grams, &mut rng);
+                valid(res.squared_error).then_some(Selected {
+                    squared_error: res.squared_error,
+                    strategy: Strategy::Marginals(res.strategy),
+                    operator: "marginals",
+                })
+            }
+        };
+        let loss = candidate
+            .as_ref()
+            .map_or(f64::INFINITY, |c| c.squared_error);
+        observer.restart_complete(operator, restart, loss, started.elapsed());
+        candidate
+    };
+
+    let results = exec.run((0..restarts).map(|r| move || run_cell(r)).collect());
+    fold_candidates(identity_fallback(grams), results)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::opt_hdmm::opt_hdmm_grams;
     use hdmm_workload::{builders, Domain};
 
     fn opts() -> HdmmOptions {

@@ -1,0 +1,148 @@
+//! The restart-parallelism determinism contract: for every operator family,
+//! the selected strategy and its loss are bitwise identical at any restart
+//! thread count.
+//!
+//! Strategies are compared through the canonical plan codec
+//! (`hdmm_core::codec::put_strategy`) — the same byte encoding the on-disk
+//! plan store uses — so "identical" here means identical down to every `f64`
+//! bit of every factor, not merely equal losses.
+
+use hdmm_core::codec;
+use hdmm_optimizer::{
+    default_ps, opt_hdmm_grams, optimize_with_choice, HdmmOptions, OptimizerChoice, Selected,
+};
+use hdmm_workload::{builders, Domain, Workload, WorkloadGrams};
+use proptest::prelude::*;
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 7];
+
+fn strategy_bytes(sel: &Selected) -> Vec<u8> {
+    let mut out = Vec::new();
+    codec::put_strategy(&mut out, &sel.strategy);
+    out
+}
+
+fn opts(seed: u64, restarts: usize, threads: usize) -> HdmmOptions {
+    HdmmOptions {
+        restarts,
+        seed,
+        threads,
+        ..Default::default()
+    }
+}
+
+/// Runs the optimizer for every thread count in the sweep and asserts the
+/// serial (`threads = 1`) selection is reproduced bit for bit.
+fn assert_thread_invariant(
+    label: &str,
+    run: impl Fn(usize) -> Selected,
+) -> Result<(), TestCaseError> {
+    let reference = run(1);
+    let ref_bytes = strategy_bytes(&reference);
+    for threads in THREAD_SWEEP {
+        let got = run(threads);
+        prop_assert!(
+            got.squared_error.to_bits() == reference.squared_error.to_bits(),
+            "{}: loss diverged at threads={}",
+            label,
+            threads
+        );
+        prop_assert!(
+            got.operator == reference.operator,
+            "{}: operator diverged at threads={}",
+            label,
+            threads
+        );
+        prop_assert!(
+            strategy_bytes(&got) == ref_bytes,
+            "{}: strategy bytes diverged at threads={}",
+            label,
+            threads
+        );
+    }
+    Ok(())
+}
+
+/// One workload per operator family, small enough for a proptest inner loop.
+fn families() -> Vec<(&'static str, Workload, OptimizerChoice)> {
+    vec![
+        ("opt0", builders::all_range_1d(16), OptimizerChoice::Opt0),
+        ("kron", builders::prefix_2d(8, 8), OptimizerChoice::Kron),
+        (
+            "plus",
+            builders::range_total_union_2d(8, 8),
+            OptimizerChoice::Plus,
+        ),
+        (
+            "marginals",
+            builders::upto_kway_marginals(&Domain::new(&[4, 4, 4]), 2),
+            OptimizerChoice::Marginals,
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// `optimize_with_choice` is thread-count invariant for every operator
+    /// family, across seeds and restart counts.
+    #[test]
+    fn targeted_selection_is_thread_invariant(seed in 0u64..1000, restarts in 1usize..4) {
+        for (label, workload, choice) in families() {
+            let grams = WorkloadGrams::from_workload(&workload);
+            let ps = default_ps(&workload);
+            assert_thread_invariant(label, |threads| {
+                optimize_with_choice(&grams, &ps, &opts(seed, restarts, threads), choice)
+            })?;
+        }
+    }
+
+    /// Full Algorithm 2 (the exhaustive restart grid over every applicable
+    /// operator) is thread-count invariant.
+    #[test]
+    fn exhaustive_selection_is_thread_invariant(seed in 0u64..1000, restarts in 1usize..4) {
+        for (label, workload, _) in families() {
+            let grams = WorkloadGrams::from_workload(&workload);
+            let ps = default_ps(&workload);
+            assert_thread_invariant(label, |threads| {
+                opt_hdmm_grams(&grams, &ps, &opts(seed, restarts, threads))
+            })?;
+        }
+    }
+}
+
+/// Restart-count prefix stability: the restart-`r` cells of a longer run are
+/// exactly the cells of a shorter run, so adding restarts can only improve
+/// the selection — exactly, not approximately.
+#[test]
+fn more_restarts_never_hurt_exactly() {
+    for (label, workload, choice) in families() {
+        let grams = WorkloadGrams::from_workload(&workload);
+        let ps = default_ps(&workload);
+        let short = optimize_with_choice(&grams, &ps, &opts(9, 1, 1), choice);
+        let long = optimize_with_choice(&grams, &ps, &opts(9, 3, 1), choice);
+        assert!(
+            long.squared_error <= short.squared_error,
+            "{label}: 3-restart loss {} worse than 1-restart {}",
+            long.squared_error,
+            short.squared_error
+        );
+    }
+}
+
+/// `threads = 0` (one lane per core) also reproduces the serial reference.
+#[test]
+fn auto_thread_count_matches_serial() {
+    for (label, workload, choice) in families() {
+        let grams = WorkloadGrams::from_workload(&workload);
+        let ps = default_ps(&workload);
+        let serial = optimize_with_choice(&grams, &ps, &opts(5, 2, 1), choice);
+        let auto = optimize_with_choice(&grams, &ps, &opts(5, 2, 0), choice);
+        assert_eq!(
+            strategy_bytes(&serial),
+            strategy_bytes(&auto),
+            "{label}: auto thread count diverged from serial"
+        );
+        assert_eq!(serial.squared_error.to_bits(), auto.squared_error.to_bits());
+    }
+}

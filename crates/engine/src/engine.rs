@@ -26,10 +26,10 @@ use crate::accountant::{EpsAccountant, TenantLedger};
 use crate::cache::StrategyCache;
 use crate::persist::PlanStore;
 use crate::session::Session;
-use crate::singleflight::{FlightOutcome, SingleFlight};
+use crate::singleflight::{FlightOutcome, FlightProgress, SingleFlight};
 use crate::sync::{lock_recover, read_recover, write_recover};
 use crate::telemetry::{DatasetMetrics, EngineMetrics, ObsMetrics, Telemetry, TenantMetrics};
-use crate::tracing::RequestTracer;
+use crate::tracing::{RequestTracer, SELECT_SPAN_ID};
 use crate::wal::{now_unix_ms, RecoveredDataset, Wal, WalRecord};
 use hdmm_core::{
     BudgetAccountant, DataBackend, DenseVector, Domain, EngineError, HdmmOptions, Plan,
@@ -41,8 +41,10 @@ use hdmm_mechanism::{
     PhaseObserver, ScopedExecutor, ShardedView,
 };
 use hdmm_net::{try_run_mechanism_remote_traced, RemoteError, RemoteExecutor, RemoteOptions};
-use hdmm_obs::{AuditKind, AuditLog, Span, SpanCollector, TraceContext};
-use hdmm_optimizer::planner::{optimize_with_choice, select_optimizer, OptimizerChoice};
+use hdmm_obs::trace::dur_ns;
+use hdmm_obs::{AuditKind, AuditLog, Span, SpanCollector, SpanSink, TraceContext};
+use hdmm_optimizer::planner::{optimize_with_choice_observed, select_optimizer, OptimizerChoice};
+use hdmm_optimizer::{RestartExecutor, RestartObserver};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, VecDeque};
@@ -278,6 +280,49 @@ pub struct Engine {
     recovered: Mutex<HashMap<String, RecoveredDataset>>,
 }
 
+/// Bridges the optimizer's per-restart callbacks into the engine's
+/// observability surfaces: every completed cell bumps the
+/// `restarts_run` counter and the single-flight progress (`done/total`,
+/// visible to concurrent callers via [`Engine::select_progress`]), and —
+/// on the traced serving path — lands as a span parented under the
+/// request's SELECT span, one per `(restart, operator)` cell with its loss
+/// attached. Restart cells complete on arbitrary executor threads, so all
+/// three sinks are lock-free or internally synchronized.
+struct SelectObserver<'a, 'f> {
+    telemetry: &'a Telemetry,
+    progress: &'f FlightProgress<'f, Arc<Plan>>,
+    sink: Option<&'a (dyn SpanSink + Sync)>,
+}
+
+impl RestartObserver for SelectObserver<'_, '_> {
+    fn grid_planned(&self, total_cells: usize) {
+        self.progress.set_total(total_cells as u64);
+    }
+
+    fn restart_complete(&self, operator: &'static str, restart: usize, loss: f64, took: Duration) {
+        self.telemetry.record_restart();
+        self.progress.tick();
+        if let Some(sink) = self.sink {
+            if let Some(ctx) = sink.context() {
+                let end = sink.rel_ns(Instant::now());
+                let dur = dur_ns(took);
+                sink.record(
+                    Span::new(
+                        ctx.trace_id,
+                        sink.next_span_id(),
+                        SELECT_SPAN_ID,
+                        format!("restart:{operator}"),
+                        end.saturating_sub(dur),
+                        dur,
+                    )
+                    .attr("restart", restart.to_string())
+                    .attr("loss", format!("{loss:e}")),
+                );
+            }
+        }
+    }
+}
+
 impl Engine {
     /// An engine with explicit options.
     ///
@@ -327,12 +372,14 @@ impl Engine {
                 recovered.insert(name.clone(), d.clone());
             }
         }
+        let telemetry = Telemetry::default();
+        telemetry.set_select_threads(RestartExecutor::new(options.hdmm.threads).threads() as u64);
         Ok(Engine {
             cache: StrategyCache::new(options.cache_capacity),
             plan_store: options.cache_dir.clone().map(PlanStore::new),
             inflight: SingleFlight::new(),
             sessions: SessionStore::new(options.session_capacity),
-            telemetry: Telemetry::default(),
+            telemetry,
             shard_exec: ScopedExecutor::new(options.shard_workers),
             remote: options.remote.as_ref().map(RemoteExecutor::connect),
             collector: SpanCollector::new(options.trace_capacity),
@@ -639,7 +686,17 @@ impl Engine {
     /// (counted in [`crate::TelemetrySnapshot::dedup_waits`]).
     pub fn plan(&self, workload: &Workload) -> (Arc<Plan>, bool) {
         let fingerprint = workload.fingerprint();
-        self.plan_keyed(&fingerprint, workload)
+        self.plan_keyed(&fingerprint, workload, None)
+    }
+
+    /// Live progress of an in-flight SELECT for `workload`, as
+    /// `(restarts_done, restarts_total)` — the leader publishes a tick per
+    /// completed restart cell. `None` when no SELECT for this workload is in
+    /// flight (including after it lands in the cache); `Some((0, 0))` while
+    /// a flight exists but its restart grid has not been planned yet. Lets a
+    /// dashboard distinguish "optimizer 7/12 done" from a silent block.
+    pub fn select_progress(&self, workload: &Workload) -> Option<(u64, u64)> {
+        self.inflight.progress(&workload.fingerprint())
     }
 
     /// [`Engine::plan`] with the fingerprint supplied by the caller, so the
@@ -649,6 +706,7 @@ impl Engine {
         &self,
         fingerprint: &WorkloadFingerprint,
         workload: &Workload,
+        sink: Option<&(dyn SpanSink + Sync)>,
     ) -> (Arc<Plan>, bool) {
         if let Some(plan) = self.cache.get(fingerprint) {
             return (plan, true);
@@ -656,7 +714,7 @@ impl Engine {
         // SELECT can take seconds while cached requests keep flowing: the
         // optimization runs outside every lock, under single-flight dedup.
         let freshly_optimized = std::cell::Cell::new(false);
-        let (plan, outcome) = self.inflight.run(fingerprint, || {
+        let (plan, outcome) = self.inflight.run_with_progress(fingerprint, |flight| {
             // A completed flight may have populated the cache between our
             // miss and leader election; don't optimize twice.
             if let Some(plan) = self.cache.peek(fingerprint) {
@@ -675,7 +733,12 @@ impl Engine {
             }
             let _inflight = self.telemetry.select_started();
             let t = Instant::now();
-            let plan = Arc::new(self.optimize(workload));
+            let observer = SelectObserver {
+                telemetry: &self.telemetry,
+                progress: flight,
+                sink,
+            };
+            let plan = Arc::new(self.optimize_observed(workload, &observer));
             self.telemetry.record_select(t.elapsed());
             self.cache.insert(fingerprint.clone(), Arc::clone(&plan));
             freshly_optimized.set(true);
@@ -696,7 +759,7 @@ impl Engine {
         (plan, false)
     }
 
-    fn optimize(&self, workload: &Workload) -> Plan {
+    fn optimize_observed(&self, workload: &Workload, observer: &dyn RestartObserver) -> Plan {
         let opts = &self.options.hdmm;
         let grams = WorkloadGrams::from_workload(workload);
         let ps = opts
@@ -708,7 +771,7 @@ impl Engine {
         } else {
             select_optimizer(workload, opts).choice
         };
-        let selected = optimize_with_choice(&grams, &ps, opts, choice);
+        let selected = optimize_with_choice_observed(&grams, &ps, opts, choice, observer);
         Plan::from_parts(selected, grams, workload.query_count())
     }
 
@@ -726,13 +789,15 @@ impl Engine {
     }
 
     /// Answers a batch of follow-up workloads from a stored session in one
-    /// call — the serving-layer face of [`Session::answer_batch`]. All
-    /// workloads share one set of Kronecker scratch buffers, so a dashboard
-    /// refiring `k` follow-ups pays one reconstruction (already done at
-    /// session creation) and `k` allocation-free answer passes. Zero
+    /// call — the serving-layer face of [`Session::answer_batch`]. The
+    /// workloads fan out over the engine's shard-worker executor
+    /// ([`EngineOptions::shard_workers`] lanes), each as an independent
+    /// `W·x̄` task with its own scratch buffers, so a dashboard refiring `k`
+    /// follow-ups pays one reconstruction (already done at session creation)
+    /// and `k` answer passes that overlap on available cores. Zero
     /// additional ε; entry `i` is bitwise identical to answering
-    /// `workloads[i]` through the session individually. The whole batch is
-    /// recorded as one answer-phase observation.
+    /// `workloads[i]` through the session individually, at any lane count.
+    /// The whole batch is recorded as one answer-phase observation.
     pub fn serve_batch_from_session(
         &self,
         id: SessionId,
@@ -740,7 +805,7 @@ impl Engine {
     ) -> Result<Vec<Vec<f64>>, EngineError> {
         let session = self.session(id)?;
         let t = Instant::now();
-        let out = session.answer_batch(workloads)?;
+        let out = session.answer_batch_on(workloads, &self.shard_exec)?;
         self.telemetry
             .phase_complete(hdmm_mechanism::MechanismPhase::Answer, t.elapsed());
         Ok(out)
@@ -979,7 +1044,7 @@ impl Engine {
         // SELECT (cache-aware, single-flight) — pure, no data, no budget.
         let select_started = Instant::now();
         let fingerprint = workload.fingerprint();
-        let (plan, cache_hit) = self.plan_keyed(&fingerprint, workload);
+        let (plan, cache_hit) = self.plan_keyed(&fingerprint, workload, Some(tracer));
         tracer.record_select(select_started, cache_hit);
 
         // The strategy's reconstruction factorization, memoized next to the
@@ -1584,6 +1649,39 @@ mod tests {
         assert_eq!(m.telemetry.answer.count, 2);
         assert_eq!(m.telemetry.requests, 2);
         assert_eq!(m.telemetry.inflight_selects, 0);
+        assert!(
+            m.telemetry.restarts_run >= 1,
+            "the cold SELECT must report its restart cells, got {}",
+            m.telemetry.restarts_run
+        );
+        assert!(
+            m.telemetry.select_threads >= 1,
+            "the resolved lane count is at least one"
+        );
+        assert_eq!(
+            engine.select_progress(&w),
+            None,
+            "no SELECT in flight after the plan landed in the cache"
+        );
+    }
+
+    #[test]
+    fn restart_counter_scales_with_the_grid() {
+        // 3 restarts on a 1-D workload: the targeted planner runs exactly one
+        // operator per restart, so the counter equals the restart count.
+        let engine = Engine::new(EngineOptions {
+            hdmm: HdmmOptions {
+                restarts: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        engine
+            .register_dataset("d", Domain::one_dim(16), vec![1.0; 16], 10.0)
+            .unwrap();
+        engine.serve("d", &builders::prefix_1d(16), 1.0).unwrap();
+        let m = engine.metrics();
+        assert_eq!(m.telemetry.restarts_run, 3);
     }
 
     #[test]
@@ -1721,6 +1819,37 @@ mod tests {
             "all four shards appear: {:?}",
             t.shard_measure
         );
+    }
+
+    #[test]
+    fn cold_select_records_per_restart_spans() {
+        let engine = Engine::new(EngineOptions {
+            hdmm: HdmmOptions {
+                restarts: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        engine
+            .register_dataset("d", Domain::one_dim(16), vec![1.0; 16], 10.0)
+            .unwrap();
+        let resp = engine.serve("d", &builders::prefix_1d(16), 1.0).unwrap();
+        let spans = engine.trace_spans(resp.trace_id);
+        let restarts: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name.starts_with("restart:"))
+            .collect();
+        assert_eq!(restarts.len(), 2, "one span per restart cell: {spans:?}");
+        assert!(
+            restarts
+                .iter()
+                .all(|s| s.parent_id == crate::tracing::SELECT_SPAN_ID),
+            "restart spans parent under the SELECT span"
+        );
+        // The warm path records none.
+        let warm = engine.serve("d", &builders::prefix_1d(16), 1.0).unwrap();
+        let warm_spans = engine.trace_spans(warm.trace_id);
+        assert!(warm_spans.iter().all(|s| !s.name.starts_with("restart:")));
     }
 
     #[test]

@@ -116,7 +116,7 @@ pub use persist::PlanStore;
 pub use prometheus::render_prometheus;
 pub use server::{EngineServer, ServerOptions, Ticket};
 pub use session::Session;
-pub use singleflight::{FlightOutcome, SingleFlight};
+pub use singleflight::{FlightOutcome, FlightProgress, SingleFlight};
 pub use telemetry::{
     DatasetMetrics, EngineMetrics, ObsMetrics, PhaseHistogram, PhaseSnapshot, ShardSpanSnapshot,
     Telemetry, TelemetrySnapshot, TenantMetrics,

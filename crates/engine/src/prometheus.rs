@@ -82,6 +82,18 @@ pub fn render_prometheus(m: &EngineMetrics) -> String {
         "gauge",
     );
     b.sample_u64("hdmm_inflight_selects", &[], m.telemetry.inflight_selects);
+    b.family(
+        "hdmm_select_restarts_total",
+        "Optimizer restart cells executed across all SELECTs.",
+        "counter",
+    );
+    b.sample_u64("hdmm_select_restarts_total", &[], m.telemetry.restarts_run);
+    b.family(
+        "hdmm_select_threads",
+        "Resolved lane count of the SELECT restart executor.",
+        "gauge",
+    );
+    b.sample_u64("hdmm_select_threads", &[], m.telemetry.select_threads);
 
     // ---- strategy cache --------------------------------------------------
     b.family(

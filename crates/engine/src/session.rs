@@ -73,6 +73,33 @@ impl Session {
             workloads,
         ))
     }
+
+    /// [`Session::answer_batch`] fanned over an executor: each workload's
+    /// `W·x̄` pass runs as an independent task with its own scratch buffers,
+    /// so answers are bitwise identical to the serial batch at any lane
+    /// count. The engine routes [`serve_batch_from_session`] here with its
+    /// shard-worker executor.
+    ///
+    /// [`serve_batch_from_session`]: crate::QueryEngine::serve_batch_from_session
+    pub fn answer_batch_on(
+        &self,
+        workloads: &[&Workload],
+        exec: &dyn hdmm_mechanism::ShardExecutor,
+    ) -> Result<Vec<Vec<f64>>, EngineError> {
+        for w in workloads {
+            if w.domain() != &self.domain {
+                return Err(EngineError::DomainMismatch {
+                    expected: self.domain.clone(),
+                    got: w.domain().clone(),
+                });
+            }
+        }
+        Ok(hdmm_mechanism::answer_many_from_parts_on(
+            &self.x_hat,
+            workloads,
+            exec,
+        ))
+    }
 }
 
 impl PrivateSession for Session {
@@ -142,6 +169,35 @@ mod tests {
         let batch = s.answer_batch(&[&prefix, &ranges]).unwrap();
         assert_eq!(batch[0], s.answer(&prefix).unwrap());
         assert_eq!(batch[1], s.answer(&ranges).unwrap());
+    }
+
+    #[test]
+    fn parallel_batch_is_bitwise_identical_at_any_lane_count() {
+        let s = session();
+        let prefix = builders::prefix_1d(4);
+        let ranges = builders::all_range_1d(4);
+        let workloads: [&hdmm_core::Workload; 3] = [&prefix, &ranges, &prefix];
+        let serial = s.answer_batch(&workloads).unwrap();
+        for threads in [1, 2, 4, 7] {
+            let exec = hdmm_mechanism::ScopedExecutor::new(threads);
+            let par = s.answer_batch_on(&workloads, &exec).unwrap();
+            assert_eq!(serial, par, "lane count {threads} changed answers");
+        }
+        let par = s
+            .answer_batch_on(&workloads, &hdmm_mechanism::SerialExecutor)
+            .unwrap();
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn parallel_batch_rejects_mismatched_domains() {
+        let s = session();
+        let good = builders::prefix_1d(4);
+        let bad = builders::prefix_1d(8);
+        assert!(matches!(
+            s.answer_batch_on(&[&good, &bad], &hdmm_mechanism::SerialExecutor),
+            Err(EngineError::DomainMismatch { .. })
+        ));
     }
 
     #[test]

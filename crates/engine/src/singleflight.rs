@@ -14,6 +14,7 @@
 use crate::sync::recover;
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// How a call obtained its value.
@@ -35,6 +36,31 @@ enum FlightState<V> {
 struct Flight<V> {
     state: Mutex<FlightState<V>>,
     cv: Condvar,
+    /// Leader-published progress, packed `total << 32 | done`. Zero means the
+    /// leader has not reported anything yet.
+    progress: AtomicU64,
+}
+
+/// Handle the leader uses to publish partial progress on its flight, so
+/// joined waiters (and anyone polling [`SingleFlight::progress`]) can see how
+/// far the computation has come instead of a silent block.
+pub struct FlightProgress<'a, V> {
+    flight: &'a Flight<V>,
+}
+
+impl<V> FlightProgress<'_, V> {
+    /// Declares the number of units the computation will complete in total.
+    pub fn set_total(&self, total: u64) {
+        let done = self.flight.progress.load(Ordering::Relaxed) & 0xffff_ffff;
+        self.flight
+            .progress
+            .store((total.min(u32::MAX as u64) << 32) | done, Ordering::Relaxed);
+    }
+
+    /// Records one completed unit.
+    pub fn tick(&self) {
+        self.flight.progress.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Per-key in-flight deduplication map.
@@ -63,6 +89,17 @@ impl<K: Eq + Hash + Clone, V: Clone> SingleFlight<K, V> {
     /// Runs `compute` for `key`, deduplicating against concurrent calls: the
     /// first caller computes, everyone else blocks and receives a clone.
     pub fn run(&self, key: &K, compute: impl Fn() -> V) -> (V, FlightOutcome) {
+        self.run_with_progress(key, |_| compute())
+    }
+
+    /// [`SingleFlight::run`], with the leader handed a [`FlightProgress`] it
+    /// can feed partial-progress updates through; concurrent callers observe
+    /// them via [`SingleFlight::progress`] while they wait.
+    pub fn run_with_progress(
+        &self,
+        key: &K,
+        compute: impl Fn(&FlightProgress<'_, V>) -> V,
+    ) -> (V, FlightOutcome) {
         loop {
             let (flight, is_leader) = {
                 let mut map = recover(self.inflight.lock());
@@ -72,6 +109,7 @@ impl<K: Eq + Hash + Clone, V: Clone> SingleFlight<K, V> {
                         let f = Arc::new(Flight {
                             state: Mutex::new(FlightState::Pending),
                             cv: Condvar::new(),
+                            progress: AtomicU64::new(0),
                         });
                         map.insert(key.clone(), Arc::clone(&f));
                         (f, true)
@@ -86,7 +124,7 @@ impl<K: Eq + Hash + Clone, V: Clone> SingleFlight<K, V> {
                     flight: &flight,
                     armed: true,
                 };
-                let value = compute();
+                let value = compute(&FlightProgress { flight: &flight });
                 // Publish before deregistering so no caller can slip between
                 // flight removal and value availability.
                 *recover(flight.state.lock()) = FlightState::Done(value.clone());
@@ -104,6 +142,15 @@ impl<K: Eq + Hash + Clone, V: Clone> SingleFlight<K, V> {
                 }
             }
         }
+    }
+
+    /// `(done, total)` as last published by the in-flight leader for `key`:
+    /// `None` when nothing is in flight, `Some((0, 0))` when a flight exists
+    /// but its leader has not reported yet.
+    pub fn progress(&self, key: &K) -> Option<(u64, u64)> {
+        let flight = Arc::clone(recover(self.inflight.lock()).get(key)?);
+        let packed = flight.progress.load(Ordering::Relaxed);
+        Some((packed & 0xffff_ffff, packed >> 32))
     }
 
     fn remove(&self, key: &K) {
@@ -209,6 +256,30 @@ mod tests {
             }
         });
         assert!(sf.is_empty());
+    }
+
+    #[test]
+    fn leader_progress_is_visible_to_pollers() {
+        let sf: SingleFlight<u32, u32> = SingleFlight::new();
+        assert_eq!(sf.progress(&1), None, "no flight, no progress");
+        let ready = Barrier::new(2);
+        let release = Barrier::new(2);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                sf.run_with_progress(&1, |p| {
+                    p.set_total(4);
+                    p.tick();
+                    p.tick();
+                    ready.wait();
+                    release.wait();
+                    7
+                })
+            });
+            ready.wait();
+            assert_eq!(sf.progress(&1), Some((2, 4)));
+            release.wait();
+        });
+        assert_eq!(sf.progress(&1), None, "flight deregistered after landing");
     }
 
     #[test]

@@ -237,12 +237,26 @@ pub struct Telemetry {
     inflight_selects: AtomicU64,
     remote_fallbacks: AtomicU64,
     slow_queries: AtomicU64,
+    restarts_run: AtomicU64,
+    select_threads: AtomicU64,
 }
 
 impl Telemetry {
     pub(crate) fn record_select(&self, elapsed: Duration) {
         self.select.record(elapsed);
         self.selects_run.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One optimizer restart cell completed (any operator, any thread).
+    pub(crate) fn record_restart(&self) {
+        self.restarts_run.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publishes the resolved restart-grid lane count (a static gauge: set
+    /// once at engine construction, after `threads = 0` resolves to the
+    /// machine's available parallelism).
+    pub(crate) fn set_select_threads(&self, threads: u64) {
+        self.select_threads.store(threads, Ordering::Relaxed);
     }
 
     pub(crate) fn record_request(&self, ok: bool) {
@@ -298,6 +312,8 @@ impl Telemetry {
             inflight_selects: self.inflight_selects.load(Ordering::Relaxed),
             remote_fallbacks: self.remote_fallbacks.load(Ordering::Relaxed),
             slow_queries: self.slow_queries.load(Ordering::Relaxed),
+            restarts_run: self.restarts_run.load(Ordering::Relaxed),
+            select_threads: self.select_threads.load(Ordering::Relaxed),
         }
     }
 }
@@ -372,6 +388,12 @@ pub struct TelemetrySnapshot {
     /// Requests slower than [`crate::EngineOptions::slow_query_threshold`];
     /// each also force-flushed its span tree to the collector.
     pub slow_queries: u64,
+    /// Optimizer restart cells executed across all SELECTs (every
+    /// `(restart, operator)` grid cell counts once, whichever thread ran it).
+    pub restarts_run: u64,
+    /// Resolved lane count of the SELECT restart executor (`threads = 0`
+    /// shows the machine's available parallelism it resolved to).
+    pub select_threads: u64,
 }
 
 fn write_shard_spans(
@@ -400,7 +422,8 @@ impl std::fmt::Display for TelemetrySnapshot {
         writeln!(
             f,
             "requests={} failures={} selects_run={} dedup_waits={} plan_disk_hits={} \
-             inflight_selects={} remote_fallbacks={} slow_queries={}",
+             inflight_selects={} remote_fallbacks={} slow_queries={} restarts_run={} \
+             select_threads={}",
             self.requests,
             self.failures,
             self.selects_run,
@@ -408,7 +431,9 @@ impl std::fmt::Display for TelemetrySnapshot {
             self.plan_disk_hits,
             self.inflight_selects,
             self.remote_fallbacks,
-            self.slow_queries
+            self.slow_queries,
+            self.restarts_run,
+            self.select_threads
         )?;
         writeln!(f, "  select:      {}", self.select)?;
         writeln!(f, "  measure:     {}", self.measure)?;

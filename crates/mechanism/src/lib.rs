@@ -28,8 +28,8 @@ pub use budget::{try_measure, try_run_mechanism, MechanismError};
 pub use marginals::{MarginalsAlgebra, MarginalsStrategy};
 pub use mechanism::MeasuredBlock;
 pub use mechanism::{
-    answer_many_from_parts, answer_workload, measure, reconstruct, reconstruct_with, run_mechanism,
-    Measurements, MechanismResult, PreparedReconstruct,
+    answer_many_from_parts, answer_many_from_parts_on, answer_workload, measure, reconstruct,
+    reconstruct_with, run_mechanism, Measurements, MechanismResult, PreparedReconstruct,
 };
 pub use phases::{
     try_run_mechanism_observed, try_run_mechanism_prepared_observed, MechanismPhase, NoopObserver,

@@ -274,6 +274,32 @@ pub fn answer_many_from_parts(x_hat: &[f64], workloads: &[&Workload]) -> Vec<Vec
         .collect()
 }
 
+/// [`answer_many_from_parts`] fanned over a [`crate::ShardExecutor`]: each
+/// workload is an independent `W·x̄` pass, so the batch parallelizes with no
+/// coordination. Every task owns its own [`KronScratch`] (scratch buffers
+/// never affect values), so entry `i` stays bitwise identical to
+/// `answer_workload(workloads[i], x_hat)` at any lane count — including the
+/// serial [`crate::SerialExecutor`].
+pub fn answer_many_from_parts_on(
+    x_hat: &[f64],
+    workloads: &[&Workload],
+    exec: &dyn crate::ShardExecutor,
+) -> Vec<Vec<f64>> {
+    let mut out: Vec<Vec<f64>> = vec![Vec::new(); workloads.len()];
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = out
+        .iter_mut()
+        .zip(workloads)
+        .map(|(slot, w)| {
+            Box::new(move || {
+                let mut scratch = KronScratch::new();
+                *slot = w.answer_with(x_hat, &mut scratch);
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    exec.run(tasks);
+    out
+}
+
 /// Runs the complete ε-differentially-private pipeline (Theorem 7: privacy
 /// follows from the Laplace mechanism plus post-processing).
 pub fn run_mechanism(
@@ -405,6 +431,25 @@ mod tests {
         assert_eq!(batch.len(), 2);
         assert_eq!(batch[0], w1.answer(&x_hat));
         assert_eq!(batch[1], w2.answer(&x_hat));
+    }
+
+    #[test]
+    fn parallel_batch_answers_match_serial_bitwise() {
+        let w1 = builders::prefix_2d(4, 5);
+        let w2 = builders::all_marginals(&Domain::new(&[4, 5]));
+        let w3 = builders::prefix_2d(4, 5);
+        let x_hat = data(20);
+        let workloads: [&Workload; 3] = [&w1, &w2, &w3];
+        let serial = answer_many_from_parts(&x_hat, &workloads);
+        for threads in [1, 2, 4, 7] {
+            let par =
+                answer_many_from_parts_on(&x_hat, &workloads, &crate::ScopedExecutor::new(threads));
+            assert_eq!(serial, par, "lane count {threads} changed answers");
+        }
+        assert_eq!(
+            serial,
+            answer_many_from_parts_on(&x_hat, &workloads, &crate::SerialExecutor)
+        );
     }
 
     #[test]

@@ -175,6 +175,8 @@ pub fn opt_hdmm_grams_observed(
         }
     }
 
+    observer.grid_planned(cells.len());
+
     let jobs: Vec<_> = cells
         .into_iter()
         .map(|(restart, operator)| {

@@ -212,6 +212,7 @@ pub fn optimize_with_choice_observed(
     let wtw = wtw.as_ref();
 
     let restarts = opts.restarts.max(1);
+    observer.grid_planned(restarts);
     let exec = RestartExecutor::new(opts.threads);
 
     // Each restart computes its candidate from a cell-derived RNG stream;

@@ -45,6 +45,10 @@ pub fn restart_seed(master: u64, restart: u64, operator: &str) -> u64 {
 /// order (not grid order); the deterministic argmin merge happens after all
 /// cells finish, so observers must not infer the winner from callback order.
 pub trait RestartObserver: Sync {
+    /// Called once, before any cell runs, with the total number of cells the
+    /// restart grid holds — so progress surfaces can report `done/total`.
+    fn grid_planned(&self, _total_cells: usize) {}
+
     /// One `(restart, operator)` cell finished with the given candidate loss
     /// (`f64::INFINITY` when the cell produced no valid candidate).
     fn restart_complete(&self, operator: &'static str, restart: usize, loss: f64, took: Duration);

@@ -1,0 +1,57 @@
+//! The cold SELECT path: the restart grid of Algorithm 2 swept over restart
+//! counts and executor lane counts.
+//!
+//! Selection is bitwise identical at every lane count (the determinism
+//! contract in `hdmm_optimizer::restart`), so the thread sweep measures pure
+//! wall-clock: on a multi-core host `select_restarts/threads/4` should
+//! approach a 4× speedup over `threads/1` once the grid holds enough cells to
+//! fill the lanes. The restart sweep shows the serial cost the executor is
+//! amortizing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdmm_core::builders;
+use hdmm_optimizer::{default_ps, opt_hdmm_grams, HdmmOptions};
+use hdmm_workload::WorkloadGrams;
+
+fn opts(restarts: usize, threads: usize) -> HdmmOptions {
+    HdmmOptions {
+        restarts,
+        threads,
+        seed: 0,
+        ..Default::default()
+    }
+}
+
+/// Serial cost per grid size: how much work the executor has to hide.
+fn bench_restart_sweep(c: &mut Criterion) {
+    let workload = builders::prefix_2d(32, 32);
+    let grams = WorkloadGrams::from_workload(&workload);
+    let ps = default_ps(&workload);
+    let mut group = c.benchmark_group("select_restarts");
+    group.sample_size(10);
+    for &restarts in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("serial", restarts), &(), |b, _| {
+            b.iter(|| opt_hdmm_grams(&grams, &ps, &opts(restarts, 1)));
+        });
+    }
+    group.finish();
+}
+
+/// Lane-count sweep at a fixed 4-restart grid; the selected strategy is
+/// byte-identical across every row of this group.
+fn bench_thread_sweep(c: &mut Criterion) {
+    let workload = builders::prefix_2d(32, 32);
+    let grams = WorkloadGrams::from_workload(&workload);
+    let ps = default_ps(&workload);
+    let mut group = c.benchmark_group("select_threads");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &(), |b, _| {
+            b.iter(|| opt_hdmm_grams(&grams, &ps, &opts(4, threads)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_restart_sweep, bench_thread_sweep);
+criterion_main!(benches);

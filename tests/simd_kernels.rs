@@ -168,3 +168,77 @@ fn signed_zero_and_tail_edges_agree_bitwise() {
         );
     }
 }
+
+/// The blocked `gram` kernels (and `StructuredMatrix::gram_dense` on a Dense
+/// matrix, which routes through them) agree bitwise with references
+/// assembled entirely from the *scalar* kernels — for both dispatch arms:
+/// the dense column-dot kernel (`out[i][j] = dot(colᵢ, colⱼ)`) and the
+/// sparse-ish zero-skipping rank-1 update loop (ascending-row `axpy`). This
+/// is the wide-vs-scalar pin for the gram path: in the default (wide) build
+/// the kernels under `gram` are the 4-lane ones, and the references below
+/// never call them.
+#[test]
+fn gram_dense_matches_scalar_assembled_reference_bitwise() {
+    use hdmm_linalg::{Matrix, StructuredMatrix};
+    for (m, n, dense_fill) in [
+        (97, 70, false),
+        (97, 70, true),
+        (33, 65, false),
+        (33, 65, true),
+    ] {
+        let a = Matrix::from_fn(m, n, |r, c| {
+            if !dense_fill && (r * 3 + c) % 2 == 0 {
+                0.0 // ~50% zeros: the zero-skipping axpy arm
+            } else {
+                ((r * 13 + c * 7) as f64).sin()
+            }
+        });
+        let reference = if dense_fill {
+            // Dense arm contract: scalar dot over contiguous columns.
+            let t = a.transpose();
+            Matrix::from_fn(n, n, |i, j| {
+                let (lo, hi) = (i.min(j), i.max(j));
+                simd::scalar::dot(
+                    &t.as_slice()[lo * m..(lo + 1) * m],
+                    &t.as_slice()[hi * m..(hi + 1) * m],
+                )
+            })
+        } else {
+            // Sparse arm contract: ascending-row rank-1 updates via scalar
+            // axpy, zeros skipped, upper triangle mirrored.
+            let mut out = Matrix::zeros(n, n);
+            for k in 0..m {
+                let row = a.row(k).to_vec();
+                for (i, &vi) in row.iter().enumerate() {
+                    if vi == 0.0 {
+                        continue;
+                    }
+                    simd::scalar::axpy(
+                        vi,
+                        &row[i..],
+                        &mut out.as_mut_slice()[i * n + i..(i + 1) * n],
+                    );
+                }
+            }
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    out.as_mut_slice()[j * n + i] = out.as_slice()[i * n + j];
+                }
+            }
+            out
+        };
+        let arm = if dense_fill { "dense" } else { "sparse" };
+        let gram = a.gram();
+        let structured = StructuredMatrix::Dense(a.clone()).gram_dense();
+        for (x, y) in gram.as_slice().iter().zip(reference.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{arm} arm: gram {x} vs {y}");
+        }
+        for (x, y) in structured.as_slice().iter().zip(gram.as_slice()) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{arm} arm: gram_dense diverges from Matrix::gram"
+            );
+        }
+    }
+}
